@@ -1,0 +1,243 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// search strategy, CRP size, enrollment effort, keyed remapping,
+// side-channel decoys, and attacker models.
+//
+//	go test -bench=Ablation -benchmem
+package authenticache_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/auth"
+	"repro/internal/cache"
+	"repro/internal/crp"
+	"repro/internal/ecc"
+	"repro/internal/errormap"
+	"repro/internal/firmware"
+	"repro/internal/mapkey"
+	"repro/internal/rng"
+	"repro/internal/sram"
+	"repro/internal/variation"
+	"repro/internal/voltage"
+)
+
+// Nearest-error search: the client's expanding ring walk versus the
+// server's one-shot BFS distance transform. The crossover justifies
+// the asymmetric design — the server amortises one O(n) transform over
+// hundreds of queries, while the client answers a handful of
+// coordinates with O(probes) self-tests.
+func BenchmarkAblationSearchStrategy(b *testing.B) {
+	g := errormap.NewGeometry(65536)
+	plane := errormap.RandomPlane(g, 100, rng.New(1))
+	gen := rng.New(2)
+
+	b.Run("ring-per-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := g.Coord(gen.Intn(g.Lines))
+			_, _, _ = plane.RingSearch(c)
+		}
+	})
+	b.Run("transform-then-query", func(b *testing.B) {
+		df := plane.DistanceTransform()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = df.DistLine(gen.Intn(g.Lines))
+		}
+	})
+	b.Run("transform-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = plane.DistanceTransform()
+		}
+	})
+}
+
+// CRP size: server-side evaluation cost per challenge length (noise
+// robustness grows with size — Figure 10 — at linear evaluation cost).
+func BenchmarkAblationCRPSize(b *testing.B) {
+	g := errormap.NewGeometry(65536)
+	plane := errormap.RandomPlane(g, 100, rng.New(3))
+	m := errormap.NewMap(g)
+	m.AddPlane(680, plane)
+	oracles := crp.NewPlaneOracles(m)
+	for _, bits := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("bits-%d", bits), func(b *testing.B) {
+			gen := rng.New(4)
+			for i := 0; i < b.N; i++ {
+				ch := crp.Generate(g, bits, 680, gen)
+				if _, err := crp.Evaluate(ch, oracles); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Enrollment effort: error-plane construction at 1, 4, and 8 sweeps.
+// More sweeps capture more flaky lines (Figure 11) at linear cost.
+func BenchmarkAblationEnrollSweeps(b *testing.B) {
+	model := variation.NewModel(5, variation.DefaultParams())
+	geo := cache.GeometryForSize(1 << 20)
+	arr := sram.New(model, geo.Lines(), 6)
+	h := cache.NewErrorHandler(arr, geo)
+	arr.SetVoltage(variation.DefaultParams().DefectBandHi - 0.065)
+	for _, sweeps := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sweeps-%d", sweeps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = h.BuildPlane(sweeps)
+			}
+		})
+	}
+}
+
+// Keyed remapping: the cost of hiding the physical layout. Builds the
+// logical plane (Feistel permutation of every error) versus using the
+// physical plane directly.
+func BenchmarkAblationKeyedRemap(b *testing.B) {
+	g := errormap.NewGeometry(65536)
+	plane := errormap.RandomPlane(g, 100, rng.New(7))
+	key := mapkey.KeyFromBytes([]byte("bench"), "ablation")
+	b.Run("physical-plane", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = plane.DistanceTransform()
+		}
+	})
+	b.Run("logical-plane", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = auth.LogicalPlane(plane, key, 680).DistanceTransform()
+		}
+	})
+}
+
+// Side-channel decoys: firmware authentication cost at decoy ratios
+// 0, 1, and 3 (Section 7.2 mitigation). The virtual-time column is the
+// modelled prototype cost; the wall-clock column is simulator cost.
+func BenchmarkAblationDecoys(b *testing.B) {
+	geo := cache.GeometryForSize(512 << 10)
+	model := variation.NewModel(8, variation.DefaultParams())
+	arr := sram.New(model, geo.Lines(), 9)
+	h := cache.NewErrorHandler(arr, geo)
+	cfg := voltage.DefaultConfig()
+	cfg.StepMV = 5
+	cfg.VMinSearch = 0.600
+	ctrl := voltage.NewController(arr, cfg)
+	h.SetEmergencyCallback(ctrl.Emergency)
+	floor, err := ctrl.CalibrateFloor(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := firmware.NewClient(h, ctrl, 8, firmware.DefaultCostModel())
+	gen := rng.New(10)
+	for _, ratio := range []int{0, 1, 3} {
+		b.Run(fmt.Sprintf("decoy-ratio-%d", ratio), func(b *testing.B) {
+			client.DecoyRatio = ratio
+			for i := 0; i < b.N; i++ {
+				ch := crp.Generate(client.Geometry(), 32, floor+10, gen)
+				if _, err := client.Authenticate(ch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(client.Elapsed().Milliseconds()), "virtual-ms/auth")
+		})
+	}
+}
+
+// Fuzzy extractors: the repetition code (paper-faithful helper data)
+// versus BCH(255,131,18) (production-grade). Reports key bits per 255
+// response bits alongside reproduce cost.
+func BenchmarkAblationFuzzyExtractors(b *testing.B) {
+	r := rng.New(13)
+	response := make([]byte, 32) // 256 bits
+	for i := range response {
+		response[i] = byte(r.Uint64())
+	}
+	b.Run("repetition-5x", func(b *testing.B) {
+		const keyBits = 51 // 255/5
+		secret := make([]byte, (keyBits+7)/8)
+		for i := range secret {
+			secret[i] = byte(r.Uint64())
+		}
+		helper, err := ecc.GenerateHelper(response, keyBits, secret)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(keyBits), "keybits/255resp")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ecc.Reproduce(response, helper); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bch-255-131-18", func(b *testing.B) {
+		code, err := ecc.NewBCH(8, 18)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secret := make([]byte, (code.K+7)/8)
+		for i := range secret {
+			secret[i] = byte(r.Uint64())
+		}
+		helper, err := ecc.GenerateBCHHelper(code, response, secret)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(code.K), "keybits/255resp")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ecc.ReproduceBCH(helper, response); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Attacker models: training throughput of the win-rate (Borda) model
+// versus the paper's dependency-chain model.
+func BenchmarkAblationAttackerModels(b *testing.B) {
+	g := errormap.NewGeometry(65536)
+	plane := errormap.RandomPlane(g, 100, rng.New(11))
+	df := plane.DistanceTransform()
+	gen := rng.New(12)
+	nextCRP := func() (*crp.Challenge, crp.Response) {
+		ch := crp.Generate(g, 64, 0, gen)
+		resp := crp.NewResponse(len(ch.Bits))
+		for i, bit := range ch.Bits {
+			v := 0
+			if df.DistLine(bit.A) > df.DistLine(bit.B) {
+				v = 1
+			}
+			resp.SetBit(i, v)
+		}
+		return ch, resp
+	}
+	b.Run("winrate-train", func(b *testing.B) {
+		m := attack.NewModel(g)
+		for i := 0; i < b.N; i++ {
+			c, r := nextCRP()
+			m.Observe(c, r)
+		}
+	})
+	b.Run("dependency-train", func(b *testing.B) {
+		m := attack.NewDependencyModel(g)
+		for i := 0; i < b.N; i++ {
+			c, r := nextCRP()
+			m.Observe(c, r)
+		}
+	})
+	b.Run("dependency-predict", func(b *testing.B) {
+		m := attack.NewDependencyModel(g)
+		for i := 0; i < 2000; i++ {
+			c, r := nextCRP()
+			m.Observe(c, r)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, _ := nextCRP()
+			for _, bit := range c.Bits {
+				_ = m.PredictBit(bit)
+			}
+		}
+	})
+}

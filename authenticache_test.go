@@ -1,0 +1,135 @@
+package authenticache_test
+
+import (
+	"testing"
+
+	authenticache "repro"
+)
+
+// TestQuickstart exercises the documented happy path end to end
+// through the public facade.
+func TestQuickstart(t *testing.T) {
+	chip, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 42, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := chip.AuthVoltagesMV(2, 10)
+	emap, err := chip.Enroll(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 64
+	srv := authenticache.NewServer(cfg, 1)
+	key, err := srv.Enroll("device-42", emap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := authenticache.NewResponder("device-42", chip.Device(), key)
+
+	ch, err := srv.IssueChallenge("device-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dev.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := srv.Verify("device-42", ch.ID, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("quickstart flow rejected the genuine chip")
+	}
+}
+
+// TestFacadeStationAndKeygen exercises the enrollment-station and
+// key-derivation surfaces of the public API.
+func TestFacadeStationAndKeygen(t *testing.T) {
+	chip, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 77, CacheBytes: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := authenticache.DefaultEnrollCriteria(chip.Geometry().Lines())
+	res, err := authenticache.CharacterizeChip(chip, "facade-chip", crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Fatalf("rejections: %v", res.Rejections)
+	}
+	srv := authenticache.NewServer(authenticache.DefaultServerConfig(), 9)
+	if _, err := authenticache.ProvisionChip(srv, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Key derivation against the firmware device, on an auth plane.
+	dev := chip.Device()
+	params := authenticache.KeygenParams{
+		Scheme:        "repetition",
+		KeyBits:       64,
+		VddMV:         res.Record.AuthVdds[0],
+		Label:         "facade-test",
+		ChallengeSeed: 1,
+	}
+	bundle, key, err := authenticache.ProvisionKey(dev, params, authenticache.NewRandSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := authenticache.RecoverKey(dev, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatal("firmware-backed key recovery diverged")
+	}
+}
+
+func TestFacadeQuality(t *testing.T) {
+	g := authenticache.NewMapGeometry(8192)
+	planes := make([]*authenticache.ErrorPlane, 6)
+	r := authenticache.NewRandSource(3)
+	for i := range planes {
+		planes[i] = randomPlane(g, 80, r)
+	}
+	cfg := authenticache.DefaultQualityConfig()
+	cfg.CRPBits = 64
+	cfg.Challenges = 4
+	cfg.Remeasurements = 2
+	rep, err := authenticache.EvaluateQuality(planes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UniquenessPct < 40 || rep.UniquenessPct > 60 {
+		t.Fatalf("uniqueness = %v", rep.UniquenessPct)
+	}
+}
+
+// randomPlane builds a plane entirely through the public surface.
+func randomPlane(g authenticache.MapGeometry, k int, r *authenticache.RandSource) *authenticache.ErrorPlane {
+	p := authenticache.NewErrorPlane(g)
+	placed := 0
+	for placed < k {
+		line := r.Intn(g.Lines)
+		if p.Get(line) {
+			continue
+		}
+		p.Set(line, true)
+		placed++
+	}
+	return p
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if got := authenticache.PossibleCRPs(65536); got != 2147450880 {
+		t.Fatalf("PossibleCRPs = %d", got)
+	}
+	if got := authenticache.DailyAuthentications(65536, 64, 3650); got != 9192 {
+		t.Fatalf("DailyAuthentications = %d", got)
+	}
+	if g := authenticache.NewMapGeometry(65536); g.Width != 256 {
+		t.Fatalf("geometry width = %d", g.Width)
+	}
+}

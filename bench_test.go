@@ -1,0 +1,93 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark per experiment; see DESIGN.md's
+// per-experiment index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration regenerates the full experiment at the default Monte
+// Carlo scale; cmd/acsim prints the same rows.
+package authenticache_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSeed keeps benchmark workloads deterministic.
+const benchSeed = 1
+
+func runExperiment(b *testing.B, fn func() *experiments.Table) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := fn()
+		tbl.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkFig1VoltageSweep(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Fig1(benchSeed) })
+}
+
+func BenchmarkFig2ErrorDistribution(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Fig2(benchSeed) })
+}
+
+func BenchmarkFig3CrossChipOverlap(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Fig3(benchSeed) })
+}
+
+func BenchmarkSec3InterIntraDie(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Sec3(benchSeed) })
+}
+
+func BenchmarkFig9HammingDistributions(b *testing.B) {
+	scale := experiments.DefaultScale()
+	runExperiment(b, func() *experiments.Table { return experiments.Fig9(benchSeed, scale) })
+}
+
+func BenchmarkFig10NoiseTolerance(b *testing.B) {
+	scale := experiments.MCScale{Maps: 8, ProfilesPerMap: 6, ChallengesPerMap: 2}
+	runExperiment(b, func() *experiments.Table { return experiments.Fig10(benchSeed, scale) })
+}
+
+func BenchmarkFig11PersistenceCDF(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Fig11(benchSeed) })
+}
+
+func BenchmarkFig12AliasingUniformity(b *testing.B) {
+	scale := experiments.DefaultScale()
+	runExperiment(b, func() *experiments.Table { return experiments.Fig12(benchSeed, scale) })
+}
+
+func BenchmarkFig13Runtime(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Fig13(benchSeed) })
+}
+
+func BenchmarkFig14RuntimeVsErrors(b *testing.B) {
+	scale := experiments.DefaultScale()
+	runExperiment(b, func() *experiments.Table { return experiments.Fig14(benchSeed, scale) })
+}
+
+func BenchmarkFig15AvgDistance(b *testing.B) {
+	scale := experiments.DefaultScale()
+	runExperiment(b, func() *experiments.Table { return experiments.Fig15(benchSeed, scale) })
+}
+
+func BenchmarkFig16ModelAttack(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.Fig16(benchSeed, 100000, 12500) })
+}
+
+func BenchmarkTable1Lifetime(b *testing.B) {
+	runExperiment(b, experiments.Table1)
+}
+
+func BenchmarkExtTemperature(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.ExtTemperature(benchSeed) })
+}
+
+func BenchmarkExtAging(b *testing.B) {
+	runExperiment(b, func() *experiments.Table { return experiments.ExtAging(benchSeed) })
+}

@@ -1,0 +1,133 @@
+package authenticache_test
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// End-to-end test of the shipped binaries: build authd and authcli,
+// start the daemon, authenticate a genuine client, verify an impostor
+// is rejected, and check state persistence across a daemon restart.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binaries")
+	}
+	dir := t.TempDir()
+	authd := filepath.Join(dir, "authd")
+	authcli := filepath.Join(dir, "authcli")
+	for _, b := range []struct{ out, pkg string }{
+		{authd, "./cmd/authd"},
+		{authcli, "./cmd/authcli"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	statePath := filepath.Join(dir, "state.json")
+	addr := freeAddr(t)
+
+	provisions, stop := startAuthd(t, authd, addr, statePath, "-devices", "1", "-cache", "262144")
+	key := provisions["dev-0"]
+	if key == "" {
+		t.Fatal("no provisioning line for dev-0")
+	}
+
+	// Genuine client.
+	out, err := exec.Command(authcli,
+		"-addr", addr, "-id", "dev-0", "-chipseed", "1", "-cache", "262144",
+		"-key", key, "-n", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("genuine client failed: %v\n%s", err, out)
+	}
+	if c := strings.Count(string(out), "ACCEPTED"); c != 2 {
+		t.Fatalf("genuine client accepted %d/2:\n%s", c, out)
+	}
+
+	// Impostor: right key, wrong silicon; exit code must be nonzero.
+	out, err = exec.Command(authcli,
+		"-addr", addr, "-id", "dev-0", "-chipseed", "1", "-cache", "262144",
+		"-key", key, "-n", "1", "-impostor").CombinedOutput()
+	if err == nil {
+		t.Fatalf("impostor exited 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "REJECTED") {
+		t.Fatalf("impostor not rejected:\n%s", out)
+	}
+
+	// Restart from persisted state: the same key keeps working.
+	stop()
+	addr2 := freeAddr(t)
+	provisions2, stop2 := startAuthd(t, authd, addr2, statePath)
+	defer stop2()
+	if provisions2["dev-0"] != key {
+		t.Fatalf("restored key differs: %q vs %q", provisions2["dev-0"], key)
+	}
+	out, err = exec.Command(authcli,
+		"-addr", addr2, "-id", "dev-0", "-chipseed", "1", "-cache", "262144",
+		"-key", key, "-n", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("post-restart auth failed: %v\n%s", err, out)
+	}
+}
+
+// startAuthd launches the daemon and parses its PROVISION lines,
+// returning id->keyhex and a stop function.
+func startAuthd(t *testing.T, bin, addr, statePath string, extra ...string) (map[string]string, func()) {
+	t.Helper()
+	args := append([]string{"-addr", addr, "-state", statePath}, extra...)
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	// Wait until the daemon listens.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("authd never listened on %s:\n%s", addr, buf.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	provisions := map[string]string{}
+	re := regexp.MustCompile(`PROVISION id=(\S+).* key=([0-9a-f]{64})`)
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		if m := re.FindStringSubmatch(sc.Text()); m != nil {
+			provisions[m[1]] = m[2]
+		}
+	}
+	return provisions, stop
+}
+
+// freeAddr grabs an unused localhost port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}

@@ -1,0 +1,147 @@
+// Command acsim regenerates the tables and figures of the
+// Authenticache paper (MICRO 2015) from the simulated substrate.
+//
+// Usage:
+//
+//	acsim [flags] <experiment> [experiment...]
+//	acsim all
+//
+// Experiments: fig1 fig2 fig3 sec3 fig9 fig10 fig11 fig12 fig13 fig14
+// fig15 fig16 table1.
+//
+// Flags:
+//
+//	-seed N    deterministic experiment seed (default 1)
+//	-full      use paper-scale Monte Carlo effort (slow)
+//	-crps N    fig16 training budget (default 400000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/errormap"
+	"repro/internal/experiments"
+	"repro/internal/montecarlo"
+	"repro/internal/quality"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	full := flag.Bool("full", false, "paper-scale Monte Carlo effort (slow)")
+	crps := flag.Int("crps", 400000, "fig16 training budget (challenges)")
+	md := flag.Bool("md", false, "emit GitHub-flavoured markdown instead of aligned text")
+	flag.Usage = usage
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+
+	runners := map[string]func() *experiments.Table{
+		"fig1":      func() *experiments.Table { return experiments.Fig1(*seed) },
+		"fig2":      func() *experiments.Table { return experiments.Fig2(*seed) },
+		"fig3":      func() *experiments.Table { return experiments.Fig3(*seed) },
+		"sec3":      func() *experiments.Table { return experiments.Sec3(*seed) },
+		"fig9":      func() *experiments.Table { return experiments.Fig9(*seed, scale) },
+		"fig10":     func() *experiments.Table { return experiments.Fig10(*seed, scale) },
+		"fig11":     func() *experiments.Table { return experiments.Fig11(*seed) },
+		"fig12":     func() *experiments.Table { return experiments.Fig12(*seed, scale) },
+		"fig13":     func() *experiments.Table { return experiments.Fig13(*seed) },
+		"fig14":     func() *experiments.Table { return experiments.Fig14(*seed, scale) },
+		"fig15":     func() *experiments.Table { return experiments.Fig15(*seed, scale) },
+		"fig16":     func() *experiments.Table { return experiments.Fig16(*seed, *crps, *crps/16) },
+		"fig16dep":  func() *experiments.Table { return experiments.Fig16Dependency(*seed, *crps/2, *crps/32) },
+		"table1":    func() *experiments.Table { return experiments.Table1() },
+		"ext-temp":  func() *experiments.Table { return experiments.ExtTemperature(*seed) },
+		"ext-aging": func() *experiments.Table { return experiments.ExtAging(*seed) },
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for name := range runners {
+			args = append(args, name)
+		}
+		sort.Strings(args)
+		args = append(args, "quality")
+	}
+	for _, name := range args {
+		if name == "quality" {
+			runQuality(*seed, scale)
+			fmt.Println()
+			continue
+		}
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "acsim: unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		tbl := run()
+		if *md {
+			tbl.FprintMarkdown(os.Stdout)
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+		fmt.Println()
+	}
+}
+
+// runQuality prints the Section 2.2 PUF report card over a Monte Carlo
+// population matching the paper's 4 MB / 100-error configuration.
+func runQuality(seed uint64, scale experiments.MCScale) {
+	chips := scale.Maps
+	if chips < 8 {
+		chips = 8
+	}
+	pop := montecarlo.Population{
+		Geometry: errormap.NewGeometry(65536),
+		Errors:   100,
+		Seed:     seed,
+	}
+	cfg := quality.DefaultConfig()
+	cfg.Seed = seed
+	rep, err := quality.Evaluate(pop.Planes(chips), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acsim: quality: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("== quality: PUF report card (paper Section 2.2 metrics) ==")
+	rep.Fprint(os.Stdout)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: acsim [flags] <experiment>...
+
+Regenerates the Authenticache paper's evaluation. Experiments:
+  fig1    failing lines vs voltage (4 MB hardware sweep)
+  fig2    error distribution across sets/ways
+  fig3    cross-chip error address overlap (8 x 768 KB)
+  sec3    inter-die vs intra-die response variation
+  fig9    Hamming-distance distributions under noise
+  fig10   max tolerable noise for <1 ppm failures
+  fig11   self-test persistence CDF
+  fig12   bit-aliasing and uniformity
+  fig13   runtime vs CRP size and attempts
+  fig14   runtime vs error-map density
+  fig15   mean nearest-error distance vs errors
+  fig16   model-building attack learning curve (win-rate attacker)
+  fig16dep  same, with the paper's dependency-chain attacker
+  table1  lifetime daily authentication budget
+  quality PUF report card (Section 2.2 metric suite)
+  ext-temp   extension: intra-die variation vs temperature
+  ext-aging  extension: intra-die variation vs circuit aging
+  all     everything above
+
+Flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,100 @@
+// Command authcli authenticates a simulated client device against an
+// authd server over TCP.
+//
+// The client rebuilds its silicon from -chipseed (the same seed the
+// server's factory used: identical seed means identical physical chip,
+// re-measured with fresh noise), loads the provisioned remap key, and
+// runs -n authentication transactions through the full firmware stack:
+// SMM entry, voltage-floor checks, targeted low-voltage self-tests.
+//
+// Usage (values come from authd's PROVISION lines):
+//
+//	authcli -addr 127.0.0.1:7430 -id dev-0 -chipseed 1 -key <hex> [-n 3] [-remap]
+//	authcli -impostor ...   # keep the key but fake the silicon
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	authenticache "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7430", "authd address")
+	id := flag.String("id", "dev-0", "client identity")
+	chipSeed := flag.Uint64("chipseed", 1, "physical chip seed")
+	keyHex := flag.String("key", "", "provisioned remap key (64 hex chars)")
+	n := flag.Int("n", 3, "number of authentications to run")
+	remap := flag.Bool("remap", false, "run a key-update transaction first")
+	impostor := flag.Bool("impostor", false, "simulate stolen-key attack: right key, wrong silicon")
+	cacheBytes := flag.Int("cache", 1<<20, "simulated cache size in bytes")
+	measSeed := flag.Uint64("measseed", 0, "measurement noise seed (0 = derive)")
+	flag.Parse()
+
+	var key authenticache.Key
+	kb, err := hex.DecodeString(*keyHex)
+	if err != nil || len(kb) != len(key) {
+		log.Fatalf("authcli: -key must be %d hex chars", len(key)*2)
+	}
+	copy(key[:], kb)
+
+	seed := *chipSeed
+	if *impostor {
+		seed ^= 0xbad00bad // different silicon, same key
+		log.Printf("authcli: IMPOSTOR mode: presenting chip %#x for identity %q", seed, *id)
+	}
+	ms := *measSeed
+	if ms == 0 {
+		// A field re-measurement: same silicon, fresh noise.
+		ms = seed ^ uint64(time.Now().UnixNano())
+	}
+	chip, err := authenticache.NewChip(authenticache.ChipConfig{
+		Seed:       seed,
+		MeasSeed:   ms,
+		CacheBytes: *cacheBytes,
+	})
+	if err != nil {
+		log.Fatalf("authcli: chip: %v", err)
+	}
+	log.Printf("authcli: chip ready (floor %d mV)", chip.FloorMV())
+	responder := authenticache.NewResponder(authenticache.ClientID(*id), chip.Device(), key)
+
+	wc, err := authenticache.Dial(*addr)
+	if err != nil {
+		log.Fatalf("authcli: dial: %v", err)
+	}
+	defer wc.Close()
+
+	if *remap {
+		if err := wc.Remap(responder); err != nil {
+			log.Fatalf("authcli: remap: %v", err)
+		}
+		log.Printf("authcli: key rotated")
+	}
+
+	failures := 0
+	for i := 0; i < *n; i++ {
+		start := time.Now()
+		ok, err := wc.Authenticate(responder)
+		if err != nil {
+			log.Fatalf("authcli: authenticate: %v", err)
+		}
+		verdict := "ACCEPTED"
+		if !ok {
+			verdict = "REJECTED"
+			failures++
+		}
+		fmt.Printf("auth %d/%d: %s (wire %v, firmware %v, %d line self-tests)\n",
+			i+1, *n, verdict, time.Since(start).Round(time.Millisecond),
+			chip.Firmware().Elapsed().Round(time.Millisecond),
+			chip.Firmware().ProbesLastRun())
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

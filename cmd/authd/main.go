@@ -1,0 +1,115 @@
+// Command authd runs an Authenticache authentication server over TCP.
+//
+// The daemon simulates the factory enrollment pipeline: it
+// manufactures -devices simulated chips (deterministically from
+// -seed), characterises each one's low-voltage error map, enrolls them
+// all, and then serves authentication and key-update transactions on
+// -addr. For every device it prints a provisioning line
+//
+//	PROVISION id=<id> chipseed=<n> key=<hex>
+//
+// which is exactly what a client (cmd/authcli) needs to authenticate.
+//
+// Usage:
+//
+//	authd [-addr :7430] [-devices 4] [-seed 1] [-bits 256] [-cache 1048576]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	authenticache "repro"
+	"repro/internal/enroll"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7430", "listen address")
+	devices := flag.Int("devices", 4, "number of simulated devices to enroll")
+	seed := flag.Uint64("seed", 1, "fleet seed (device i uses seed+i)")
+	bits := flag.Int("bits", 256, "challenge length in bits")
+	cacheBytes := flag.Int("cache", 1<<20, "simulated cache size in bytes")
+	statePath := flag.String("state", "", "enrollment database file (loaded if present, written after enrollment)")
+	flag.Parse()
+
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = *bits
+	srv := authenticache.NewServer(cfg, *seed^0xd5e7)
+
+	if *statePath != "" {
+		if f, err := os.Open(*statePath); err == nil {
+			if err := srv.LoadState(f); err != nil {
+				log.Fatalf("authd: load state: %v", err)
+			}
+			f.Close()
+			for _, id := range srv.ClientIDs() {
+				key, err := srv.CurrentKey(id)
+				if err != nil {
+					log.Fatalf("authd: %v", err)
+				}
+				fmt.Printf("PROVISION id=%s key=%s (restored)\n", id, hex.EncodeToString(key[:]))
+			}
+			serve(srv, *addr)
+			return
+		}
+	}
+
+	log.Printf("authd: manufacturing and enrolling %d devices (%d B caches)...", *devices, *cacheBytes)
+	for i := 0; i < *devices; i++ {
+		chipSeed := *seed + uint64(i)
+		id := authenticache.ClientID(fmt.Sprintf("dev-%d", i))
+		chip, err := authenticache.NewChip(authenticache.ChipConfig{
+			Seed:       chipSeed,
+			CacheBytes: *cacheBytes,
+		})
+		if err != nil {
+			log.Fatalf("authd: chip %d: %v", i, err)
+		}
+		// Run the chip through the enrollment station: characterise,
+		// screen, and provision only units that pass.
+		crit := enroll.DefaultCriteria(chip.Geometry().Lines())
+		crit.AuthPlanes = 2
+		crit.ReservedPlanes = 1
+		res, err := enroll.Characterize(chip, id, crit)
+		if err != nil {
+			log.Fatalf("authd: characterise chip %d: %v", i, err)
+		}
+		if !res.Accepted() {
+			log.Printf("authd: chip %d rejected by the station: %v", i, res.Rejections)
+			continue
+		}
+		key, err := enroll.Provision(srv, res)
+		if err != nil {
+			log.Fatalf("authd: provision %q: %v", id, err)
+		}
+		fmt.Printf("PROVISION id=%s chipseed=%d key=%s\n", id, chipSeed, hex.EncodeToString(key[:]))
+	}
+	if *statePath != "" {
+		f, err := os.Create(*statePath)
+		if err != nil {
+			log.Fatalf("authd: create state file: %v", err)
+		}
+		if err := srv.SaveState(f); err != nil {
+			log.Fatalf("authd: save state: %v", err)
+		}
+		f.Close()
+		log.Printf("authd: enrollment database written to %s", *statePath)
+	}
+	serve(srv, *addr)
+}
+
+func serve(srv *authenticache.Server, addr string) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("authd: listen: %v", err)
+	}
+	log.Printf("authd: serving on %s", l.Addr())
+	ws := authenticache.NewWireServer(srv)
+	if err := ws.Serve(l); err != nil {
+		log.Fatalf("authd: serve: %v", err)
+	}
+}

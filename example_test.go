@@ -1,0 +1,35 @@
+package authenticache_test
+
+import (
+	"fmt"
+
+	authenticache "repro"
+)
+
+// The CRP budget of a cache is n(n-1)/2 unordered line pairs per
+// voltage level (paper equation (10)); Table 1 divides it into a daily
+// authentication allowance over a 10-year lifetime.
+func Example() {
+	lines4MB := (4 << 20) / 64
+	fmt.Println("possible CRPs (4MB):", authenticache.PossibleCRPs(lines4MB))
+	for _, bits := range []int{64, 512} {
+		fmt.Printf("daily %d-bit authentications over 10 years: %d\n",
+			bits, authenticache.DailyAuthentications(lines4MB, bits, 3650))
+	}
+	// Output:
+	// possible CRPs (4MB): 2147450880
+	// daily 64-bit authentications over 10 years: 9192
+	// daily 512-bit authentications over 10 years: 1149
+}
+
+// Error maps project cache lines onto a near-square plane; a 4 MB
+// cache of 64-byte lines becomes a 256x256 grid.
+func ExampleNewMapGeometry() {
+	g := authenticache.NewMapGeometry(65536)
+	fmt.Println(g.Width, g.Height())
+	c := g.Coord(65535)
+	fmt.Println(c.X, c.Y)
+	// Output:
+	// 256 256
+	// 255 255
+}

@@ -1,0 +1,105 @@
+// Attack: stage the paper's Section 6.7 model-building attack against
+// a live device and show the mitigation — adaptive error remapping —
+// resetting the attacker mid-campaign.
+//
+// An eavesdropper records every challenge-response transaction and
+// trains a win-rate model of the logical error map. Once its
+// prediction rate climbs, the server rotates the remap key (Section
+// 4.5): all the attacker's knowledge is expressed in stale logical
+// coordinates and its accuracy collapses back to the floor.
+//
+//	go run ./examples/attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	authenticache "repro"
+	"repro/internal/attack"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		lines    = 16384
+		errs     = 100
+		authVdd  = 680
+		remapVdd = 700
+		crpBits  = 64
+		phase1   = 1200 // transactions before the key rotation
+		phase2   = 600  // transactions after
+		window   = 200
+	)
+
+	g := errormap.NewGeometry(lines)
+	r := rng.New(31337)
+	plane := errormap.RandomPlane(g, errs, r)
+	reserved := errormap.RandomPlane(g, errs, r)
+	emap := errormap.NewMap(g)
+	emap.AddPlane(authVdd, plane)
+	emap.AddPlane(remapVdd, reserved)
+
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = crpBits
+	srv := authenticache.NewServer(cfg, 5)
+	key, err := srv.Enroll("victim", emap, remapVdd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device := authenticache.NewResponder("victim", authenticache.NewSimDevice(emap), key)
+
+	eavesdropper := attack.NewModel(g)
+	fmt.Println("phase 1: eavesdropper intercepts genuine transactions")
+	runPhase(srv, device, eavesdropper, phase1, window)
+
+	fmt.Println("\n-- server rotates the logical map key (Section 4.5) --")
+	req, err := srv.BeginRemap("victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := device.HandleRemap(req); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.CompleteRemap("victim", true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	fmt.Println("phase 2: the trained model faces the remapped coordinate space")
+	runPhase(srv, device, eavesdropper, phase2, window)
+}
+
+// runPhase runs genuine authentications while the attacker predicts
+// each challenge before observing its true response (prequential
+// evaluation), printing windowed accuracy.
+func runPhase(srv *authenticache.Server, device *authenticache.Responder, model *attack.Model, n, window int) {
+	correct, bits := 0, 0
+	for i := 1; i <= n; i++ {
+		ch, err := srv.IssueChallenge("victim")
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := device.Respond(ch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok, err := srv.Verify("victim", ch.ID, resp); err != nil || !ok {
+			log.Fatalf("genuine device rejected (ok=%v err=%v)", ok, err)
+		}
+		// The eavesdropper sees the wire traffic: predict, then train.
+		for b, pb := range ch.Bits {
+			if model.PredictBit(pb) == resp.Bit(b) {
+				correct++
+			}
+			bits++
+			model.ObserveBit(pb, resp.Bit(b))
+		}
+		if i%window == 0 {
+			fmt.Printf("  after %5d intercepted CRPs: prediction rate %.1f%%\n",
+				model.Observed()/64, 100*float64(correct)/float64(bits))
+			correct, bits = 0, 0
+		}
+	}
+}

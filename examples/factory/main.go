@@ -1,0 +1,87 @@
+// Factory: run the post-manufacturing enrollment line. A batch of
+// chips comes off the (simulated) fab; each is boot-calibrated,
+// characterised at several voltage levels, screened against acceptance
+// criteria, and — if it passes — provisioned into the authentication
+// server. One accepted unit then proves the pipeline by
+// authenticating.
+//
+//	go run ./examples/factory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	authenticache "repro"
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/enroll"
+)
+
+func main() {
+	const batch = 6
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 128
+	srv := authenticache.NewServer(cfg, 77)
+
+	var accepted []*enroll.Result
+	var chips []*core.Chip
+	for unit := 0; unit < batch; unit++ {
+		chip, err := core.NewChip(core.ChipConfig{
+			Seed:       9000 + uint64(unit),
+			CacheBytes: 512 << 10,
+		})
+		if err != nil {
+			log.Fatalf("unit %d failed boot calibration: %v", unit, err)
+		}
+		crit := enroll.DefaultCriteria(chip.Geometry().Lines())
+		// Tighten the stability screen for the demo so marginal units
+		// are visible in the output.
+		crit.MaxInstabilityPct = 15
+
+		id := auth.ClientID(fmt.Sprintf("unit-%03d", unit))
+		res, err := enroll.Characterize(chip, id, crit)
+		if err != nil {
+			log.Fatalf("unit %d characterisation error: %v", unit, err)
+		}
+		if res.Accepted() {
+			fmt.Printf("%s: ACCEPT  floor=%dmV planes=%v reserved=%v instability=%.1f%%\n",
+				id, res.Record.FloorMV, res.Record.AuthVdds, res.Record.ReservedVdds,
+				res.Record.InstabilityPct)
+			accepted = append(accepted, res)
+			chips = append(chips, chip)
+		} else {
+			fmt.Printf("%s: REJECT  %v\n", id, res.Rejections)
+		}
+	}
+	fmt.Printf("yield: %d/%d\n", len(accepted), batch)
+	if len(accepted) == 0 {
+		log.Fatal("entire batch rejected — check the criteria")
+	}
+
+	// Provision every accepted unit and prove the first one works.
+	var firstKey authenticache.Key
+	for i, res := range accepted {
+		key, err := enroll.Provision(srv, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			firstKey = key
+		}
+	}
+	dev := authenticache.NewResponder(accepted[0].Record.ID, chips[0].Device(), firstKey)
+	ch, err := srv.IssueChallenge(accepted[0].Record.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := dev.Respond(ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := srv.Verify(accepted[0].Record.ID, ch.ID, resp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field check for %s: accepted=%v\n", accepted[0].Record.ID, ok)
+}

@@ -1,0 +1,175 @@
+// Fleet: enroll a population of devices and measure the PUF quality
+// metrics the paper evaluates — uniqueness, reliability, and the
+// false-accept/false-reject behaviour of the fleet under field noise
+// (temperature excursions, new and masked errors).
+//
+// This is the workload the paper's introduction motivates: a server
+// authenticating many mobile devices, each identified only by its
+// cache's low-voltage error fingerprint.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	authenticache "repro"
+	"repro/internal/errormap"
+	"repro/internal/noise"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+const (
+	fleetSize = 40
+	lines     = 16384 // 1 MB of 64 B lines
+	errCount  = 100
+	crpBits   = 256
+	authVdd   = 680
+	rounds    = 5
+)
+
+func main() {
+	// Manufacture the fleet as map-backed devices (the error maps are
+	// the silicon identity; examples/quickstart shows the full firmware
+	// path for a single chip).
+	g := errormap.NewGeometry(lines)
+	r := rng.New(2026)
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = crpBits
+	srv := authenticache.NewServer(cfg, 99)
+
+	type fleetDev struct {
+		id        authenticache.ClientID
+		enrolled  *errormap.Plane
+		responder *authenticache.Responder
+	}
+	devices := make([]*fleetDev, fleetSize)
+	for i := range devices {
+		plane := errormap.RandomPlane(g, errCount, r)
+		emap := errormap.NewMap(g)
+		emap.AddPlane(authVdd, plane)
+
+		// Field conditions differ from enrollment: ~10% new errors and
+		// ~5% masked ones (the paper's "normal operation" noise).
+		fieldPlane := noise.Apply(plane, noise.Profile{InjectFrac: 0.10, RemoveFrac: 0.05}, r)
+		fieldMap := errormap.NewMap(g)
+		fieldMap.AddPlane(authVdd, fieldPlane)
+
+		id := authenticache.ClientID(fmt.Sprintf("fleet-%03d", i))
+		key, err := srv.Enroll(id, emap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		devices[i] = &fleetDev{
+			id:        id,
+			enrolled:  plane,
+			responder: authenticache.NewResponder(id, authenticache.NewSimDevice(fieldMap), key),
+		}
+	}
+	fmt.Printf("fleet enrolled: %d devices, %d-line caches, %d errors each\n", fleetSize, lines, errCount)
+
+	// Genuine traffic: every device authenticates `rounds` times.
+	genuineOK, genuineTotal := 0, 0
+	for round := 0; round < rounds; round++ {
+		for _, d := range devices {
+			ch, err := srv.IssueChallenge(d.id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp, err := d.responder.Respond(ch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ok, err := srv.Verify(d.id, ch.ID, resp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				genuineOK++
+			}
+			genuineTotal++
+		}
+	}
+	fmt.Printf("genuine transactions: %d/%d accepted (false-reject rate %.2f%%)\n",
+		genuineOK, genuineTotal, 100*float64(genuineTotal-genuineOK)/float64(genuineTotal))
+
+	// Impostor traffic: every device answers a neighbour's challenge.
+	impostorAccepted, impostorTotal := 0, 0
+	for i, d := range devices {
+		victim := devices[(i+1)%len(devices)]
+		ch, err := srv.IssueChallenge(victim.id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The impostor holds the victim's key (worst case) but answers
+		// with its own silicon.
+		imp := authenticache.NewResponder(victim.id, authenticache.NewSimDevice(fieldMapOf(g, d.enrolled)), victim.responder.Key())
+		resp, err := imp.Respond(ch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, err := srv.Verify(victim.id, ch.ID, resp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			impostorAccepted++
+		}
+		impostorTotal++
+	}
+	fmt.Printf("impostor transactions: %d/%d accepted (false-accept rate %.2f%%)\n",
+		impostorAccepted, impostorTotal, 100*float64(impostorAccepted)/float64(impostorTotal))
+
+	// Fleet-level PUF metrics: uniqueness across devices on a shared
+	// challenge, computed on raw (physical-map) responses.
+	shared := sharedChallenge(g, r)
+	responses := make([][]byte, fleetSize)
+	for i, dev := range devices {
+		responses[i] = rawResponse(dev.enrolled, shared)
+	}
+	fmt.Printf("uniqueness (mean inter-chip HD): %.1f%% (ideal 50%%)\n",
+		stats.UniquenessPercent(responses, crpBits))
+
+	// Reliability: re-measure device 0 under noise several times.
+	ref := rawResponse(devices[0].enrolled, shared)
+	var noisy [][]byte
+	for k := 0; k < 8; k++ {
+		p := noise.Apply(devices[0].enrolled, noise.InjectLevel(10), r)
+		noisy = append(noisy, rawResponse(p, shared))
+	}
+	fmt.Printf("reliability at 10%% noise: %.1f%% (ideal 100%%)\n",
+		stats.ReliabilityPercent(ref, noisy, crpBits))
+}
+
+func fieldMapOf(g errormap.Geometry, p *errormap.Plane) *errormap.Map {
+	m := errormap.NewMap(g)
+	m.AddPlane(authVdd, p.Clone())
+	return m
+}
+
+type pair struct{ a, b int }
+
+func sharedChallenge(g errormap.Geometry, r *rng.Rand) []pair {
+	out := make([]pair, crpBits)
+	for i := range out {
+		a, b := r.Intn(g.Lines), r.Intn(g.Lines)
+		for b == a {
+			b = r.Intn(g.Lines)
+		}
+		out[i] = pair{a, b}
+	}
+	return out
+}
+
+func rawResponse(p *errormap.Plane, ch []pair) []byte {
+	df := p.DistanceTransform()
+	out := make([]byte, (len(ch)+7)/8)
+	for i, pr := range ch {
+		if df.DistLine(pr.a) > df.DistLine(pr.b) {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Loadtest: hammer the TCP authentication server with a concurrent
+// fleet and report sustained throughput and latency percentiles — the
+// capacity-planning question behind Table 1's "thousands of daily
+// authentications per device".
+//
+// Every worker owns a distinct enrolled device and loops full
+// authentication transactions (challenge → PUF evaluation → verify →
+// session key) over its own TCP connection.
+//
+//	go run ./examples/loadtest
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	authenticache "repro"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+const (
+	workers      = 8
+	perWorker    = 40
+	lines        = 16384
+	errsPerPlane = 100
+	vddMV        = 680
+)
+
+func main() {
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 128
+	srv := authenticache.NewServer(cfg, 1)
+
+	// Enroll one device per worker.
+	type client struct {
+		responder *authenticache.Responder
+	}
+	clients := make([]client, workers)
+	r := rng.New(2)
+	for i := range clients {
+		g := errormap.NewGeometry(lines)
+		m := errormap.NewMap(g)
+		m.AddPlane(vddMV, errormap.RandomPlane(g, errsPerPlane, r))
+		id := authenticache.ClientID(fmt.Sprintf("load-%02d", i))
+		key, err := srv.Enroll(id, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients[i] = client{responder: authenticache.NewResponder(id, authenticache.NewSimDevice(m), key)}
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := authenticache.NewWireServer(srv)
+	go ws.Serve(l)
+	defer ws.Close()
+	fmt.Printf("server on %s; %d workers x %d transactions\n", l.Addr(), workers, perWorker)
+
+	var rejected, failed atomic.Int64
+	latencies := make([][]time.Duration, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc, err := authenticache.Dial(l.Addr().String())
+			if err != nil {
+				failed.Add(int64(perWorker))
+				return
+			}
+			defer wc.Close()
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				ok, err := wc.Authenticate(clients[w].responder)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if !ok {
+					rejected.Add(1)
+				}
+				latencies[w] = append(latencies[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := len(all)
+	if total == 0 {
+		log.Fatal("no transactions completed")
+	}
+	fmt.Printf("completed %d transactions in %v (%.0f auth/s)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+		all[total/2].Round(time.Microsecond),
+		all[total*9/10].Round(time.Microsecond),
+		all[total*99/100].Round(time.Microsecond),
+		all[total-1].Round(time.Microsecond))
+	fmt.Printf("rejected=%d transport_failures=%d\n", rejected.Load(), failed.Load())
+	if rejected.Load() > 0 || failed.Load() > 0 {
+		log.Fatal("genuine transactions were rejected under load")
+	}
+}

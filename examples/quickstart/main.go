@@ -1,0 +1,85 @@
+// Quickstart: manufacture one simulated chip, enroll it, and run a few
+// authentication transactions through the full firmware stack — the
+// smallest end-to-end Authenticache flow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	authenticache "repro"
+)
+
+func main() {
+	// 1. "Manufacture" a chip. The seed is its physical identity:
+	// process variation places this chip's weak cache cells.
+	chip, err := authenticache.NewChip(authenticache.ChipConfig{
+		Seed:       42,
+		CacheBytes: 1 << 20, // 1 MB LLC keeps the demo fast
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip manufactured: %d-line cache, voltage floor %d mV\n",
+		chip.Geometry().Lines(), chip.FloorMV())
+
+	// 2. Factory enrollment: characterise the low-voltage error map at
+	// two challenge voltage levels and hand it to the server.
+	levels := chip.AuthVoltagesMV(2, 10)
+	emap, err := chip.Enroll(levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range emap.Voltages() {
+		fmt.Printf("enrolled error plane at %d mV: %d failing lines\n",
+			v, emap.Plane(v).ErrorCount())
+	}
+
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 128
+	srv := authenticache.NewServer(cfg, 7)
+	key, err := srv.Enroll("demo-chip", emap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device := authenticache.NewResponder("demo-chip", chip.Device(), key)
+
+	// 3. Field authentication: server issues a challenge over the keyed
+	// logical map; the chip answers by self-testing cache lines at low
+	// voltage inside its (simulated) SMM firmware.
+	for i := 1; i <= 3; i++ {
+		ch, err := srv.IssueChallenge("demo-chip")
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := device.Respond(ch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok, err := srv.Verify("demo-chip", ch.ID, resp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("authentication %d: accepted=%v (%d-bit CRP, %v firmware time, %d line self-tests)\n",
+			i, ok, ch.Len(), chip.Firmware().Elapsed().Round(1e6), chip.Firmware().ProbesLastRun())
+	}
+
+	// 4. A different chip with the same key is NOT this device.
+	clone, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 43, CacheBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fake := authenticache.NewResponder("demo-chip", clone.Device(), key)
+	ch, err := srv.IssueChallenge("demo-chip")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp, err := fake.Respond(ch); err != nil {
+		fmt.Printf("impostor chip: aborted before answering (%v)\n", err)
+	} else {
+		ok, _ := srv.Verify("demo-chip", ch.ID, resp)
+		fmt.Printf("impostor chip with stolen key: accepted=%v\n", ok)
+	}
+}

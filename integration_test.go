@@ -1,0 +1,153 @@
+package authenticache_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	authenticache "repro"
+	"repro/internal/variation"
+)
+
+// TestFullLifecycle drives the complete production story through the
+// public API with the firmware-backed device: manufacture → enroll
+// (multi-plane, one reserved) → authenticate over TCP → key update →
+// authenticate again → server restart from persisted state →
+// authenticate under a temperature excursion.
+func TestFullLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full lifecycle builds a firmware-backed chip")
+	}
+	chip, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 1001, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := chip.AuthVoltagesMV(3, 10)
+	emap, err := chip.Enroll(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 64
+	srv := authenticache.NewServer(cfg, 3)
+	reserved := levels[len(levels)-1]
+	key, err := srv.Enroll("lifecycle", emap, reserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	device := authenticache.NewResponder("lifecycle", chip.Device(), key)
+
+	// TCP transport.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := authenticache.NewWireServer(srv)
+	go ws.Serve(l)
+	defer ws.Close()
+	wc, err := authenticache.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	ok, err := wc.Authenticate(device)
+	if err != nil || !ok {
+		t.Fatalf("initial TCP auth: ok=%v err=%v", ok, err)
+	}
+
+	// Key update over the wire.
+	oldKey := device.Key()
+	if err := wc.Remap(device); err != nil {
+		t.Fatal(err)
+	}
+	if device.Key() == oldKey {
+		t.Fatal("key unchanged after remap")
+	}
+	ok, err = wc.Authenticate(device)
+	if err != nil || !ok {
+		t.Fatalf("post-remap TCP auth: ok=%v err=%v", ok, err)
+	}
+
+	// Persist, restart into a fresh server, keep authenticating.
+	var state bytes.Buffer
+	if err := srv.SaveState(&state); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := authenticache.NewServer(cfg, 4)
+	if err := srv2.LoadState(&state); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := srv2.IssueChallenge("lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := device.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := srv2.Verify("lifecycle", ch.ID, resp); !ok {
+		t.Fatal("restored server rejected the rotated-key device")
+	}
+
+	// Multi-Vdd challenge on the restored server, hot silicon.
+	chip.SetEnvironment(variation.Environment{DeltaT: 25})
+	mch, err := srv2.IssueChallengeMulti("lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mch.Voltages()) < 2 {
+		t.Fatalf("multi-Vdd challenge spans %v", mch.Voltages())
+	}
+	mresp, err := device.Respond(mch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := srv2.Verify("lifecycle", mch.ID, mresp); !ok {
+		t.Fatal("hot chip rejected on multi-Vdd challenge after restart")
+	}
+}
+
+// TestStolenKeyAcrossLifecycle: even after a remap, a stolen key on
+// the wrong silicon fails.
+func TestStolenKeyAcrossLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two firmware-backed chips")
+	}
+	genuine, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 2001, CacheBytes: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thief, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 2002, CacheBytes: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := genuine.AuthVoltagesMV(2, 10)
+	emap, err := genuine.Enroll(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 64
+	srv := authenticache.NewServer(cfg, 5)
+	key, err := srv.Enroll("target", emap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fake := authenticache.NewResponder("target", thief.Device(), key)
+	ch, err := srv.IssueChallenge("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := fake.Respond(ch)
+	if err != nil {
+		// The thief's voltage floor may sit above the victim's
+		// challenge voltage — a rejection in itself.
+		t.Skipf("thief chip aborted: %v", err)
+	}
+	if ok, _ := srv.Verify("target", ch.ID, resp); ok {
+		t.Fatal("stolen key + wrong silicon accepted")
+	}
+}

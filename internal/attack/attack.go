@@ -1,0 +1,136 @@
+// Package attack implements the model-building adversary of the
+// paper's Section 6.7 case study.
+//
+// The attacker intercepts challenge-response transactions and tries to
+// learn enough about the (logical) error map to predict responses to
+// unseen challenges. Every observed bit (A, B) → r is a pairwise
+// comparison: r = 0 says A's nearest-error distance is <= B's. The
+// attacker therefore learns a *ranking* of map positions by their
+// closeness to errors.
+//
+// The model maintained here is a win-rate (Borda-count) estimator:
+// each position accumulates comparisons won and played, and the
+// empirical win rate orders positions. With enough comparisons per
+// position the ordering converges to the true distance ranking and
+// prediction accuracy climbs from the 50% floor (the paper's Figure
+// 16: ~70% after 87 K CRPs, ~90% after 374 K on a single-voltage map).
+// The defence is the keyed remap rotation (package mapkey): a new key
+// permutes all positions and resets the attacker to the floor.
+package attack
+
+import (
+	"repro/internal/crp"
+	"repro/internal/errormap"
+)
+
+// Model is the attacker's learned state over one logical error plane.
+type Model struct {
+	geo   errormap.Geometry
+	wins  []float64
+	games []float64
+
+	observed int
+}
+
+// NewModel creates an untrained model for a plane of the geometry.
+func NewModel(g errormap.Geometry) *Model {
+	return &Model{
+		geo:   g,
+		wins:  make([]float64, g.Lines),
+		games: make([]float64, g.Lines),
+	}
+}
+
+// Observed returns the number of training bits consumed.
+func (m *Model) Observed() int { return m.observed }
+
+// score estimates how close a position sits to an error: higher means
+// closer. Laplace smoothing keeps unseen positions at 0.5.
+func (m *Model) score(line int) float64 {
+	return (m.wins[line] + 1) / (m.games[line] + 2)
+}
+
+// PredictBit predicts the response bit for a pair: 0 if A is believed
+// at least as close to an error as B.
+func (m *Model) PredictBit(b crp.PairBit) int {
+	if m.score(b.A) >= m.score(b.B) {
+		return 0
+	}
+	return 1
+}
+
+// ObserveBit feeds one intercepted (pair, response-bit) observation
+// into the model.
+func (m *Model) ObserveBit(b crp.PairBit, respBit int) {
+	m.games[b.A]++
+	m.games[b.B]++
+	if respBit == 0 {
+		m.wins[b.A]++
+	} else {
+		m.wins[b.B]++
+	}
+	m.observed++
+}
+
+// Observe consumes a full intercepted challenge-response transaction.
+func (m *Model) Observe(c *crp.Challenge, r crp.Response) {
+	for i, b := range c.Bits {
+		m.ObserveBit(b, r.Bit(i))
+	}
+}
+
+// PredictionRate evaluates the model on a challenge against the true
+// response, returning the fraction of bits predicted correctly.
+func (m *Model) PredictionRate(c *crp.Challenge, truth crp.Response) float64 {
+	if len(c.Bits) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, b := range c.Bits {
+		if m.PredictBit(b) == truth.Bit(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(c.Bits))
+}
+
+// TrainingPoint is one sample of the learning curve.
+type TrainingPoint struct {
+	CRPs int     // challenges observed so far
+	Rate float64 // prequential prediction accuracy over the last window
+}
+
+// LearningCurve runs the paper's Figure 16 experiment: a stream of
+// unique random CRPs is presented to the model; each challenge is
+// first predicted, then used for training (prequential evaluation).
+// The curve is sampled every sampleEvery challenges with the windowed
+// accuracy since the previous sample.
+//
+// gen produces the next challenge and its true response; it is
+// expected to draw fresh pairs (the no-reuse policy makes every
+// transaction new).
+func LearningCurve(m *Model, total, sampleEvery int, gen func() (*crp.Challenge, crp.Response)) []TrainingPoint {
+	if sampleEvery <= 0 || total <= 0 {
+		panic("attack: invalid learning-curve parameters")
+	}
+	var points []TrainingPoint
+	windowCorrect, windowBits := 0, 0
+	for n := 1; n <= total; n++ {
+		c, truth := gen()
+		for i, b := range c.Bits {
+			if m.PredictBit(b) == truth.Bit(i) {
+				windowCorrect++
+			}
+			windowBits++
+			m.ObserveBit(b, truth.Bit(i))
+		}
+		if n%sampleEvery == 0 {
+			points = append(points, TrainingPoint{
+				CRPs: n,
+				Rate: float64(windowCorrect) / float64(windowBits),
+			})
+			windowCorrect, windowBits = 0, 0
+		}
+	}
+	return points
+}

@@ -1,0 +1,154 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+// challengeStream builds a generator of fresh random challenges with
+// true responses evaluated against one plane.
+func challengeStream(t testing.TB, p *errormap.Plane, bits, vdd int, seed uint64) func() (*crp.Challenge, crp.Response) {
+	t.Helper()
+	m := errormap.NewMap(p.Geometry())
+	m.AddPlane(vdd, p)
+	oracles := crp.NewPlaneOracles(m)
+	r := rng.New(seed)
+	return func() (*crp.Challenge, crp.Response) {
+		c := crp.Generate(p.Geometry(), bits, vdd, r)
+		resp, err := crp.Evaluate(c, oracles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, resp
+	}
+}
+
+func TestUntrainedModelAtChanceLevel(t *testing.T) {
+	g := errormap.NewGeometry(4096)
+	p := errormap.RandomPlane(g, 40, rng.New(1))
+	gen := challengeStream(t, p, 64, 680, 2)
+	m := NewModel(g)
+	var sum float64
+	const n = 50
+	for i := 0; i < n; i++ {
+		c, truth := gen()
+		sum += m.PredictionRate(c, truth)
+	}
+	avg := sum / n
+	if avg < 0.40 || avg > 0.62 {
+		t.Fatalf("untrained accuracy = %v, want ~0.5", avg)
+	}
+}
+
+func TestTrainingImprovesPrediction(t *testing.T) {
+	g := errormap.NewGeometry(16384) // large enough that learning is gradual
+	p := errormap.RandomPlane(g, 40, rng.New(3))
+	gen := challengeStream(t, p, 64, 680, 4)
+	m := NewModel(g)
+	curve := LearningCurve(m, 4000, 500, gen)
+	if len(curve) != 8 {
+		t.Fatalf("curve samples = %d", len(curve))
+	}
+	first, last := curve[0].Rate, curve[len(curve)-1].Rate
+	if first > 0.75 {
+		t.Fatalf("early accuracy %v suspiciously high", first)
+	}
+	if last < 0.75 {
+		t.Fatalf("late accuracy %v, model failed to learn", last)
+	}
+	if last <= first {
+		t.Fatalf("no improvement: %v -> %v", first, last)
+	}
+	if curve[len(curve)-1].CRPs != 4000 {
+		t.Fatalf("last sample at %d CRPs", curve[len(curve)-1].CRPs)
+	}
+}
+
+func TestObserveMatchesObserveBit(t *testing.T) {
+	g := errormap.NewGeometry(256)
+	p := errormap.RandomPlane(g, 10, rng.New(5))
+	gen := challengeStream(t, p, 32, 680, 6)
+	c, truth := gen()
+
+	a, b := NewModel(g), NewModel(g)
+	a.Observe(c, truth)
+	for i, bit := range c.Bits {
+		b.ObserveBit(bit, truth.Bit(i))
+	}
+	if a.Observed() != b.Observed() || a.Observed() != 32 {
+		t.Fatalf("observed counts: %d vs %d", a.Observed(), b.Observed())
+	}
+	probe, probeTruth := gen()
+	if a.PredictionRate(probe, probeTruth) != b.PredictionRate(probe, probeTruth) {
+		t.Fatal("Observe and ObserveBit diverge")
+	}
+}
+
+// A key remap (modelled as evaluating against a permuted plane) must
+// knock a trained model back to chance level — the paper's mitigation.
+func TestRemapResetsAttacker(t *testing.T) {
+	g := errormap.NewGeometry(1024)
+	p := errormap.RandomPlane(g, 15, rng.New(7))
+	gen := challengeStream(t, p, 64, 680, 8)
+	m := NewModel(g)
+	LearningCurve(m, 3000, 3000, gen)
+
+	// Trained accuracy on the current layout.
+	var trained float64
+	const n = 50
+	for i := 0; i < n; i++ {
+		c, truth := gen()
+		trained += m.PredictionRate(c, truth)
+	}
+	trained /= n
+
+	// Same physical map, new random logical placement.
+	remapped := errormap.NewPlane(g)
+	perm := rng.New(9).Perm(g.Lines)
+	for _, e := range p.Errors() {
+		remapped.Set(perm[e], true)
+	}
+	genNew := challengeStream(t, remapped, 64, 680, 10)
+	var after float64
+	for i := 0; i < n; i++ {
+		c, truth := genNew()
+		after += m.PredictionRate(c, truth)
+	}
+	after /= n
+
+	// The model keeps only layout-independent geometric priors (edge
+	// cells sit farther from errors under any layout), so the residual
+	// accuracy stays modestly above 50% — but the map-specific
+	// knowledge, which is what threatens the PUF, must be gone.
+	if trained < 0.85 {
+		t.Fatalf("model undertrained: %v", trained)
+	}
+	if after > 0.70 {
+		t.Fatalf("remap left accuracy at %v", after)
+	}
+	if trained-after < 0.20 {
+		t.Fatalf("remap only dropped accuracy %v -> %v", trained, after)
+	}
+}
+
+func TestLearningCurvePanicsOnBadParams(t *testing.T) {
+	m := NewModel(errormap.NewGeometry(16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad parameters accepted")
+		}
+	}()
+	LearningCurve(m, 0, 10, nil)
+}
+
+func TestPredictBitTieBreaksToZero(t *testing.T) {
+	m := NewModel(errormap.NewGeometry(16))
+	// Untrained: all scores equal -> prediction 0, mirroring the PUF's
+	// own tie rule.
+	if m.PredictBit(crp.PairBit{A: 1, B: 2}) != 0 {
+		t.Fatal("tie should predict 0")
+	}
+}

@@ -1,0 +1,108 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+func TestDependencyDirectFact(t *testing.T) {
+	g := errormap.NewGeometry(64)
+	m := NewDependencyModel(g)
+	// Observe A(3) closer than B(9).
+	m.ObserveBit(crp.PairBit{A: 3, B: 9}, 0)
+	if m.PredictBit(crp.PairBit{A: 3, B: 9}) != 0 {
+		t.Fatal("direct fact not used")
+	}
+	if m.PredictBit(crp.PairBit{A: 9, B: 3}) != 1 {
+		t.Fatal("reversed direct fact not used")
+	}
+	if m.Observed() != 1 {
+		t.Fatalf("observed = %d", m.Observed())
+	}
+}
+
+func TestDependencyTransitiveChain(t *testing.T) {
+	g := errormap.NewGeometry(64)
+	m := NewDependencyModel(g)
+	// 5 <= 7, 7 <= 11  =>  5 <= 11 by a depth-2 chain.
+	m.ObserveBit(crp.PairBit{A: 5, B: 7}, 0)
+	m.ObserveBit(crp.PairBit{A: 7, B: 11}, 0)
+	if m.PredictBit(crp.PairBit{A: 5, B: 11}) != 0 {
+		t.Fatal("transitive chain not found")
+	}
+	if m.PredictBit(crp.PairBit{A: 11, B: 5}) != 1 {
+		t.Fatal("reversed transitive chain not found")
+	}
+}
+
+func TestDependencyUnknownDefaultsToTie(t *testing.T) {
+	g := errormap.NewGeometry(64)
+	m := NewDependencyModel(g)
+	if m.PredictBit(crp.PairBit{A: 1, B: 2}) != 0 {
+		t.Fatal("unknown pair should predict the tie value 0")
+	}
+}
+
+func TestDependencyCoverageGrows(t *testing.T) {
+	g := errormap.NewGeometry(1024)
+	p := errormap.RandomPlane(g, 15, rng.New(1))
+	gen := challengeStream(t, p, 64, 680, 2)
+	m := NewDependencyModel(g)
+	probe, _ := gen()
+	if c := m.Coverage(probe); c != 0 {
+		t.Fatalf("untrained coverage = %v", c)
+	}
+	for i := 0; i < 500; i++ {
+		c, truth := gen()
+		m.Observe(c, truth)
+	}
+	probe2, _ := gen()
+	if c := m.Coverage(probe2); c < 0.3 {
+		t.Fatalf("trained coverage = %v, want substantial", c)
+	}
+}
+
+func TestDependencyLearnsSlowerThanWinRate(t *testing.T) {
+	g := errormap.NewGeometry(4096)
+	p := errormap.RandomPlane(g, 30, rng.New(3))
+
+	genA := challengeStream(t, p, 64, 680, 4)
+	winRate := NewModel(g)
+	curveA := LearningCurve(winRate, 600, 600, genA)
+
+	genB := challengeStream(t, p, 64, 680, 4) // identical stream
+	dep := NewDependencyModel(g)
+	curveB := DependencyLearningCurve(dep, 600, 600, 20, genB)
+
+	if curveB[0].Rate >= curveA[0].Rate {
+		t.Fatalf("dependency model (%v) not slower than win-rate (%v) early on",
+			curveB[0].Rate, curveA[0].Rate)
+	}
+}
+
+func TestDependencyEventuallyLearns(t *testing.T) {
+	g := errormap.NewGeometry(1024)
+	p := errormap.RandomPlane(g, 15, rng.New(5))
+	gen := challengeStream(t, p, 64, 680, 6)
+	m := NewDependencyModel(g)
+	curve := DependencyLearningCurve(m, 4000, 1000, 20, gen)
+	last := curve[len(curve)-1].Rate
+	if last < 0.75 {
+		t.Fatalf("late accuracy = %v, dependency model failed to learn", last)
+	}
+	if curve[0].Rate >= last {
+		t.Fatalf("no learning: %v -> %v", curve[0].Rate, last)
+	}
+}
+
+func TestDependencyCurvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params accepted")
+		}
+	}()
+	DependencyLearningCurve(NewDependencyModel(errormap.NewGeometry(16)), 10, 0, 1, nil)
+}

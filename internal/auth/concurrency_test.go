@@ -1,0 +1,115 @@
+package auth
+
+import (
+	"sync"
+	"testing"
+)
+
+// The server is shared mutable state behind one mutex; hammer it from
+// many goroutines mixing every operation to flush out races and
+// lock-ordering bugs (run with -race).
+func TestServerConcurrentOperations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 32
+	m := testMap(t, 16384, 100, 61, 680, 700)
+	srv := NewServer(cfg, 9)
+	key, err := srv.Enroll("dev-c", m, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const opsEach = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*opsEach)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine owns its responder (responders are not
+			// concurrent-safe; the server is the shared object).
+			resp := NewResponder("dev-c", NewSimDevice(m), key)
+			for i := 0; i < opsEach; i++ {
+				switch i % 4 {
+				case 0, 1, 2:
+					ch, err := srv.IssueChallenge("dev-c")
+					if err != nil {
+						errs <- err
+						continue
+					}
+					answer, err := resp.Respond(ch)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if ok, err := srv.Verify("dev-c", ch.ID, answer); err != nil {
+						errs <- err
+					} else if !ok {
+						// A rejection is only legal here when the key
+						// rotated mid-flight; no rotation happens in
+						// this test, so rejections are bugs.
+						errs <- errorsNew("genuine client rejected under concurrency")
+					}
+				case 3:
+					// Read-side traffic.
+					srv.Stats()
+					srv.Enrolled("dev-c")
+					srv.NeedsRemap("dev-c")
+					srv.ClientIDs()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent issuing must never hand out overlapping pairs.
+func TestConcurrentIssueNoPairOverlap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 16
+	m := testMap(t, 16384, 100, 62, 680)
+	srv := NewServer(cfg, 10)
+	if _, err := srv.Enroll("dev-c", m); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 10
+	results := make([][][2]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				ch, err := srv.IssueChallenge("dev-c")
+				if err != nil {
+					return
+				}
+				for _, b := range ch.Bits {
+					k := [2]int{b.A, b.B}
+					if b.A > b.B {
+						k = [2]int{b.B, b.A}
+					}
+					results[g] = append(results[g], k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[[2]int]bool{}
+	for g := range results {
+		for _, k := range results[g] {
+			if seen[k] {
+				t.Fatalf("pair %v issued to two transactions", k)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no pairs issued")
+	}
+}

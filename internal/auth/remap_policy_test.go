@@ -1,0 +1,111 @@
+package auth
+
+import "testing"
+
+func TestNeedsRemapAfterBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 64
+	cfg.RemapAfterCRPs = 200 // ~3 transactions
+	m := testMap(t, 16384, 100, 51, 680, 700)
+	srv, resp := enrolledPair(t, cfg, m, m, 700)
+
+	if srv.NeedsRemap("dev-1") {
+		t.Fatal("fresh client already advised to remap")
+	}
+	for i := 0; i < 4; i++ {
+		ch, err := srv.IssueChallenge("dev-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answer, _ := resp.Respond(ch)
+		if ok, _ := srv.Verify("dev-1", ch.ID, answer); !ok {
+			t.Fatal("genuine client rejected")
+		}
+	}
+	if !srv.NeedsRemap("dev-1") {
+		t.Fatal("256 issued CRP bits did not trigger the 200-bit budget")
+	}
+
+	// Rotating the key resets the budget.
+	req, err := srv.BeginRemap("dev-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.HandleRemap(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CompleteRemap("dev-1", true); err != nil {
+		t.Fatal(err)
+	}
+	if srv.NeedsRemap("dev-1") {
+		t.Fatal("budget not reset after rotation")
+	}
+}
+
+func TestNeedsRemapDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 64
+	cfg.RemapAfterCRPs = 0
+	m := testMap(t, 4096, 50, 52, 680)
+	srv, _ := enrolledPair(t, cfg, m, m)
+	for i := 0; i < 3; i++ {
+		if _, err := srv.IssueChallenge("dev-1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.NeedsRemap("dev-1") {
+		t.Fatal("remap advised with the policy disabled")
+	}
+	if srv.NeedsRemap("ghost") {
+		t.Fatal("remap advised for unknown client")
+	}
+}
+
+// Over the wire: once the budget is spent, the client's next
+// authentication transparently runs the key update; the key must
+// rotate on both sides and authentication must keep working.
+func TestWireAutoRemapOnAdvice(t *testing.T) {
+	g := fixtureMap()
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 64
+	cfg.RemapAfterCRPs = 100
+	srv := NewServer(cfg, 7)
+	key, err := srv.Enroll("tcp-dev", g, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewResponder("tcp-dev", NewSimDevice(g), key)
+
+	addr, stop := startWire(t, srv)
+	defer stop()
+	wc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	oldKey := resp.Key()
+	// First transaction spends 64 of 100; second crosses the budget
+	// and must auto-rotate.
+	for i := 0; i < 2; i++ {
+		ok, err := wc.Authenticate(resp)
+		if err != nil || !ok {
+			t.Fatalf("round %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if resp.Key() == oldKey {
+		t.Fatal("client key did not rotate on advice")
+	}
+	srvKey, _ := srv.CurrentKey("tcp-dev")
+	if srvKey != resp.Key() {
+		t.Fatal("keys diverged after auto-remap")
+	}
+	if srv.NeedsRemap("tcp-dev") {
+		t.Fatal("advice still standing after rotation")
+	}
+	// And the rotated key authenticates.
+	ok, err := wc.Authenticate(resp)
+	if err != nil || !ok {
+		t.Fatalf("post-rotation: ok=%v err=%v", ok, err)
+	}
+}

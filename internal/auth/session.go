@@ -1,0 +1,79 @@
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crp"
+)
+
+// Session-key establishment. A successful authentication proves the
+// client holds both the silicon and the shared remap key; the same
+// transaction can therefore bootstrap a fresh symmetric key for the
+// application session without extra round trips. Both sides derive
+//
+//	sessionKey = HMAC-SHA256(remapKey, "session" || challengeID || challenge bits)
+//
+// The challenge is unique per transaction (the no-reuse registry
+// guarantees it), so session keys never repeat; an eavesdropper sees
+// the challenge but lacks the remap key; and a stolen remap key alone
+// still fails authentication, so the server never confirms a session
+// to an impostor.
+
+// SessionKey derives the per-transaction session key from the shared
+// remap key and the issued challenge.
+func SessionKey(key [32]byte, ch *crp.Challenge) [32]byte {
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write([]byte("authenticache/session/v1"))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], ch.ID)
+	mac.Write(b[:])
+	for _, bit := range ch.Bits {
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(bit.A)))
+		mac.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(bit.B)))
+		mac.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(bit.VddMV)))
+		mac.Write(b[:])
+	}
+	var out [32]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// VerifySession verifies like Verify and, on acceptance, returns the
+// derived session key for the transaction.
+func (s *Server) VerifySession(id ClientID, challengeID uint64, resp crp.Response) (bool, [32]byte, error) {
+	s.mu.Lock()
+	rec, ok := s.clients[id]
+	var pend pendingChallenge
+	if ok {
+		pend, ok = rec.pending[challengeID]
+	}
+	key := [32]byte{}
+	if ok {
+		key = rec.key
+	}
+	s.mu.Unlock()
+	if !ok {
+		// Fall through to Verify for the canonical error.
+		accepted, err := s.Verify(id, challengeID, resp)
+		if err == nil {
+			err = fmt.Errorf("auth: session state lost for challenge %d", challengeID)
+		}
+		return accepted, [32]byte{}, err
+	}
+	accepted, err := s.Verify(id, challengeID, resp)
+	if err != nil || !accepted {
+		return accepted, [32]byte{}, err
+	}
+	return true, SessionKey(key, pend.ch), nil
+}
+
+// SessionKey derives the client-side session key for a challenge the
+// responder just answered.
+func (r *Responder) SessionKey(ch *crp.Challenge) [32]byte {
+	return SessionKey(r.key, ch)
+}

@@ -1,0 +1,100 @@
+package auth
+
+import (
+	"testing"
+
+	"repro/internal/crp"
+	"repro/internal/mapkey"
+)
+
+func TestSessionKeyAgreement(t *testing.T) {
+	m := testMap(t, 16384, 100, 41, 680)
+	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
+
+	ch, err := srv.IssueChallenge("dev-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	answer, err := resp.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, srvKey, err := srv.VerifySession("dev-1", ch.ID, answer)
+	if err != nil || !ok {
+		t.Fatalf("verify: ok=%v err=%v", ok, err)
+	}
+	cliKey := resp.SessionKey(ch)
+	if srvKey != cliKey {
+		t.Fatal("server and client derived different session keys")
+	}
+	if srvKey == ([32]byte{}) {
+		t.Fatal("zero session key")
+	}
+}
+
+func TestSessionKeysUniquePerTransaction(t *testing.T) {
+	m := testMap(t, 16384, 100, 42, 680)
+	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
+	seen := map[[32]byte]bool{}
+	for i := 0; i < 5; i++ {
+		ch, err := srv.IssueChallenge("dev-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answer, _ := resp.Respond(ch)
+		ok, key, err := srv.VerifySession("dev-1", ch.ID, answer)
+		if err != nil || !ok {
+			t.Fatalf("round %d: ok=%v err=%v", i, ok, err)
+		}
+		if seen[key] {
+			t.Fatal("session key repeated across transactions")
+		}
+		seen[key] = true
+	}
+}
+
+func TestNoSessionKeyOnRejection(t *testing.T) {
+	enrolled := testMap(t, 16384, 100, 43, 680)
+	impostor := testMap(t, 16384, 100, 143, 680)
+	srv, _ := enrolledPair(t, DefaultConfig(), enrolled, enrolled)
+	key, _ := srv.CurrentKey("dev-1")
+	fake := NewResponder("dev-1", NewSimDevice(impostor), key)
+
+	ch, _ := srv.IssueChallenge("dev-1")
+	answer, _ := fake.Respond(ch)
+	ok, sess, err := srv.VerifySession("dev-1", ch.ID, answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impostor accepted")
+	}
+	if sess != ([32]byte{}) {
+		t.Fatal("rejected transaction yielded a session key")
+	}
+}
+
+func TestSessionKeyNeedsRemapKey(t *testing.T) {
+	// An eavesdropper who records the full challenge cannot derive the
+	// session key without the remap key.
+	ch := &crp.Challenge{ID: 5, Bits: []crp.PairBit{{A: 1, B: 2, VddMV: 680}}}
+	k1 := mapkey.KeyFromBytes([]byte("right"), "k")
+	k2 := mapkey.KeyFromBytes([]byte("wrong"), "k")
+	if SessionKey(k1, ch) == SessionKey(k2, ch) {
+		t.Fatal("session key independent of the remap key")
+	}
+	// And the key binds the challenge contents.
+	ch2 := &crp.Challenge{ID: 5, Bits: []crp.PairBit{{A: 1, B: 3, VddMV: 680}}}
+	if SessionKey(k1, ch) == SessionKey(k1, ch2) {
+		t.Fatal("session key independent of the challenge")
+	}
+}
+
+func TestVerifySessionUnknownChallenge(t *testing.T) {
+	m := testMap(t, 4096, 50, 44, 680)
+	srv, _ := enrolledPair(t, DefaultConfig(), m, m)
+	ok, sess, err := srv.VerifySession("dev-1", 999, crp.NewResponse(256))
+	if ok || err == nil || sess != ([32]byte{}) {
+		t.Fatalf("unknown challenge: ok=%v sess=%x err=%v", ok, sess[:4], err)
+	}
+}

@@ -1,0 +1,144 @@
+package auth
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/mapkey"
+)
+
+// Server state persistence. A production enrollment database must
+// survive restarts: the error maps are irreplaceable (they are the
+// device identities, measured once at the factory), the remap keys are
+// live shared secrets, and the consumed-pair registry is a security
+// invariant — losing it would let old challenges be reissued and
+// replayed. SaveState/LoadState serialize exactly those three things
+// per client.
+//
+// Pending (issued-but-unverified) challenges and in-flight key updates
+// are deliberately transient: on restart an interrupted transaction
+// simply fails and the client retries, which is safe because the
+// underlying pairs were burned at issue time.
+
+// storeVersion guards the on-disk format.
+const storeVersion = 1
+
+type storedClient struct {
+	ID       string        `json:"id"`
+	MapB64   string        `json:"map"`
+	KeyHex   string        `json:"key"`
+	Reserved []int         `json:"reserved,omitempty"`
+	Used     []crp.PairBit `json:"used_pairs,omitempty"`
+	NextID   uint64        `json:"next_challenge_id"`
+}
+
+type storedState struct {
+	Version int            `json:"version"`
+	Clients []storedClient `json:"clients"`
+}
+
+// SaveState writes the full enrollment database to w as JSON.
+func (s *Server) SaveState(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st := storedState{Version: storeVersion}
+	ids := make([]string, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := s.clients[ClientID(id)]
+		mb, err := rec.physMap.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("auth: marshal map for %q: %w", id, err)
+		}
+		var reserved []int
+		for v := range rec.reserved {
+			reserved = append(reserved, v)
+		}
+		sort.Ints(reserved)
+		used := rec.registry.Export()
+		sort.Slice(used, func(i, j int) bool {
+			if used[i].VddMV != used[j].VddMV {
+				return used[i].VddMV < used[j].VddMV
+			}
+			if used[i].A != used[j].A {
+				return used[i].A < used[j].A
+			}
+			return used[i].B < used[j].B
+		})
+		st.Clients = append(st.Clients, storedClient{
+			ID:       id,
+			MapB64:   base64.StdEncoding.EncodeToString(mb),
+			KeyHex:   hex.EncodeToString(rec.key[:]),
+			Reserved: reserved,
+			Used:     used,
+			NextID:   rec.nextID,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&st)
+}
+
+// LoadState replaces the enrollment database with the one read from r.
+func (s *Server) LoadState(r io.Reader) error {
+	var st storedState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("auth: decode state: %w", err)
+	}
+	if st.Version != storeVersion {
+		return fmt.Errorf("auth: unsupported state version %d", st.Version)
+	}
+	clients := make(map[ClientID]*clientRecord, len(st.Clients))
+	for _, sc := range st.Clients {
+		if sc.ID == "" {
+			return fmt.Errorf("auth: state has a client with empty id")
+		}
+		mb, err := base64.StdEncoding.DecodeString(sc.MapB64)
+		if err != nil {
+			return fmt.Errorf("auth: client %q map: %w", sc.ID, err)
+		}
+		m, err := errormap.UnmarshalMap(mb)
+		if err != nil {
+			return fmt.Errorf("auth: client %q map: %w", sc.ID, err)
+		}
+		kb, err := hex.DecodeString(sc.KeyHex)
+		if err != nil || len(kb) != 32 {
+			return fmt.Errorf("auth: client %q has a malformed key", sc.ID)
+		}
+		var key mapkey.Key
+		copy(key[:], kb)
+		reserved := make(map[int]bool, len(sc.Reserved))
+		for _, v := range sc.Reserved {
+			if m.Plane(v) == nil {
+				return fmt.Errorf("auth: client %q reserves unenrolled plane %d mV", sc.ID, v)
+			}
+			reserved[v] = true
+		}
+		if _, dup := clients[ClientID(sc.ID)]; dup {
+			return fmt.Errorf("auth: duplicate client %q in state", sc.ID)
+		}
+		clients[ClientID(sc.ID)] = &clientRecord{
+			physMap:       m,
+			key:           key,
+			reserved:      reserved,
+			registry:      crp.RestoreRegistry(sc.Used),
+			pending:       make(map[uint64]pendingChallenge),
+			nextID:        sc.NextID,
+			logicalFields: make(map[int]*errormap.DistanceField),
+		}
+	}
+	s.mu.Lock()
+	s.clients = clients
+	s.mu.Unlock()
+	return nil
+}

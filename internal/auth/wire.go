@@ -1,0 +1,379 @@
+package auth
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/crp"
+)
+
+// Wire hardening limits. A malicious peer must not be able to pin
+// server memory or goroutines: messages are size-capped, connections
+// are transaction-capped, and a peer that goes silent mid-transaction
+// is cut off by the idle deadline.
+const (
+	// maxWireMessageBytes bounds one JSON message. The largest
+	// legitimate message is a remap challenge (~640 pair bits plus
+	// helper data), far under this cap.
+	maxWireMessageBytes = 1 << 20
+	// maxTransactionsPerConn bounds how many transactions a single
+	// connection may run before the server hangs up.
+	maxTransactionsPerConn = 1024
+	// wireIdleTimeout cuts off peers that stall mid-transaction.
+	wireIdleTimeout = 30 * time.Second
+)
+
+// The wire protocol is newline-delimited JSON over TCP. A connection
+// carries any number of sequential transactions:
+//
+//	authenticate:  C→S {type:"authenticate", client_id}
+//	               S→C {type:"challenge", challenge} | {type:"error"}
+//	               C→S {type:"response", challenge_id, response}
+//	               S→C {type:"verdict", accepted}
+//	remap:         C→S {type:"remap", client_id}
+//	               S→C {type:"remap_challenge", request} | {type:"error"}
+//	               C→S {type:"remap_done", success}
+//	               S→C {type:"remap_ack"}
+//
+// The paper has the server initiate remaps; over a client-polled TCP
+// transport the client asks on the server's behalf, which changes no
+// security property (the server still controls the reserved-voltage
+// challenge and the helper data).
+
+type wireMsg struct {
+	Type        string         `json:"type"`
+	ClientID    string         `json:"client_id,omitempty"`
+	Challenge   *crp.Challenge `json:"challenge,omitempty"`
+	ChallengeID uint64         `json:"challenge_id,omitempty"`
+	Response    *crp.Response  `json:"response,omitempty"`
+	Accepted    bool           `json:"accepted,omitempty"`
+	Remap       *RemapRequest  `json:"remap,omitempty"`
+	Success     bool           `json:"success,omitempty"`
+	// Confirm carries HMAC(sessionKey, "confirm") on accepted
+	// verdicts, proving key agreement without exposing the key.
+	Confirm string `json:"confirm,omitempty"`
+	// RemapAdvised tells the client to run a key-update transaction
+	// soon (Section 6.7 mitigation policy).
+	RemapAdvised bool   `json:"remap_advised,omitempty"`
+	Error        string `json:"error,omitempty"`
+}
+
+// WireServer exposes a Server over TCP.
+type WireServer struct {
+	auth *Server
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewWireServer wraps an authentication server.
+func NewWireServer(auth *Server) *WireServer {
+	return &WireServer{auth: auth, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until Close is called. It returns
+// after the listener is closed.
+func (ws *WireServer) Serve(l net.Listener) error {
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		return errors.New("auth: server closed")
+	}
+	ws.listener = l
+	ws.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			ws.mu.Lock()
+			closed := ws.closed
+			ws.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ws.mu.Lock()
+		ws.conns[conn] = struct{}{}
+		ws.mu.Unlock()
+		ws.wg.Add(1)
+		go func() {
+			defer ws.wg.Done()
+			defer func() {
+				conn.Close()
+				ws.mu.Lock()
+				delete(ws.conns, conn)
+				ws.mu.Unlock()
+			}()
+			ws.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and tears down open connections.
+func (ws *WireServer) Close() {
+	ws.mu.Lock()
+	ws.closed = true
+	if ws.listener != nil {
+		ws.listener.Close()
+	}
+	for c := range ws.conns {
+		c.Close()
+	}
+	ws.mu.Unlock()
+	ws.wg.Wait()
+}
+
+// msgReader reads size-capped, deadline-guarded, newline-delimited
+// JSON messages from a connection.
+type msgReader struct {
+	conn net.Conn
+	buf  *bufio.Reader
+}
+
+func newMsgReader(conn net.Conn) *msgReader {
+	return &msgReader{conn: conn, buf: bufio.NewReaderSize(conn, 32<<10)}
+}
+
+// next decodes one message, enforcing the idle deadline and size cap.
+func (mr *msgReader) next(msg *wireMsg) error {
+	if err := mr.conn.SetReadDeadline(time.Now().Add(wireIdleTimeout)); err != nil {
+		return err
+	}
+	var line []byte
+	for {
+		chunk, err := mr.buf.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > maxWireMessageBytes {
+			return fmt.Errorf("auth: wire message exceeds %d bytes", maxWireMessageBytes)
+		}
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return err
+	}
+	return json.Unmarshal(line, msg)
+}
+
+func (ws *WireServer) handle(conn net.Conn) {
+	mr := newMsgReader(conn)
+	enc := json.NewEncoder(conn)
+	for tx := 0; tx < maxTransactionsPerConn; tx++ {
+		var msg wireMsg
+		if err := mr.next(&msg); err != nil {
+			return // EOF, timeout, oversized, or broken peer: drop
+		}
+		switch msg.Type {
+		case "authenticate":
+			ws.handleAuthenticate(mr, enc, msg)
+		case "remap":
+			ws.handleRemap(mr, enc, msg)
+		default:
+			enc.Encode(wireMsg{Type: "error", Error: fmt.Sprintf("unknown message type %q", msg.Type)})
+			return
+		}
+	}
+}
+
+func sendErr(enc *json.Encoder, err error) {
+	enc.Encode(wireMsg{Type: "error", Error: err.Error()})
+}
+
+func (ws *WireServer) handleAuthenticate(mr *msgReader, enc *json.Encoder, msg wireMsg) {
+	ch, err := ws.auth.IssueChallenge(ClientID(msg.ClientID))
+	if err != nil {
+		sendErr(enc, err)
+		return
+	}
+	if err := enc.Encode(wireMsg{Type: "challenge", Challenge: ch}); err != nil {
+		return
+	}
+	var respMsg wireMsg
+	if err := mr.next(&respMsg); err != nil {
+		return
+	}
+	if respMsg.Type != "response" || respMsg.Response == nil {
+		sendErr(enc, fmt.Errorf("expected response, got %q", respMsg.Type))
+		return
+	}
+	ok, sessionKey, err := ws.auth.VerifySession(ClientID(msg.ClientID), respMsg.ChallengeID, *respMsg.Response)
+	if err != nil {
+		sendErr(enc, err)
+		return
+	}
+	verdict := wireMsg{Type: "verdict", Accepted: ok}
+	if ok {
+		verdict.Confirm = confirmTag(sessionKey)
+		verdict.RemapAdvised = ws.auth.NeedsRemap(ClientID(msg.ClientID))
+	}
+	enc.Encode(verdict)
+}
+
+func (ws *WireServer) handleRemap(mr *msgReader, enc *json.Encoder, msg wireMsg) {
+	req, err := ws.auth.BeginRemap(ClientID(msg.ClientID))
+	if err != nil {
+		sendErr(enc, err)
+		return
+	}
+	if err := enc.Encode(wireMsg{Type: "remap_challenge", Remap: req}); err != nil {
+		return
+	}
+	var done wireMsg
+	if err := mr.next(&done); err != nil {
+		return
+	}
+	if done.Type != "remap_done" {
+		sendErr(enc, fmt.Errorf("expected remap_done, got %q", done.Type))
+		return
+	}
+	if err := ws.auth.CompleteRemap(ClientID(msg.ClientID), done.Success); err != nil {
+		sendErr(enc, err)
+		return
+	}
+	enc.Encode(wireMsg{Type: "remap_ack"})
+}
+
+// WireClient is the client side of the TCP transport.
+type WireClient struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a WireServer.
+func Dial(addr string) (*WireClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &WireClient{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (wc *WireClient) Close() error { return wc.conn.Close() }
+
+func (wc *WireClient) recv() (wireMsg, error) {
+	var msg wireMsg
+	if err := wc.dec.Decode(&msg); err != nil {
+		if errors.Is(err, io.EOF) {
+			return msg, errors.New("auth: server closed connection")
+		}
+		return msg, err
+	}
+	if msg.Type == "error" {
+		return msg, fmt.Errorf("auth: server error: %s", msg.Error)
+	}
+	return msg, nil
+}
+
+// confirmTag derives the non-secret key-confirmation value exchanged
+// on the wire: HMAC(sessionKey, "confirm"), hex encoded.
+func confirmTag(sessionKey [32]byte) string {
+	mac := hmac.New(sha256.New, sessionKey[:])
+	mac.Write([]byte("authenticache/session/confirm"))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Authenticate runs one full authentication transaction for the
+// responder and returns the server's verdict.
+func (wc *WireClient) Authenticate(r *Responder) (bool, error) {
+	ok, _, err := wc.AuthenticateSession(r)
+	return ok, err
+}
+
+// AuthenticateSession authenticates and, on acceptance, returns the
+// established per-transaction session key. The server's verdict
+// carries a key-confirmation tag; a verdict whose tag does not match
+// the locally derived key is treated as a protocol failure (a
+// tampering or desynchronisation signal).
+func (wc *WireClient) AuthenticateSession(r *Responder) (bool, [32]byte, error) {
+	var zero [32]byte
+	if err := wc.enc.Encode(wireMsg{Type: "authenticate", ClientID: string(r.ID)}); err != nil {
+		return false, zero, err
+	}
+	msg, err := wc.recv()
+	if err != nil {
+		return false, zero, err
+	}
+	if msg.Type != "challenge" || msg.Challenge == nil {
+		return false, zero, fmt.Errorf("auth: expected challenge, got %q", msg.Type)
+	}
+	resp, err := r.Respond(msg.Challenge)
+	if err != nil {
+		return false, zero, err
+	}
+	if err := wc.enc.Encode(wireMsg{
+		Type:        "response",
+		ChallengeID: msg.Challenge.ID,
+		Response:    &resp,
+	}); err != nil {
+		return false, zero, err
+	}
+	verdict, err := wc.recv()
+	if err != nil {
+		return false, zero, err
+	}
+	if verdict.Type != "verdict" {
+		return false, zero, fmt.Errorf("auth: expected verdict, got %q", verdict.Type)
+	}
+	if !verdict.Accepted {
+		return false, zero, nil
+	}
+	sessionKey := r.SessionKey(msg.Challenge)
+	if verdict.Confirm != confirmTag(sessionKey) {
+		return false, zero, fmt.Errorf("auth: session key confirmation mismatch")
+	}
+	if verdict.RemapAdvised {
+		// The server says the CRP budget under this key is spent; run
+		// the key-update transaction immediately so the next
+		// authentication uses a fresh logical map.
+		if err := wc.Remap(r); err != nil {
+			return true, sessionKey, fmt.Errorf("auth: advised remap failed: %w", err)
+		}
+	}
+	return true, sessionKey, nil
+}
+
+// Remap runs one key-update transaction, rotating the responder's key
+// on success.
+func (wc *WireClient) Remap(r *Responder) error {
+	if err := wc.enc.Encode(wireMsg{Type: "remap", ClientID: string(r.ID)}); err != nil {
+		return err
+	}
+	msg, err := wc.recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type != "remap_challenge" || msg.Remap == nil {
+		return fmt.Errorf("auth: expected remap_challenge, got %q", msg.Type)
+	}
+	success := r.HandleRemap(msg.Remap) == nil
+	if err := wc.enc.Encode(wireMsg{Type: "remap_done", Success: success}); err != nil {
+		return err
+	}
+	ack, err := wc.recv()
+	if err != nil {
+		return err
+	}
+	if ack.Type != "remap_ack" {
+		return fmt.Errorf("auth: expected remap_ack, got %q", ack.Type)
+	}
+	if !success {
+		return errors.New("auth: client failed to derive the new key")
+	}
+	return nil
+}

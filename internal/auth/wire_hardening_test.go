@@ -1,0 +1,122 @@
+package auth
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+)
+
+// An oversized message must get the connection dropped, not buffered.
+func TestWireRejectsOversizedMessage(t *testing.T) {
+	srv, _ := wireFixture(t, 680)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// 2 MiB of valid JSON with no newline until the end.
+	huge := `{"type":"authenticate","client_id":"` + strings.Repeat("A", 2<<20) + `"}` + "\n"
+	if _, err := conn.Write([]byte(huge)); err != nil {
+		// The server may already have hung up mid-write; that is the
+		// desired outcome.
+		return
+	}
+	// Any response must be a closed connection, not a challenge.
+	var buf [512]byte
+	n, _ := conn.Read(buf[:])
+	if n > 0 && bytes.Contains(buf[:n], []byte(`"challenge"`)) {
+		t.Fatal("oversized message was processed")
+	}
+}
+
+// A message that is valid JSON but garbage after the first transaction
+// must not take the server down for other clients.
+func TestWireSurvivesAbusiveClient(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	bad, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Write([]byte("this is not json\n"))
+	bad.Close()
+
+	good, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	ok, err := good.Authenticate(resp)
+	if err != nil || !ok {
+		t.Fatalf("good client failed after abusive peer: ok=%v err=%v", ok, err)
+	}
+}
+
+// The server must not crash on a response message missing its payload.
+func TestWireNilResponsePayload(t *testing.T) {
+	srv, _ := wireFixture(t, 680)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	if err := enc.Encode(wireMsg{Type: "authenticate", ClientID: "tcp-dev"}); err != nil {
+		t.Fatal(err)
+	}
+	var challenge wireMsg
+	if err := dec.Decode(&challenge); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(wireMsg{Type: "response", ChallengeID: challenge.Challenge.ID}); err != nil {
+		t.Fatal(err)
+	}
+	var reply wireMsg
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != "error" {
+		t.Fatalf("expected error for nil payload, got %q", reply.Type)
+	}
+}
+
+// msgReader must reassemble messages larger than its internal buffer
+// (but under the cap).
+func TestMsgReaderLargeButLegalMessage(t *testing.T) {
+	srv, _ := wireFixture(t, 680)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// 100 KB client id: bigger than the 32 KB bufio buffer, smaller
+	// than the 1 MB cap; the server must parse it and answer with a
+	// clean protocol error (unknown client).
+	id := strings.Repeat("x", 100<<10)
+	msg := `{"type":"authenticate","client_id":"` + id + `"}` + "\n"
+	if _, err := conn.Write([]byte(msg)); err != nil {
+		t.Fatal(err)
+	}
+	var reply wireMsg
+	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != "error" || !strings.Contains(reply.Error, "unknown client") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}

@@ -1,0 +1,71 @@
+package auth
+
+import (
+	"testing"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+func TestWireSessionKeyEstablishment(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	wc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	ok, key1, err := wc.AuthenticateSession(resp)
+	if err != nil || !ok {
+		t.Fatalf("session auth: ok=%v err=%v", ok, err)
+	}
+	if key1 == ([32]byte{}) {
+		t.Fatal("zero session key")
+	}
+	ok, key2, err := wc.AuthenticateSession(resp)
+	if err != nil || !ok {
+		t.Fatalf("second session auth: ok=%v err=%v", ok, err)
+	}
+	if key1 == key2 {
+		t.Fatal("session keys repeated across transactions")
+	}
+}
+
+func TestWireSessionKeyRequiresMatchingRemapKey(t *testing.T) {
+	// A client with a stale remap key computes a different session key
+	// — but it also answers in the wrong logical space, so the server
+	// rejects it before any confirmation is exchanged. Verify the
+	// rejection is clean (no key, no error).
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	wc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+
+	stale := NewResponder(resp.ID, NewSimDevice(fixtureMap()), [32]byte{1, 2, 3})
+	ok, key, err := wc.AuthenticateSession(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || key != ([32]byte{}) {
+		t.Fatal("stale-key client established a session")
+	}
+}
+
+// fixtureMap rebuilds the same map wireFixture(680, 700) enrolls, so
+// the stale responder has genuine silicon but the wrong key.
+func fixtureMap() *errormap.Map {
+	g := errormap.NewGeometry(16384)
+	m := errormap.NewMap(g)
+	r := rng.New(77)
+	m.AddPlane(680, errormap.RandomPlane(g, 100, r))
+	m.AddPlane(700, errormap.RandomPlane(g, 100, r))
+	return m
+}

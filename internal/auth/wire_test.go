@@ -1,0 +1,181 @@
+package auth
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+// startWire spins up a wire server on a random localhost port.
+func startWire(t *testing.T, srv *Server) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWireServer(srv)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ws.Serve(l)
+	}()
+	return l.Addr().String(), func() {
+		ws.Close()
+		<-done
+	}
+}
+
+func wireFixture(t *testing.T, vdds ...int) (*Server, *Responder) {
+	t.Helper()
+	g := errormap.NewGeometry(16384)
+	m := errormap.NewMap(g)
+	r := rng.New(77)
+	for _, v := range vdds {
+		m.AddPlane(v, errormap.RandomPlane(g, 100, r))
+	}
+	cfg := DefaultConfig()
+	srv := NewServer(cfg, 7)
+	var reserved []int
+	for _, v := range vdds {
+		if v == 700 {
+			reserved = append(reserved, 700)
+		}
+	}
+	key, err := srv.Enroll("tcp-dev", m, reserved...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, NewResponder("tcp-dev", NewSimDevice(m), key)
+}
+
+func TestWireAuthenticateEndToEnd(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	wc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	for i := 0; i < 3; i++ {
+		ok, err := wc.Authenticate(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("genuine client rejected over TCP (round %d)", i)
+		}
+	}
+}
+
+func TestWireRemapEndToEnd(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	wc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	oldKey := resp.Key()
+	if err := wc.Remap(resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Key() == oldKey {
+		t.Fatal("key not rotated over TCP")
+	}
+	// Authentication still works under the rotated key.
+	ok, err := wc.Authenticate(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("post-remap TCP authentication failed")
+	}
+}
+
+func TestWireUnknownClient(t *testing.T) {
+	srv, _ := wireFixture(t, 680)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	wc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	ghost := NewResponder("ghost", NewSimDevice(errormap.NewMap(errormap.NewGeometry(64))), resp0Key())
+	if _, err := wc.Authenticate(ghost); err == nil {
+		t.Fatal("unknown client authenticated")
+	}
+}
+
+func resp0Key() (k [32]byte) { return }
+
+func TestWireConcurrentClients(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer wc.Close()
+			ok, err := wc.Authenticate(resp)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !ok {
+				errs <- errorsNew("rejected")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func errorsNew(s string) error { return &strErr{s} }
+
+type strErr struct{ s string }
+
+func (e *strErr) Error() string { return e.s }
+
+func TestWireMalformedMessage(t *testing.T) {
+	srv, _ := wireFixture(t, 680)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(map[string]any{"type": "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	var msg wireMsg
+	if err := json.NewDecoder(conn).Decode(&msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != "error" {
+		t.Fatalf("expected error message, got %q", msg.Type)
+	}
+}

@@ -1,0 +1,240 @@
+// Package cache models the cache organisation and the firmware error
+// handler that self-tests it (paper Section 5.2).
+//
+// The cache is a set-associative array of 64-byte lines backed by the
+// ECC-protected SRAM simulation. The error handler provides the two
+// self-test services the prototype firmware implements:
+//
+//   - Full-cache sweeps ("built-in self-test") used during voltage
+//     floor calibration and error-map enrollment: every line is
+//     written with stress patterns and read back, and the ECC event
+//     log is compiled into per-line error information.
+//   - Targeted line tests used while answering challenges: a specific
+//     line is tested up to a configured number of attempts.
+//
+// The handler also carries the emergency watchdog: any uncorrectable
+// event, or a correctable-rate explosion, triggers the registered
+// emergency callback (which the voltage controller uses to snap the
+// rail back to nominal).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/errormap"
+	"repro/internal/sram"
+	"repro/internal/voltage"
+)
+
+// Geometry describes a set-associative cache built from 64-byte lines.
+type Geometry struct {
+	Sets      int
+	Ways      int
+	LineBytes int
+}
+
+// Geometry4MB is the paper's mobile-class 4 MB LLC: 8192 sets × 8 ways
+// × 64 B (Figure 2).
+var Geometry4MB = Geometry{Sets: 8192, Ways: 8, LineBytes: 64}
+
+// Geometry768KB matches one Itanium 9560 L2 slice used in Figure 3.
+var Geometry768KB = Geometry{Sets: 2048, Ways: 6, LineBytes: 64}
+
+// GeometryForSize returns an 8-way, 64 B-line geometry of the given
+// total size; size must be a multiple of 512 bytes.
+func GeometryForSize(bytes int) Geometry {
+	const ways, lineBytes = 8, 64
+	if bytes <= 0 || bytes%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("cache: size %d not a multiple of %d", bytes, ways*lineBytes))
+	}
+	return Geometry{Sets: bytes / (ways * lineBytes), Ways: ways, LineBytes: lineBytes}
+}
+
+// Lines returns the number of cache lines.
+func (g Geometry) Lines() int { return g.Sets * g.Ways }
+
+// SizeBytes returns the total capacity.
+func (g Geometry) SizeBytes() int { return g.Lines() * g.LineBytes }
+
+// Addr converts a line index into (set, way).
+func (g Geometry) Addr(line int) (set, way int) {
+	if line < 0 || line >= g.Lines() {
+		panic(fmt.Sprintf("cache: line %d out of range", line))
+	}
+	return line / g.Ways, line % g.Ways
+}
+
+// Line converts (set, way) into a line index.
+func (g Geometry) Line(set, way int) int {
+	if set < 0 || set >= g.Sets || way < 0 || way >= g.Ways {
+		panic(fmt.Sprintf("cache: address (set=%d,way=%d) out of range", set, way))
+	}
+	return set*g.Ways + way
+}
+
+// stressPatterns are the data backgrounds the self-test writes; solid
+// and checkerboard patterns exercise both cell polarities.
+var stressPatterns = []uint64{
+	0x0000000000000000,
+	0xffffffffffffffff,
+	0x5555555555555555,
+	0xaaaaaaaaaaaaaaaa,
+}
+
+// SweepResult summarises one full-cache self-test pass.
+type SweepResult struct {
+	FailingLines  []int // distinct lines with correctable events, ascending
+	Correctable   int   // total correctable events
+	Uncorrectable int   // total uncorrectable events
+	LinesTested   int
+}
+
+// LineTestResult summarises a targeted line test.
+type LineTestResult struct {
+	Triggered     bool
+	Uncorrectable bool
+	Attempts      int // attempts actually executed (stops early on trigger)
+}
+
+// ErrorHandler drives self-tests over the SRAM array.
+type ErrorHandler struct {
+	arr *sram.Array
+	geo Geometry
+
+	// emergency, if non-nil, is invoked once per detected emergency.
+	emergency func()
+	// emergencyCeiling is the per-sweep correctable count treated as an
+	// error-rate explosion.
+	emergencyCeiling int
+
+	emergencies int
+}
+
+// NewErrorHandler wires an error handler over the array. The array
+// must have exactly geo.Lines() lines.
+func NewErrorHandler(arr *sram.Array, geo Geometry) *ErrorHandler {
+	if arr.Lines() != geo.Lines() {
+		panic(fmt.Sprintf("cache: array has %d lines, geometry wants %d", arr.Lines(), geo.Lines()))
+	}
+	return &ErrorHandler{arr: arr, geo: geo, emergencyCeiling: 1 << 14}
+}
+
+// Geometry returns the cache organisation.
+func (h *ErrorHandler) Geometry() Geometry { return h.geo }
+
+// Array exposes the underlying SRAM array.
+func (h *ErrorHandler) Array() *sram.Array { return h.arr }
+
+// SetEmergencyCallback registers the function invoked on emergencies
+// (typically voltage.Controller.Emergency).
+func (h *ErrorHandler) SetEmergencyCallback(fn func()) { h.emergency = fn }
+
+// SetEmergencyCeiling overrides the correctable-rate explosion bound.
+func (h *ErrorHandler) SetEmergencyCeiling(n int) { h.emergencyCeiling = n }
+
+// Emergencies reports how many emergencies the handler has raised.
+func (h *ErrorHandler) Emergencies() int { return h.emergencies }
+
+func (h *ErrorHandler) raiseEmergency() {
+	h.emergencies++
+	if h.emergency != nil {
+		h.emergency()
+	}
+}
+
+// Sweep runs one full-cache self-test at the current rail voltage:
+// every line is written with each stress pattern and read back, and
+// the ECC log is compiled into the result. Uncorrectable events and
+// correctable-rate explosions raise the emergency callback (once per
+// sweep) but the sweep still completes and reports honestly — during
+// calibration the controller *expects* to find the unsafe region.
+func (h *ErrorHandler) Sweep() SweepResult {
+	h.arr.Log().Drain()
+	failing := make(map[int]bool)
+	res := SweepResult{LinesTested: h.geo.Lines()}
+	for line := 0; line < h.geo.Lines(); line++ {
+		for _, pat := range stressPatterns {
+			h.arr.TestLine(line, pat)
+		}
+	}
+	for _, ev := range h.arr.Log().Drain() {
+		switch ev.Type {
+		case sram.EventCorrectable:
+			res.Correctable++
+			failing[ev.Line] = true
+		case sram.EventUncorrectable:
+			res.Uncorrectable++
+		}
+	}
+	res.FailingLines = sortedKeys(failing)
+	if res.Uncorrectable > 0 || res.Correctable > h.emergencyCeiling {
+		h.raiseEmergency()
+	}
+	return res
+}
+
+// TestLine runs up to maxAttempts write/read self-tests on one line,
+// stopping at the first ECC event. Uncorrectable events raise the
+// emergency callback immediately.
+func (h *ErrorHandler) TestLine(line, maxAttempts int) LineTestResult {
+	if maxAttempts <= 0 {
+		panic("cache: TestLine needs at least one attempt")
+	}
+	res := LineTestResult{}
+	for a := 1; a <= maxAttempts; a++ {
+		res.Attempts = a
+		outcome := h.arr.TestLine(line, stressPatterns[a%len(stressPatterns)])
+		if outcome == ecc.Uncorrectable {
+			res.Triggered = true
+			res.Uncorrectable = true
+			h.raiseEmergency()
+			return res
+		}
+		if outcome == ecc.Corrected {
+			res.Triggered = true
+			return res
+		}
+	}
+	return res
+}
+
+// Probe implements voltage.Prober with a single sweep.
+func (h *ErrorHandler) Probe() voltage.ProbeResult {
+	s := h.Sweep()
+	return voltage.ProbeResult{Correctable: s.Correctable, Uncorrectable: s.Uncorrectable}
+}
+
+var _ voltage.Prober = (*ErrorHandler)(nil)
+
+// BuildPlane constructs the error plane at the current rail voltage by
+// running the given number of sweeps and marking every line that
+// raised a correctable event in any of them. Enrollment uses several
+// sweeps so that flaky marginal lines are captured (the paper's
+// conservative eight-attempt characterisation, Figure 11).
+func (h *ErrorHandler) BuildPlane(sweeps int) *errormap.Plane {
+	if sweeps <= 0 {
+		panic("cache: BuildPlane needs at least one sweep")
+	}
+	plane := errormap.NewPlane(errormap.NewGeometry(h.geo.Lines()))
+	for s := 0; s < sweeps; s++ {
+		for _, line := range h.Sweep().FailingLines {
+			plane.Set(line, true)
+		}
+	}
+	return plane
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort is fine for ~150 entries
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

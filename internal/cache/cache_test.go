@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sram"
+	"repro/internal/variation"
+	"repro/internal/voltage"
+)
+
+func newHandler(t *testing.T, seed uint64, geo Geometry) *ErrorHandler {
+	t.Helper()
+	m := variation.NewModel(seed, variation.DefaultParams())
+	arr := sram.New(m, geo.Lines(), seed^0x5a5a)
+	return NewErrorHandler(arr, geo)
+}
+
+func TestGeometryBasics(t *testing.T) {
+	g := Geometry4MB
+	if g.Lines() != 65536 {
+		t.Fatalf("4MB lines = %d", g.Lines())
+	}
+	if g.SizeBytes() != 4<<20 {
+		t.Fatalf("size = %d", g.SizeBytes())
+	}
+	if Geometry768KB.SizeBytes() != 768<<10 {
+		t.Fatalf("768KB size = %d", Geometry768KB.SizeBytes())
+	}
+}
+
+func TestGeometryAddrRoundTrip(t *testing.T) {
+	g := Geometry{Sets: 128, Ways: 4, LineBytes: 64}
+	for line := 0; line < g.Lines(); line += 13 {
+		set, way := g.Addr(line)
+		if set < 0 || set >= g.Sets || way < 0 || way >= g.Ways {
+			t.Fatalf("line %d -> (%d,%d) out of range", line, set, way)
+		}
+		if got := g.Line(set, way); got != line {
+			t.Fatalf("round trip %d -> %d", line, got)
+		}
+	}
+}
+
+func TestGeometryForSize(t *testing.T) {
+	for _, sz := range []int{256 << 10, 512 << 10, 1 << 20, 4 << 20} {
+		g := GeometryForSize(sz)
+		if g.SizeBytes() != sz {
+			t.Fatalf("GeometryForSize(%d) -> %d bytes", sz, g.SizeBytes())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned size accepted")
+		}
+	}()
+	GeometryForSize(1000)
+}
+
+func TestSweepCleanAtNominal(t *testing.T) {
+	h := newHandler(t, 1, GeometryForSize(256<<10))
+	res := h.Sweep()
+	if len(res.FailingLines) != 0 || res.Correctable != 0 || res.Uncorrectable != 0 {
+		t.Fatalf("nominal sweep found errors: %+v", res)
+	}
+	if res.LinesTested != h.Geometry().Lines() {
+		t.Fatalf("tested %d lines", res.LinesTested)
+	}
+}
+
+func TestSweepFindsDefectsAtLowVdd(t *testing.T) {
+	h := newHandler(t, 2, Geometry4MB)
+	p := variation.DefaultParams()
+	h.Array().SetVoltage(p.DefectBandHi - 0.065)
+	res := h.Sweep()
+	if len(res.FailingLines) < 60 || len(res.FailingLines) > 200 {
+		t.Fatalf("failing lines = %d, want ~122", len(res.FailingLines))
+	}
+	if res.Uncorrectable != 0 {
+		t.Fatalf("uncorrectable in defect band: %d", res.Uncorrectable)
+	}
+	// Ascending and unique.
+	for i := 1; i < len(res.FailingLines); i++ {
+		if res.FailingLines[i] <= res.FailingLines[i-1] {
+			t.Fatal("failing lines not strictly ascending")
+		}
+	}
+}
+
+func TestSweepEmergencyOnUncorrectable(t *testing.T) {
+	h := newHandler(t, 3, GeometryForSize(256<<10))
+	fired := 0
+	h.SetEmergencyCallback(func() { fired++ })
+	h.Array().SetVoltage(0.40) // deep below bulk: uncorrectable storm
+	res := h.Sweep()
+	if res.Uncorrectable == 0 {
+		t.Fatal("expected uncorrectable events")
+	}
+	if fired != 1 {
+		t.Fatalf("emergency fired %d times, want 1", fired)
+	}
+	if h.Emergencies() != 1 {
+		t.Fatalf("Emergencies() = %d", h.Emergencies())
+	}
+}
+
+func TestTestLineTriggersOnWeakLine(t *testing.T) {
+	h := newHandler(t, 4, Geometry4MB)
+	p := variation.DefaultParams()
+	vtest := p.DefectBandHi - 0.065
+	h.Array().SetVoltage(vtest)
+	// Find a deep-margin weak line via the variation profile.
+	target := -1
+	for l := 0; l < h.Geometry().Lines(); l++ {
+		if h.Array().Profile(l).Margin(vtest, h.Array().Environment(), p) > 0.03 {
+			target = l
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no deep-margin line for this seed")
+	}
+	res := h.TestLine(target, 8)
+	if !res.Triggered || res.Uncorrectable {
+		t.Fatalf("weak line result: %+v", res)
+	}
+	if res.Attempts < 1 || res.Attempts > 8 {
+		t.Fatalf("attempts = %d", res.Attempts)
+	}
+}
+
+func TestTestLineCleanLine(t *testing.T) {
+	h := newHandler(t, 5, GeometryForSize(256<<10))
+	p := variation.DefaultParams()
+	h.Array().SetVoltage(p.DefectBandHi - 0.010)
+	// Find a line that is clean at this voltage.
+	target := -1
+	for l := 0; l < h.Geometry().Lines(); l++ {
+		if h.Array().Profile(l).Margin(h.Array().Voltage(), h.Array().Environment(), p) < -0.05 {
+			target = l
+			break
+		}
+	}
+	res := h.TestLine(target, 4)
+	if res.Triggered {
+		t.Fatalf("clean line triggered: %+v", res)
+	}
+	if res.Attempts != 4 {
+		t.Fatalf("attempts = %d, want all 4", res.Attempts)
+	}
+}
+
+func TestBuildPlaneMatchesSweeps(t *testing.T) {
+	h := newHandler(t, 6, Geometry4MB)
+	p := variation.DefaultParams()
+	h.Array().SetVoltage(p.DefectBandHi - 0.065)
+	plane := h.BuildPlane(4)
+	if plane.ErrorCount() < 60 || plane.ErrorCount() > 220 {
+		t.Fatalf("plane errors = %d", plane.ErrorCount())
+	}
+	// Every plane error must be a genuinely weak line per the model.
+	for _, line := range plane.Errors() {
+		margin := h.Array().Profile(line).Margin(h.Array().Voltage(), h.Array().Environment(), p)
+		if margin < -0.01 {
+			t.Fatalf("line %d in plane with margin %v", line, margin)
+		}
+	}
+}
+
+func TestBuildPlaneMoreSweepsFindMoreFlakyLines(t *testing.T) {
+	h := newHandler(t, 7, Geometry4MB)
+	p := variation.DefaultParams()
+	h.Array().SetVoltage(p.DefectBandHi - 0.065)
+	one := h.BuildPlane(1)
+	eight := h.BuildPlane(8)
+	if eight.ErrorCount() < one.ErrorCount() {
+		t.Fatalf("8 sweeps found fewer lines (%d) than 1 sweep (%d)",
+			eight.ErrorCount(), one.ErrorCount())
+	}
+}
+
+// End-to-end with the real voltage controller: calibration over the
+// simulated cache must land the floor inside the defect band, above
+// the bulk.
+func TestFloorCalibrationOnSimulatedCache(t *testing.T) {
+	h := newHandler(t, 8, GeometryForSize(1<<20))
+	cfg := voltage.DefaultConfig()
+	cfg.StepMV = 5
+	cfg.VMinSearch = 0.600
+	ctrl := voltage.NewController(h.Array(), cfg)
+	h.SetEmergencyCallback(ctrl.Emergency)
+	floor, err := ctrl.CalibrateFloor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := variation.DefaultParams()
+	bulkMV := int(p.BulkMean * 1000)
+	bandTopMV := int(p.DefectBandHi * 1000)
+	if floor <= bulkMV || floor >= bandTopMV {
+		t.Fatalf("floor = %d mV, want inside (%d, %d)", floor, bulkMV, bandTopMV)
+	}
+	// At the floor, a sweep is safe (correctable only).
+	if err := ctrl.Request(floor); err != nil {
+		t.Fatal(err)
+	}
+	res := h.Sweep()
+	if res.Uncorrectable != 0 {
+		t.Fatalf("uncorrectable at calibrated floor: %d", res.Uncorrectable)
+	}
+	ctrl.RestoreNominal()
+}
+
+func TestHandlerRejectsMismatchedArray(t *testing.T) {
+	m := variation.NewModel(9, variation.DefaultParams())
+	arr := sram.New(m, 100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched geometry accepted")
+		}
+	}()
+	NewErrorHandler(arr, Geometry4MB)
+}
+
+func BenchmarkSweep1MB(b *testing.B) {
+	m := variation.NewModel(1, variation.DefaultParams())
+	geo := GeometryForSize(1 << 20)
+	arr := sram.New(m, geo.Lines(), 2)
+	h := NewErrorHandler(arr, geo)
+	arr.SetVoltage(variation.DefaultParams().DefectBandHi - 0.065)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Sweep()
+	}
+}

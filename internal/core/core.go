@@ -1,0 +1,200 @@
+// Package core assembles the Authenticache client device: process
+// variation model, ECC-protected SRAM, cache error handler, voltage
+// controller, and SMM firmware (paper Section 5, Figure 8). It is the
+// paper's "prototype" in simulated form — a complete client whose
+// physical identity is a single chip seed.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/cache"
+	"repro/internal/errormap"
+	"repro/internal/firmware"
+	"repro/internal/sram"
+	"repro/internal/variation"
+	"repro/internal/voltage"
+)
+
+// ChipConfig describes one simulated client device.
+type ChipConfig struct {
+	// Seed is the chip's physical identity; two chips with the same
+	// seed are the same silicon.
+	Seed uint64
+	// MeasSeed seeds the measurement-noise stream; re-measuring the
+	// same chip uses a different MeasSeed.
+	MeasSeed uint64
+	// CacheBytes is the LLC capacity (default 4 MB).
+	CacheBytes int
+	// Cores is the package core count (default 8).
+	Cores int
+	// Variation calibrates the process-variation model.
+	Variation variation.Params
+	// Voltage tunes the controller; zero value uses defaults with a
+	// coarser calibration step for simulation speed.
+	Voltage voltage.Config
+	// Costs is the firmware timing model.
+	Costs firmware.CostModel
+	// EnrollSweeps is how many full-cache sweeps enrollment runs per
+	// voltage plane (default 8, per Figure 11's persistence tail).
+	EnrollSweeps int
+	// MaxAttempts is the firmware's per-line self-test budget during
+	// challenges (default 4, the paper's conservative-but-fast point).
+	MaxAttempts int
+}
+
+// fill applies defaults.
+func (c ChipConfig) fill() ChipConfig {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 4 << 20
+	}
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.Variation == (variation.Params{}) {
+		c.Variation = variation.DefaultParams()
+	}
+	if c.Voltage == (voltage.Config{}) {
+		c.Voltage = voltage.DefaultConfig()
+		c.Voltage.StepMV = 5
+		c.Voltage.VMinSearch = 0.600
+	}
+	if c.Costs == (firmware.CostModel{}) {
+		c.Costs = firmware.DefaultCostModel()
+	}
+	if c.EnrollSweeps == 0 {
+		c.EnrollSweeps = 8
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 4
+	}
+	if c.MeasSeed == 0 {
+		c.MeasSeed = c.Seed ^ 0x6d656173 // "meas"
+	}
+	return c
+}
+
+// Chip is a fully assembled simulated client device.
+type Chip struct {
+	cfg     ChipConfig
+	geo     cache.Geometry
+	array   *sram.Array
+	handler *cache.ErrorHandler
+	ctrl    *voltage.Controller
+	fw      *firmware.Client
+	floorMV int
+}
+
+// NewChip builds and boot-calibrates a chip. The returned chip has its
+// voltage floor established and is ready to enroll or authenticate.
+func NewChip(cfg ChipConfig) (*Chip, error) {
+	cfg = cfg.fill()
+	geo := cache.GeometryForSize(cfg.CacheBytes)
+	model := variation.NewModel(cfg.Seed, cfg.Variation)
+	array := sram.New(model, geo.Lines(), cfg.MeasSeed)
+	handler := cache.NewErrorHandler(array, geo)
+	ctrl := voltage.NewController(array, cfg.Voltage)
+	handler.SetEmergencyCallback(ctrl.Emergency)
+	floor, err := ctrl.CalibrateFloor(handler)
+	if err != nil {
+		return nil, fmt.Errorf("core: boot calibration failed: %w", err)
+	}
+	fw := firmware.NewClient(handler, ctrl, cfg.Cores, cfg.Costs)
+	fw.MaxAttempts = cfg.MaxAttempts
+	return &Chip{
+		cfg:     cfg,
+		geo:     geo,
+		array:   array,
+		handler: handler,
+		ctrl:    ctrl,
+		fw:      fw,
+		floorMV: floor,
+	}, nil
+}
+
+// FloorMV returns the calibrated voltage floor in millivolts.
+func (c *Chip) FloorMV() int { return c.floorMV }
+
+// Geometry returns the cache organisation.
+func (c *Chip) Geometry() cache.Geometry { return c.geo }
+
+// MapGeometry returns the logical error-map layout.
+func (c *Chip) MapGeometry() errormap.Geometry {
+	return errormap.NewGeometry(c.geo.Lines())
+}
+
+// Firmware exposes the firmware client (timing, probe counters).
+func (c *Chip) Firmware() *firmware.Client { return c.fw }
+
+// Handler exposes the cache error handler.
+func (c *Chip) Handler() *cache.ErrorHandler { return c.handler }
+
+// Controller exposes the voltage controller.
+func (c *Chip) Controller() *voltage.Controller { return c.ctrl }
+
+// Array exposes the SRAM array (tests and experiments use it to set
+// environmental conditions).
+func (c *Chip) Array() *sram.Array { return c.array }
+
+// SetEnvironment applies field conditions (temperature, aging) to the
+// silicon. Enrollment-time characterisation normally happens at the
+// zero environment.
+func (c *Chip) SetEnvironment(env variation.Environment) {
+	c.array.SetEnvironment(env)
+}
+
+// Recalibrate re-runs the voltage floor search under the current
+// environment (the paper's periodic recalibration).
+func (c *Chip) Recalibrate() (int, error) {
+	floor, err := c.ctrl.Recalibrate(c.handler)
+	if err != nil {
+		return 0, err
+	}
+	c.floorMV = floor
+	return floor, nil
+}
+
+// AuthVoltagesMV suggests n challenge voltage levels for this chip:
+// evenly spaced planes starting a guard distance above the floor,
+// spaced spacingMV apart, highest first. Levels beyond the correctable
+// band simply yield sparser planes.
+func (c *Chip) AuthVoltagesMV(n, spacingMV int) []int {
+	if n <= 0 || spacingMV <= 0 {
+		panic("core: invalid voltage plan")
+	}
+	// The guard absorbs floor-recalibration jitter between boots of the
+	// same silicon (the confirmation sweeps are stochastic), so a
+	// challenge enrolled by one boot never aborts on another.
+	const guardMV = 15
+	out := make([]int, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, c.floorMV+guardMV+i*spacingMV)
+	}
+	return out
+}
+
+// Enroll characterises the chip at the given voltage levels and
+// returns its physical error map — the artifact the authentication
+// server stores. Each plane is built from EnrollSweeps full-cache
+// sweeps so flaky marginal lines are captured.
+func (c *Chip) Enroll(vddsMV []int) (*errormap.Map, error) {
+	if len(vddsMV) == 0 {
+		return nil, fmt.Errorf("core: enrollment needs at least one voltage level")
+	}
+	m := errormap.NewMap(c.MapGeometry())
+	for _, v := range vddsMV {
+		if err := c.ctrl.Request(v); err != nil {
+			return nil, fmt.Errorf("core: enrollment at %d mV: %w", v, err)
+		}
+		m.AddPlane(v, c.handler.BuildPlane(c.cfg.EnrollSweeps))
+	}
+	c.ctrl.RestoreNominal()
+	return m, nil
+}
+
+// Device wraps the chip as an auth.Device backed by the full firmware
+// stack.
+func (c *Chip) Device() auth.Device {
+	return &auth.FirmwareDevice{Client: c.fw}
+}

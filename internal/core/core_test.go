@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/variation"
+)
+
+func smallChip(t testing.TB, seed uint64) *Chip {
+	t.Helper()
+	c, err := NewChip(ChipConfig{Seed: seed, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewChipCalibrates(t *testing.T) {
+	c := smallChip(t, 1)
+	p := variation.DefaultParams()
+	floor := c.FloorMV()
+	if floor <= int(p.BulkMean*1000) || floor >= int(p.DefectBandHi*1000) {
+		t.Fatalf("floor = %d mV outside the plausible band", floor)
+	}
+	if c.Geometry().SizeBytes() != 1<<20 {
+		t.Fatalf("geometry = %d bytes", c.Geometry().SizeBytes())
+	}
+	if c.MapGeometry().Lines != c.Geometry().Lines() {
+		t.Fatal("map geometry disagrees with cache geometry")
+	}
+}
+
+func TestChipDefaults(t *testing.T) {
+	cfg := ChipConfig{Seed: 2}.fill()
+	if cfg.CacheBytes != 4<<20 || cfg.Cores != 8 || cfg.EnrollSweeps != 8 || cfg.MaxAttempts != 4 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.MeasSeed == 0 {
+		t.Fatal("MeasSeed not derived")
+	}
+}
+
+func TestAuthVoltagesDescending(t *testing.T) {
+	c := smallChip(t, 3)
+	vs := c.AuthVoltagesMV(3, 10)
+	if len(vs) != 3 {
+		t.Fatalf("levels = %v", vs)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i] >= vs[i-1] {
+			t.Fatalf("levels not descending: %v", vs)
+		}
+	}
+	if vs[len(vs)-1] < c.FloorMV() {
+		t.Fatalf("lowest level %d below floor %d", vs[len(vs)-1], c.FloorMV())
+	}
+}
+
+func TestEnrollProducesPlanes(t *testing.T) {
+	c := smallChip(t, 4)
+	vs := c.AuthVoltagesMV(2, 10)
+	m, err := c.Enroll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Voltages()) != 2 {
+		t.Fatalf("planes = %v", m.Voltages())
+	}
+	for _, v := range vs {
+		if m.Plane(v).ErrorCount() == 0 {
+			t.Fatalf("plane at %d mV is empty", v)
+		}
+	}
+	// Lower voltage exposes at least as many failing lines.
+	lo, hi := vs[len(vs)-1], vs[0]
+	if m.Plane(lo).ErrorCount() < m.Plane(hi).ErrorCount() {
+		t.Fatalf("plane at %d mV has fewer errors (%d) than at %d mV (%d)",
+			lo, m.Plane(lo).ErrorCount(), hi, m.Plane(hi).ErrorCount())
+	}
+	// Rail restored afterwards.
+	if c.Array().Voltage() != 0.800 {
+		t.Fatalf("rail left at %v after enrollment", c.Array().Voltage())
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	c := smallChip(t, 5)
+	if _, err := c.Enroll(nil); err == nil {
+		t.Fatal("empty enrollment accepted")
+	}
+	if _, err := c.Enroll([]int{c.FloorMV() - 100}); err == nil {
+		t.Fatal("below-floor enrollment accepted")
+	}
+}
+
+// The headline integration test: a chip enrolls against a server and
+// then authenticates through the full firmware stack.
+func TestEndToEndFirmwareAuthentication(t *testing.T) {
+	chip := smallChip(t, 6)
+	vs := chip.AuthVoltagesMV(2, 10)
+	m, err := chip.Enroll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := auth.DefaultConfig()
+	cfg.ChallengeBits = 64
+	srv := auth.NewServer(cfg, 99)
+	key, err := srv.Enroll("chip-6", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := auth.NewResponder("chip-6", chip.Device(), key)
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		ch, err := srv.IssueChallenge("chip-6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answer, err := resp.Respond(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := srv.Verify("chip-6", ch.ID, answer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			accepted++
+		}
+	}
+	if accepted < 4 {
+		t.Fatalf("genuine firmware-backed chip accepted only %d/5", accepted)
+	}
+}
+
+// A different chip answering for the enrolled identity must fail.
+func TestEndToEndImpostorChip(t *testing.T) {
+	genuine := smallChip(t, 7)
+	impostor := smallChip(t, 8)
+	vs := genuine.AuthVoltagesMV(1, 10)
+	m, err := genuine.Enroll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := auth.DefaultConfig()
+	cfg.ChallengeBits = 64
+	srv := auth.NewServer(cfg, 100)
+	key, err := srv.Enroll("victim", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The impostor has the key (worst case) but not the silicon. Its
+	// own floor may sit above the victim's challenge voltage; that
+	// alone is a rejection in the field, so align floors for the worst
+	// case by skipping if the challenge aborts.
+	resp := auth.NewResponder("victim", impostor.Device(), key)
+	ch, err := srv.IssueChallenge("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	answer, err := resp.Respond(ch)
+	if err != nil {
+		t.Skipf("impostor chip aborted (floor mismatch): %v", err)
+	}
+	ok, err := srv.Verify("victim", ch.ID, answer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impostor silicon accepted")
+	}
+}
+
+// Temperature stress: a genuine chip re-authenticating 25°C hotter
+// must still pass (the paper's Section 3 experiment).
+func TestEndToEndTemperatureExcursion(t *testing.T) {
+	chip := smallChip(t, 9)
+	vs := chip.AuthVoltagesMV(1, 10)
+	m, err := chip.Enroll(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := auth.DefaultConfig()
+	cfg.ChallengeBits = 64
+	srv := auth.NewServer(cfg, 101)
+	key, err := srv.Enroll("hot-chip", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.SetEnvironment(variation.Environment{DeltaT: 25})
+	resp := auth.NewResponder("hot-chip", chip.Device(), key)
+	accepted := 0
+	for i := 0; i < 3; i++ {
+		ch, err := srv.IssueChallenge("hot-chip")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answer, err := resp.Respond(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := srv.Verify("hot-chip", ch.ID, answer); ok {
+			accepted++
+		}
+	}
+	if accepted < 2 {
+		t.Fatalf("hot genuine chip accepted only %d/3", accepted)
+	}
+}
+
+func TestRecalibrateTracksAging(t *testing.T) {
+	chip := smallChip(t, 10)
+	fresh := chip.FloorMV()
+	chip.SetEnvironment(variation.Environment{AgeYears: 10, DeltaT: 25})
+	aged, err := chip.Recalibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aged < fresh {
+		t.Fatalf("floor dropped under aging: %d -> %d", fresh, aged)
+	}
+}

@@ -1,0 +1,56 @@
+package crp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The wire format is a compatibility contract: enrolled devices in the
+// field cannot be re-flashed because the server's JSON changed shape.
+// These golden tests pin the encoding.
+
+func TestChallengeJSONGolden(t *testing.T) {
+	ch := &Challenge{
+		ID: 7,
+		Bits: []PairBit{
+			{A: 12, B: 34, VddMV: 680},
+			{A: 56, B: 78, VddMV: 700},
+		},
+	}
+	got, err := json.Marshal(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"id":7,"bits":[{"a":12,"b":34,"vdd_mv":680},{"a":56,"b":78,"vdd_mv":700}]}`
+	if string(got) != want {
+		t.Fatalf("challenge wire format drifted:\n got %s\nwant %s", got, want)
+	}
+	var back Challenge
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != ch.ID || len(back.Bits) != 2 || back.Bits[1] != ch.Bits[1] {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestResponseJSONGolden(t *testing.T) {
+	r := NewResponse(12)
+	r.SetBit(0, 1)
+	r.SetBit(9, 1)
+	got, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"bits":"AQI=","n":12}` // base64 of {0x01, 0x02}
+	if string(got) != want {
+		t.Fatalf("response wire format drifted:\n got %s\nwant %s", got, want)
+	}
+	var back Response
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 12 || back.Bit(0) != 1 || back.Bit(9) != 1 || back.Bit(5) != 0 {
+		t.Fatalf("round trip lost bits: %+v", back)
+	}
+}

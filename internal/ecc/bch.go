@@ -1,0 +1,255 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Binary narrow-sense BCH codes. The repetition-code fuzzy extractor
+// (fuzzy.go) is simple but pays a 5x expansion per key bit; BCH codes
+// correct t errors over an n = 2^m - 1 bit block at much better rate,
+// which is what the PUF key-generation literature the paper cites
+// ([51]-[53]) uses in practice. bchfuzzy.go builds the code-offset
+// extractor on top.
+//
+// Implementation: systematic encoding by polynomial division,
+// syndrome computation in GF(2^m), Berlekamp-Massey for the error
+// locator polynomial, and Chien search for its roots.
+
+// BCH is a binary BCH(n, k) code correcting up to T bit errors.
+type BCH struct {
+	field *GF
+	N     int    // codeword length: 2^m - 1
+	K     int    // data length
+	T     int    // designed error-correction capability
+	gen   []byte // generator polynomial coefficients over GF(2), gen[i] = coeff of x^i
+}
+
+// NewBCH constructs the narrow-sense BCH code over GF(2^m) with
+// designed distance 2t+1. Typical instances: NewBCH(8, 18) gives
+// BCH(255, 131, t=18).
+func NewBCH(m, t int) (*BCH, error) {
+	if t < 1 {
+		return nil, errors.New("ecc: BCH needs t >= 1")
+	}
+	field, err := NewGF(m)
+	if err != nil {
+		return nil, err
+	}
+	n := field.N
+	if 2*t >= n {
+		return nil, fmt.Errorf("ecc: t=%d too large for n=%d", t, n)
+	}
+
+	// Generator = lcm of minimal polynomials of α^1 .. α^2t. Gather
+	// the union of the cyclotomic cosets of those exponents, then
+	// multiply (x - α^i) over the union; the result has GF(2)
+	// coefficients.
+	inCoset := make([]bool, n)
+	for i := 1; i <= 2*t; i++ {
+		c := i % n
+		for !inCoset[c] {
+			inCoset[c] = true
+			c = (c * 2) % n
+		}
+	}
+	// poly over GF(2^m), poly[j] = coeff of x^j; start with 1.
+	poly := []uint16{1}
+	for i := 0; i < n; i++ {
+		if !inCoset[i] {
+			continue
+		}
+		root := field.Exp(i)
+		next := make([]uint16, len(poly)+1)
+		for j, c := range poly {
+			// multiply by (x + root): x*c + root*c
+			next[j+1] ^= c
+			next[j] ^= field.Mul(c, root)
+		}
+		poly = next
+	}
+	gen := make([]byte, len(poly))
+	for j, c := range poly {
+		if c > 1 {
+			return nil, fmt.Errorf("ecc: generator coefficient %d not binary", c)
+		}
+		gen[j] = byte(c)
+	}
+	k := n - (len(gen) - 1)
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: BCH(m=%d,t=%d) leaves no data bits", m, t)
+	}
+	return &BCH{field: field, N: n, K: k, T: t, gen: gen}, nil
+}
+
+// String describes the code.
+func (c *BCH) String() string {
+	return fmt.Sprintf("BCH(%d,%d,t=%d)", c.N, c.K, c.T)
+}
+
+// bchBit helpers: bit vectors packed LSB-first in []byte.
+func getBit(b []byte, i int) byte { return (b[i/8] >> uint(i%8)) & 1 }
+func putBit(b []byte, i int, v byte) {
+	if v&1 == 1 {
+		b[i/8] |= 1 << uint(i%8)
+	} else {
+		b[i/8] &^= 1 << uint(i%8)
+	}
+}
+
+// EncodeBits produces the systematic n-bit codeword for k data bits:
+// data occupies positions n-k .. n-1 (high end), parity the low end.
+// data must carry at least K bits.
+func (c *BCH) EncodeBits(data []byte) ([]byte, error) {
+	if len(data)*8 < c.K {
+		return nil, fmt.Errorf("ecc: need %d data bits, got %d", c.K, len(data)*8)
+	}
+	// Remainder of data(x) * x^(n-k) mod gen(x), computed bitwise over
+	// GF(2) with a shift register.
+	nk := c.N - c.K
+	reg := make([]byte, nk) // reg[i] = coeff of x^i
+	for i := c.K - 1; i >= 0; i-- {
+		fb := getBit(data, i)
+		if nk > 0 {
+			fb ^= reg[nk-1]
+		}
+		for j := nk - 1; j > 0; j-- {
+			reg[j] = reg[j-1]
+			if fb == 1 && c.gen[j] == 1 {
+				reg[j] ^= 1
+			}
+		}
+		reg[0] = 0
+		if fb == 1 && c.gen[0] == 1 {
+			reg[0] ^= 1
+		}
+	}
+	cw := make([]byte, (c.N+7)/8)
+	for i := 0; i < nk; i++ {
+		putBit(cw, i, reg[i])
+	}
+	for i := 0; i < c.K; i++ {
+		putBit(cw, nk+i, getBit(data, i))
+	}
+	return cw, nil
+}
+
+// ErrBCHUncorrectable reports a codeword with more than T errors.
+var ErrBCHUncorrectable = errors.New("ecc: BCH decoding failed (too many errors)")
+
+// DecodeBits corrects up to T bit errors in a received n-bit word (in
+// place on a copy) and returns the corrected codeword, the extracted
+// data bits, and the number of corrected errors.
+func (c *BCH) DecodeBits(received []byte) (codeword, data []byte, corrected int, err error) {
+	if len(received)*8 < c.N {
+		return nil, nil, 0, fmt.Errorf("ecc: need %d codeword bits, got %d", c.N, len(received)*8)
+	}
+	f := c.field
+	// Syndromes S_j = r(α^j) for j = 1..2t.
+	synd := make([]uint16, 2*c.T)
+	allZero := true
+	for j := 1; j <= 2*c.T; j++ {
+		var s uint16
+		for i := 0; i < c.N; i++ {
+			if getBit(received, i) == 1 {
+				s ^= f.Exp(i * j)
+			}
+		}
+		synd[j-1] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	out := make([]byte, (c.N+7)/8)
+	copy(out, received[:len(out)])
+	if allZero {
+		return out, c.extractData(out), 0, nil
+	}
+
+	// Berlekamp-Massey: find the error locator polynomial sigma.
+	sigma := []uint16{1}
+	prev := []uint16{1}
+	var l, mGap int = 0, 1
+	var b uint16 = 1
+	for n := 0; n < 2*c.T; n++ {
+		// discrepancy
+		var d uint16 = synd[n]
+		for i := 1; i <= l && i < len(sigma); i++ {
+			d ^= f.Mul(sigma[i], synd[n-i])
+		}
+		if d == 0 {
+			mGap++
+			continue
+		}
+		if 2*l <= n {
+			tmp := append([]uint16(nil), sigma...)
+			coef := f.Div(d, b)
+			sigma = polyAddShift(f, sigma, prev, coef, mGap)
+			l = n + 1 - l
+			prev = tmp
+			b = d
+			mGap = 1
+		} else {
+			coef := f.Div(d, b)
+			sigma = polyAddShift(f, sigma, prev, coef, mGap)
+			mGap++
+		}
+	}
+	if l > c.T {
+		return nil, nil, 0, ErrBCHUncorrectable
+	}
+
+	// Chien search: roots of sigma give error locations. sigma(α^-i)=0
+	// means an error at position i.
+	var positions []int
+	for i := 0; i < c.N; i++ {
+		if f.PolyEval(sigma, f.Exp(c.N-i)) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != l {
+		return nil, nil, 0, ErrBCHUncorrectable
+	}
+	for _, p := range positions {
+		putBit(out, p, getBit(out, p)^1)
+	}
+	// Verify: recompute the first syndrome on the corrected word.
+	var s1 uint16
+	for i := 0; i < c.N; i++ {
+		if getBit(out, i) == 1 {
+			s1 ^= f.Exp(i)
+		}
+	}
+	if s1 != 0 {
+		return nil, nil, 0, ErrBCHUncorrectable
+	}
+	return out, c.extractData(out), len(positions), nil
+}
+
+// polyAddShift returns sigma + coef * x^shift * prev.
+func polyAddShift(f *GF, sigma, prev []uint16, coef uint16, shift int) []uint16 {
+	size := len(prev) + shift
+	if len(sigma) > size {
+		size = len(sigma)
+	}
+	out := make([]uint16, size)
+	copy(out, sigma)
+	for i, c := range prev {
+		out[i+shift] ^= f.Mul(coef, c)
+	}
+	// trim trailing zeros
+	for len(out) > 1 && out[len(out)-1] == 0 {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+// extractData pulls the K systematic data bits out of a codeword.
+func (c *BCH) extractData(cw []byte) []byte {
+	data := make([]byte, (c.K+7)/8)
+	nk := c.N - c.K
+	for i := 0; i < c.K; i++ {
+		putBit(data, i, getBit(cw, nk+i))
+	}
+	return data
+}

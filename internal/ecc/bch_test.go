@@ -1,0 +1,301 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGFArithmetic(t *testing.T) {
+	for _, m := range []int{4, 8, 10} {
+		f, err := NewGF(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.N != (1<<m)-1 {
+			t.Fatalf("m=%d: N = %d", m, f.N)
+		}
+		// α generates the whole multiplicative group.
+		seen := map[uint16]bool{}
+		for i := 0; i < f.N; i++ {
+			v := f.Exp(i)
+			if v == 0 || seen[v] {
+				t.Fatalf("m=%d: exp table degenerate at %d", m, i)
+			}
+			seen[v] = true
+		}
+		// Inverses.
+		for a := uint16(1); a <= uint16(f.N); a++ {
+			if f.Mul(a, f.Inv(a)) != 1 {
+				t.Fatalf("m=%d: a*inv(a) != 1 for a=%d", m, a)
+			}
+		}
+	}
+}
+
+func TestGFUnsupportedDegree(t *testing.T) {
+	if _, err := NewGF(3); err == nil {
+		t.Fatal("m=3 accepted")
+	}
+	if _, err := NewGF(11); err == nil {
+		t.Fatal("m=11 accepted")
+	}
+}
+
+func TestGFProperties(t *testing.T) {
+	f, _ := NewGF(8)
+	mask := uint16(0xff)
+	assoc := func(a, b, c uint16) bool {
+		a, b, c = a&mask, b&mask, c&mask
+		return f.Mul(f.Mul(a, b), c) == f.Mul(a, f.Mul(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	distrib := func(a, b, c uint16) bool {
+		a, b, c = a&mask, b&mask, c&mask
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error(err)
+	}
+	divMul := func(a, b uint16) bool {
+		a, b = a&mask, b&mask
+		if b == 0 {
+			return true
+		}
+		return f.Mul(f.Div(a, b), b) == a
+	}
+	if err := quick.Check(divMul, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCHConstruction(t *testing.T) {
+	cases := []struct{ m, t, wantN int }{
+		{4, 1, 15}, {4, 2, 15}, {5, 3, 31}, {8, 18, 255},
+	}
+	for _, tc := range cases {
+		c, err := NewBCH(tc.m, tc.t)
+		if err != nil {
+			t.Fatalf("m=%d t=%d: %v", tc.m, tc.t, err)
+		}
+		if c.N != tc.wantN {
+			t.Fatalf("%v: N = %d", c, c.N)
+		}
+		if c.K <= 0 || c.K >= c.N {
+			t.Fatalf("%v: K = %d", c, c.K)
+		}
+	}
+	// Known code: BCH(255, 131, 18).
+	c, _ := NewBCH(8, 18)
+	if c.K != 131 {
+		t.Fatalf("BCH(255,*,18) K = %d, want 131", c.K)
+	}
+	// Known code: BCH(15, 7, 2).
+	c, _ = NewBCH(4, 2)
+	if c.K != 7 {
+		t.Fatalf("BCH(15,*,2) K = %d, want 7", c.K)
+	}
+}
+
+func TestBCHRejectsBadParams(t *testing.T) {
+	if _, err := NewBCH(4, 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := NewBCH(4, 8); err == nil {
+		t.Fatal("2t >= n accepted")
+	}
+	if _, err := NewBCH(3, 1); err == nil {
+		t.Fatal("unsupported field accepted")
+	}
+}
+
+func randomBitsBCH(r *rng.Rand, n int) []byte {
+	b := make([]byte, (n+7)/8)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	// mask stray bits
+	if n%8 != 0 {
+		b[len(b)-1] &= byte(1<<(n%8)) - 1
+	}
+	return b
+}
+
+func TestBCHRoundTripClean(t *testing.T) {
+	r := rng.New(1)
+	for _, params := range []struct{ m, t int }{{4, 2}, {5, 3}, {8, 18}} {
+		c, err := NewBCH(params.m, params.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			data := randomBitsBCH(r, c.K)
+			cw, err := c.EncodeBits(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, got, n, err := c.DecodeBits(cw)
+			if err != nil {
+				t.Fatalf("%v: clean decode failed: %v", c, err)
+			}
+			if n != 0 {
+				t.Fatalf("%v: clean decode corrected %d", c, n)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v: data mismatch", c)
+			}
+		}
+	}
+}
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	r := rng.New(2)
+	for _, params := range []struct{ m, t int }{{4, 2}, {5, 3}, {8, 18}} {
+		c, err := NewBCH(params.m, params.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nerr := 1; nerr <= c.T; nerr++ {
+			data := randomBitsBCH(r, c.K)
+			cw, _ := c.EncodeBits(data)
+			noisy := append([]byte(nil), cw...)
+			for _, pos := range r.SampleK(c.N, nerr) {
+				putBit(noisy, pos, getBit(noisy, pos)^1)
+			}
+			fixed, got, n, err := c.DecodeBits(noisy)
+			if err != nil {
+				t.Fatalf("%v: %d errors not corrected: %v", c, nerr, err)
+			}
+			if n != nerr {
+				t.Fatalf("%v: corrected %d of %d", c, n, nerr)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v: wrong data after correcting %d errors", c, nerr)
+			}
+			if !bytes.Equal(fixed, cw) {
+				t.Fatalf("%v: codeword not restored", c)
+			}
+		}
+	}
+}
+
+func TestBCHDetectsOverload(t *testing.T) {
+	r := rng.New(3)
+	c, _ := NewBCH(5, 3) // BCH(31, 16, 3)
+	failures := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		data := randomBitsBCH(r, c.K)
+		cw, _ := c.EncodeBits(data)
+		noisy := append([]byte(nil), cw...)
+		for _, pos := range r.SampleK(c.N, c.T+3) {
+			putBit(noisy, pos, getBit(noisy, pos)^1)
+		}
+		_, got, _, err := c.DecodeBits(noisy)
+		if err != nil {
+			failures++
+			continue
+		}
+		if !bytes.Equal(got, data) {
+			failures++ // miscorrected to another codeword: also a failure signal for this test's purposes
+		}
+	}
+	// Beyond-capacity patterns mostly fail or miscorrect; with t+3
+	// errors the decoder must reject (or land on a different codeword)
+	// in the vast majority of trials.
+	if failures < trials*3/4 {
+		t.Fatalf("only %d/%d overloaded decodes failed", failures, trials)
+	}
+}
+
+func TestBCHEncodeValidation(t *testing.T) {
+	c, _ := NewBCH(4, 2)
+	if _, err := c.EncodeBits([]byte{}); err == nil {
+		t.Fatal("short data accepted")
+	}
+	if _, _, _, err := c.DecodeBits([]byte{1}); err == nil {
+		t.Fatal("short codeword accepted")
+	}
+}
+
+func TestBCHFuzzyRoundTrip(t *testing.T) {
+	r := rng.New(4)
+	code, err := NewBCH(8, 18) // BCH(255, 131, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	response := randomBitsBCH(r, code.N)
+	secret := randomBitsBCH(r, code.K)
+	helper, err := GenerateBCHHelper(code, response, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up to 18 flipped response bits: exact reproduction.
+	for _, flips := range []int{0, 5, 18} {
+		noisy := append([]byte(nil), response...)
+		for _, pos := range r.SampleK(code.N, flips) {
+			putBit(noisy, pos, getBit(noisy, pos)^1)
+		}
+		got, err := ReproduceBCH(helper, noisy)
+		if err != nil {
+			t.Fatalf("flips=%d: %v", flips, err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("flips=%d: secret mismatch", flips)
+		}
+	}
+	// 30 flips: reproduction must fail loudly, not silently differ.
+	noisy := append([]byte(nil), response...)
+	for _, pos := range r.SampleK(code.N, 30) {
+		putBit(noisy, pos, getBit(noisy, pos)^1)
+	}
+	if got, err := ReproduceBCH(helper, noisy); err == nil && bytes.Equal(got, secret) {
+		t.Fatal("30 flips reproduced the secret (t=18)")
+	}
+}
+
+func TestBCHFuzzyValidation(t *testing.T) {
+	code, _ := NewBCH(4, 2)
+	if _, err := GenerateBCHHelper(code, []byte{1}, make([]byte, 2)); err == nil {
+		t.Fatal("short response accepted")
+	}
+	if _, err := GenerateBCHHelper(code, make([]byte, 2), []byte{}); err == nil {
+		t.Fatal("short secret accepted")
+	}
+	if _, err := ReproduceBCH(BCHHelper{M: 3, T: 1}, make([]byte, 4)); err == nil {
+		t.Fatal("bad field accepted")
+	}
+	if _, err := ReproduceBCH(BCHHelper{M: 4, T: 2, Offset: []byte{0}}, make([]byte, 4)); err == nil {
+		t.Fatal("short offset accepted")
+	}
+}
+
+// Rate comparison: BCH extracts far more key bits per response bit
+// than the repetition code at comparable noise tolerance.
+func TestBCHBeatsRepetitionRate(t *testing.T) {
+	code, _ := NewBCH(8, 18)
+	bchKeyBitsPer255 := code.K           // 131
+	repKeyBitsPer255 := 255 / Repetition // 51
+	if bchKeyBitsPer255 <= repKeyBitsPer255 {
+		t.Fatalf("BCH rate %d not better than repetition %d", bchKeyBitsPer255, repKeyBitsPer255)
+	}
+}
+
+func BenchmarkBCHDecode255(b *testing.B) {
+	r := rng.New(1)
+	c, _ := NewBCH(8, 18)
+	data := randomBitsBCH(r, c.K)
+	cw, _ := c.EncodeBits(data)
+	noisy := append([]byte(nil), cw...)
+	for _, pos := range r.SampleK(c.N, 10) {
+		putBit(noisy, pos, getBit(noisy, pos)^1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, _ = c.DecodeBits(noisy)
+	}
+}

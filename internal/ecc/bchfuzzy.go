@@ -1,0 +1,62 @@
+package ecc
+
+import "fmt"
+
+// BCH-based code-offset fuzzy extractor: the production-grade
+// alternative to the repetition code in fuzzy.go. A BCH(255,131,t=18)
+// block turns 255 response bits into 131 key bits while absorbing 18
+// bit flips (7% noise) — versus the repetition code's 51 key bits at
+// 2-of-5 tolerance over the same response length.
+
+// BCHHelper is the public helper data of the BCH extractor.
+type BCHHelper struct {
+	// Offset is response XOR codeword(secret), n bits packed.
+	Offset []byte
+	// M and T identify the code so the client can reconstruct it.
+	M, T int
+}
+
+// GenerateBCHHelper binds a secret of code.K bits to a reference
+// response of code.N bits.
+func GenerateBCHHelper(code *BCH, response, secret []byte) (BCHHelper, error) {
+	if len(response)*8 < code.N {
+		return BCHHelper{}, fmt.Errorf("ecc: response carries %d bits, need %d", len(response)*8, code.N)
+	}
+	if len(secret)*8 < code.K {
+		return BCHHelper{}, fmt.Errorf("ecc: secret carries %d bits, need %d", len(secret)*8, code.K)
+	}
+	cw, err := code.EncodeBits(secret)
+	if err != nil {
+		return BCHHelper{}, err
+	}
+	offset := make([]byte, len(cw))
+	for i := 0; i < code.N; i++ {
+		putBit(offset, i, getBit(response, i)^getBit(cw, i))
+	}
+	return BCHHelper{Offset: offset, M: code.field.M, T: code.T}, nil
+}
+
+// ReproduceBCH recovers the secret from a noisy response and the
+// helper data, provided the response differs from the reference in at
+// most code.T positions.
+func ReproduceBCH(helper BCHHelper, noisyResponse []byte) ([]byte, error) {
+	code, err := NewBCH(helper.M, helper.T)
+	if err != nil {
+		return nil, err
+	}
+	if len(helper.Offset)*8 < code.N {
+		return nil, fmt.Errorf("ecc: helper offset carries %d bits, need %d", len(helper.Offset)*8, code.N)
+	}
+	if len(noisyResponse)*8 < code.N {
+		return nil, fmt.Errorf("ecc: response carries %d bits, need %d", len(noisyResponse)*8, code.N)
+	}
+	noisyCW := make([]byte, (code.N+7)/8)
+	for i := 0; i < code.N; i++ {
+		putBit(noisyCW, i, getBit(noisyResponse, i)^getBit(helper.Offset, i))
+	}
+	_, secret, _, err := code.DecodeBits(noisyCW)
+	if err != nil {
+		return nil, err
+	}
+	return secret, nil
+}

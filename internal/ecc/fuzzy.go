@@ -1,0 +1,119 @@
+package ecc
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// The adaptive error-remapping protocol (paper Section 4.5, Figure 7)
+// derives a fresh logical-map key from a PUF response measured at a
+// reserved voltage. PUF responses are noisy, so the server ships
+// "error-correcting helper data" with the challenge; client and server
+// must converge on the identical key despite a few flipped response
+// bits.
+//
+// This file implements the standard code-offset fuzzy extractor over a
+// repetition code: each key bit is spread over R response bits, the
+// helper data is the XOR offset between the response and the selected
+// codeword, and majority voting during reproduction absorbs up to
+// ⌊R/2⌋ bit flips per key bit. The extracted bits are strengthened
+// into a uniform key with HMAC-SHA256.
+
+// Repetition is the replication factor of the repetition code. R=5
+// tolerates 2 flipped response bits per key bit, comfortably above the
+// <6% intra-die error rate measured on the prototype.
+const Repetition = 5
+
+// HelperData is the public value the server transmits alongside a
+// remap challenge. It reveals nothing about the key given a
+// high-entropy response (code-offset construction).
+type HelperData struct {
+	// Offset is the XOR of the response bits with the repetition
+	// codeword of the secret bits, packed LSB-first.
+	Offset []byte
+	// KeyBits is the number of secret bits encoded.
+	KeyBits int
+}
+
+// bitsNeeded returns the number of response bits a keyBits-bit secret
+// consumes under the repetition code.
+func bitsNeeded(keyBits int) int { return keyBits * Repetition }
+
+// GenerateHelper runs the fuzzy-extractor "generate" step on the
+// server's noiseless reference response. It returns the helper data
+// and the extracted key bits (packed LSB-first), from which the caller
+// derives the actual map key. response is a packed bit vector holding
+// at least keyBits*Repetition bits. secretBits supplies the fresh
+// secret (e.g. from the server's CSPRNG), packed the same way.
+func GenerateHelper(response []byte, keyBits int, secretBits []byte) (HelperData, error) {
+	need := bitsNeeded(keyBits)
+	if len(response)*8 < need {
+		return HelperData{}, fmt.Errorf("ecc: response carries %d bits, need %d", len(response)*8, need)
+	}
+	if len(secretBits)*8 < keyBits {
+		return HelperData{}, fmt.Errorf("ecc: secret carries %d bits, need %d", len(secretBits)*8, keyBits)
+	}
+	offset := make([]byte, (need+7)/8)
+	for i := 0; i < keyBits; i++ {
+		s := bit(secretBits, i)
+		for r := 0; r < Repetition; r++ {
+			pos := i*Repetition + r
+			o := bit(response, pos) ^ s
+			setBit(offset, pos, o)
+		}
+	}
+	return HelperData{Offset: offset, KeyBits: keyBits}, nil
+}
+
+// Reproduce runs the fuzzy-extractor "reproduce" step on the client's
+// noisy response, recovering the secret bits by majority vote. It
+// fails only if the helper data is malformed.
+func Reproduce(noisyResponse []byte, helper HelperData) ([]byte, error) {
+	need := bitsNeeded(helper.KeyBits)
+	if helper.KeyBits <= 0 {
+		return nil, errors.New("ecc: helper data has no key bits")
+	}
+	if len(helper.Offset)*8 < need {
+		return nil, fmt.Errorf("ecc: helper offset carries %d bits, need %d", len(helper.Offset)*8, need)
+	}
+	if len(noisyResponse)*8 < need {
+		return nil, fmt.Errorf("ecc: response carries %d bits, need %d", len(noisyResponse)*8, need)
+	}
+	secret := make([]byte, (helper.KeyBits+7)/8)
+	for i := 0; i < helper.KeyBits; i++ {
+		votes := 0
+		for r := 0; r < Repetition; r++ {
+			pos := i*Repetition + r
+			if bit(noisyResponse, pos)^bit(helper.Offset, pos) == 1 {
+				votes++
+			}
+		}
+		if votes > Repetition/2 {
+			setBit(secret, i, 1)
+		}
+	}
+	return secret, nil
+}
+
+// StrengthenKey turns reproduced secret bits into a uniform 32-byte key
+// via HMAC-SHA256 under a domain-separation label. Both sides run the
+// identical derivation, so equal secrets yield equal keys.
+func StrengthenKey(secret []byte, label string) [32]byte {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte("authenticache/fuzzy-extractor/v1/"))
+	mac.Write([]byte(label))
+	var key [32]byte
+	copy(key[:], mac.Sum(nil))
+	return key
+}
+
+func bit(b []byte, i int) byte { return (b[i/8] >> uint(i%8)) & 1 }
+func setBit(b []byte, i int, v byte) {
+	if v&1 == 1 {
+		b[i/8] |= 1 << uint(i%8)
+	} else {
+		b[i/8] &^= 1 << uint(i%8)
+	}
+}

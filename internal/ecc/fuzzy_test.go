@@ -1,0 +1,147 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomBits(r *rng.Rand, n int) []byte {
+	b := make([]byte, (n+7)/8)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	return b
+}
+
+func TestFuzzyRoundTripNoiseless(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		keyBits := 32 + trial
+		resp := randomBits(r, bitsNeeded(keyBits))
+		secret := randomBits(r, keyBits)
+		helper, err := GenerateHelper(resp, keyBits, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Reproduce(resp, helper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < keyBits; i++ {
+			if bit(got, i) != bit(secret, i) {
+				t.Fatalf("trial %d: secret bit %d mismatched", trial, i)
+			}
+		}
+	}
+}
+
+func TestFuzzyToleratesNoise(t *testing.T) {
+	r := rng.New(2)
+	const keyBits = 128
+	need := bitsNeeded(keyBits)
+	resp := randomBits(r, need)
+	secret := randomBits(r, keyBits)
+	helper, err := GenerateHelper(resp, keyBits, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip up to 2 bits in each repetition group: must still decode.
+	noisy := append([]byte(nil), resp...)
+	for i := 0; i < keyBits; i++ {
+		base := i * Repetition
+		flips := r.Intn(3) // 0, 1 or 2
+		for _, off := range r.SampleK(Repetition, flips) {
+			pos := base + off
+			noisy[pos/8] ^= 1 << uint(pos%8)
+		}
+	}
+	got, err := Reproduce(noisy, helper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < keyBits; i++ {
+		if bit(got, i) != bit(secret, i) {
+			t.Fatalf("bit %d corrupted despite <=2 flips per group", i)
+		}
+	}
+}
+
+func TestFuzzyFailsBeyondCapacity(t *testing.T) {
+	r := rng.New(3)
+	const keyBits = 64
+	resp := randomBits(r, bitsNeeded(keyBits))
+	secret := randomBits(r, keyBits)
+	helper, _ := GenerateHelper(resp, keyBits, secret)
+	// Flip 3 of 5 bits in group 0: majority vote must flip that bit.
+	noisy := append([]byte(nil), resp...)
+	for pos := 0; pos < 3; pos++ {
+		noisy[pos/8] ^= 1 << uint(pos%8)
+	}
+	got, err := Reproduce(noisy, helper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bit(got, 0) == bit(secret, 0) {
+		t.Fatal("3-of-5 flips should defeat the repetition code for that bit")
+	}
+}
+
+func TestGenerateHelperValidation(t *testing.T) {
+	if _, err := GenerateHelper(make([]byte, 1), 64, make([]byte, 8)); err == nil {
+		t.Fatal("short response accepted")
+	}
+	if _, err := GenerateHelper(make([]byte, 64), 64, make([]byte, 1)); err == nil {
+		t.Fatal("short secret accepted")
+	}
+}
+
+func TestReproduceValidation(t *testing.T) {
+	if _, err := Reproduce(make([]byte, 64), HelperData{KeyBits: 0}); err == nil {
+		t.Fatal("zero key bits accepted")
+	}
+	if _, err := Reproduce(make([]byte, 64), HelperData{Offset: make([]byte, 1), KeyBits: 64}); err == nil {
+		t.Fatal("short offset accepted")
+	}
+	if _, err := Reproduce(make([]byte, 1), HelperData{Offset: make([]byte, 64), KeyBits: 64}); err == nil {
+		t.Fatal("short response accepted")
+	}
+}
+
+func TestStrengthenKeyDeterministicAndSeparated(t *testing.T) {
+	s := []byte{1, 2, 3, 4}
+	a := StrengthenKey(s, "mapA")
+	b := StrengthenKey(s, "mapA")
+	if a != b {
+		t.Fatal("same inputs produced different keys")
+	}
+	c := StrengthenKey(s, "mapB")
+	if a == c {
+		t.Fatal("different labels produced identical keys")
+	}
+	d := StrengthenKey([]byte{1, 2, 3, 5}, "mapA")
+	if a == d {
+		t.Fatal("different secrets produced identical keys")
+	}
+}
+
+func TestHelperDataRevealsNothingTrivially(t *testing.T) {
+	// Sanity: helper offset must not equal the secret's codeword (it is
+	// masked by the response) for a random response.
+	r := rng.New(4)
+	const keyBits = 64
+	resp := randomBits(r, bitsNeeded(keyBits))
+	secret := randomBits(r, keyBits)
+	helper, _ := GenerateHelper(resp, keyBits, secret)
+	// Reconstruct codeword of secret and compare.
+	cw := make([]byte, len(helper.Offset))
+	for i := 0; i < keyBits; i++ {
+		for rr := 0; rr < Repetition; rr++ {
+			setBit(cw, i*Repetition+rr, bit(secret, i))
+		}
+	}
+	if bytes.Equal(cw, helper.Offset) {
+		t.Fatal("helper offset leaked the raw codeword")
+	}
+}

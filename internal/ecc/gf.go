@@ -1,0 +1,109 @@
+package ecc
+
+import "fmt"
+
+// Galois-field arithmetic over GF(2^m), the foundation of the BCH
+// codec in bch.go. Elements are represented in polynomial basis as
+// uint16; exp/log tables make multiplication and inversion O(1).
+
+// primitivePolys[m] is a primitive polynomial of degree m over GF(2),
+// with the x^m term included (e.g. m=8: x^8+x^4+x^3+x^2+1 = 0x11d).
+var primitivePolys = map[int]uint32{
+	4:  0x13,  // x^4+x+1
+	5:  0x25,  // x^5+x^2+1
+	6:  0x43,  // x^6+x+1
+	7:  0x89,  // x^7+x^3+1
+	8:  0x11d, // x^8+x^4+x^3+x^2+1
+	9:  0x211, // x^9+x^4+1
+	10: 0x409, // x^10+x^3+1
+}
+
+// GF is a finite field GF(2^m).
+type GF struct {
+	M    int // extension degree
+	N    int // multiplicative group order: 2^m - 1
+	exp  []uint16
+	log  []int
+	poly uint32
+}
+
+// NewGF constructs GF(2^m) for 4 <= m <= 10.
+func NewGF(m int) (*GF, error) {
+	poly, ok := primitivePolys[m]
+	if !ok {
+		return nil, fmt.Errorf("ecc: no primitive polynomial for m=%d", m)
+	}
+	n := (1 << m) - 1
+	f := &GF{M: m, N: n, poly: poly}
+	f.exp = make([]uint16, 2*n)
+	f.log = make([]int, n+1)
+	x := uint32(1)
+	for i := 0; i < n; i++ {
+		f.exp[i] = uint16(x)
+		f.log[x] = i
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= poly
+		}
+	}
+	// Duplicate the exp table so products of logs need no modulo.
+	copy(f.exp[n:], f.exp[:n])
+	return f, nil
+}
+
+// Add returns a + b (XOR in characteristic 2).
+func (f *GF) Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns a * b.
+func (f *GF) Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns a^-1; it panics on zero.
+func (f *GF) Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("ecc: inverse of zero in GF(2^m)")
+	}
+	return f.exp[f.N-f.log[a]]
+}
+
+// Div returns a / b; it panics when b is zero.
+func (f *GF) Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("ecc: division by zero in GF(2^m)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[(f.log[a]-f.log[b]+f.N)%f.N]
+}
+
+// Exp returns α^i for the primitive element α.
+func (f *GF) Exp(i int) uint16 {
+	i %= f.N
+	if i < 0 {
+		i += f.N
+	}
+	return f.exp[i]
+}
+
+// Log returns log_α(a); it panics on zero.
+func (f *GF) Log(a uint16) int {
+	if a == 0 {
+		panic("ecc: log of zero in GF(2^m)")
+	}
+	return f.log[a]
+}
+
+// PolyEval evaluates a polynomial with coefficients c (c[i] is the
+// coefficient of x^i) at point x.
+func (f *GF) PolyEval(c []uint16, x uint16) uint16 {
+	var acc uint16
+	for i := len(c) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), c[i])
+	}
+	return acc
+}

@@ -1,0 +1,208 @@
+// Package ecc implements the error-correction substrate that
+// Authenticache rides on: a Hamming(72,64) SECDED code of the kind
+// protecting the Itanium 9560 L2 arrays, and a repetition-code fuzzy
+// extractor used for the adaptive error-remapping key update (paper
+// Section 4.5).
+//
+// SECDED (single-error-correct, double-error-detect) extends a Hamming
+// code with an overall parity bit. Every 64-bit data word is stored as
+// a 72-bit codeword; a single flipped bit is silently corrected and
+// logged as a correctable event, while two flipped bits raise an
+// uncorrectable event. Authenticache's entire signal — which cache
+// lines produce correctable events at low voltage — flows through this
+// codec.
+package ecc
+
+import "fmt"
+
+// Codeword geometry. Check bits live at power-of-two positions
+// 1,2,4,...,64 of the (1-based) Hamming layout, plus an overall parity
+// bit at position 0 of our 72-bit word.
+const (
+	DataBits  = 64
+	CheckBits = 7 // Hamming check bits for 64 data bits
+	TotalBits = DataBits + CheckBits + 1
+)
+
+// Result classifies the outcome of decoding one codeword.
+type Result int
+
+const (
+	// OK means the codeword carried no detectable error.
+	OK Result = iota
+	// Corrected means exactly one bit was flipped and has been repaired.
+	Corrected
+	// Uncorrectable means a double (or detectable multi-bit) error.
+	Uncorrectable
+)
+
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Codeword is a 72-bit SECDED codeword: bit 0 is overall parity, bits
+// 1..71 are the Hamming layout (check bits at positions 1,2,4,8,16,32,
+// 64; data bits elsewhere).
+type Codeword struct {
+	Lo uint64 // bits 0..63
+	Hi uint8  // bits 64..71
+}
+
+// Bit returns bit i (0 <= i < 72).
+func (c Codeword) Bit(i int) uint {
+	if i < 64 {
+		return uint(c.Lo>>uint(i)) & 1
+	}
+	return uint(c.Hi>>uint(i-64)) & 1
+}
+
+// SetBit returns the codeword with bit i set to v (0 or 1).
+func (c Codeword) SetBit(i int, v uint) Codeword {
+	if i < 64 {
+		c.Lo = c.Lo&^(1<<uint(i)) | uint64(v&1)<<uint(i)
+	} else {
+		c.Hi = c.Hi&^(1<<uint(i-64)) | uint8(v&1)<<uint(i-64)
+	}
+	return c
+}
+
+// FlipBit returns the codeword with bit i inverted. It models a
+// physical bit-cell fault.
+func (c Codeword) FlipBit(i int) Codeword {
+	if i < 64 {
+		c.Lo ^= 1 << uint(i)
+	} else {
+		c.Hi ^= 1 << uint(i-64)
+	}
+	return c
+}
+
+// dataPositions[i] is the 1-based Hamming position of data bit i.
+// Positions 1..71 excluding powers of two, in ascending order.
+var dataPositions = func() [DataBits]int {
+	var pos [DataBits]int
+	i := 0
+	for p := 1; p <= 71 && i < DataBits; p++ {
+		if p&(p-1) == 0 { // power of two: check bit
+			continue
+		}
+		pos[i] = p
+		i++
+	}
+	if i != DataBits {
+		panic("ecc: layout does not fit 64 data bits")
+	}
+	return pos
+}()
+
+// Encode produces the SECDED codeword for a 64-bit data word.
+func Encode(data uint64) Codeword {
+	var cw Codeword
+	// Place data bits.
+	for i := 0; i < DataBits; i++ {
+		cw = cw.SetBit(dataPositions[i], uint(data>>uint(i))&1)
+	}
+	// Compute Hamming check bits: check bit at position 2^k covers all
+	// positions whose k-th bit is set.
+	for k := 0; k < CheckBits; k++ {
+		p := 1 << uint(k)
+		var parity uint
+		for pos := 1; pos <= 71; pos++ {
+			if pos&p != 0 && pos != p {
+				parity ^= cw.Bit(pos)
+			}
+		}
+		cw = cw.SetBit(p, parity)
+	}
+	// Overall parity over bits 1..71 stored at bit 0, making total
+	// parity of the 72-bit word even.
+	var overall uint
+	for pos := 1; pos <= 71; pos++ {
+		overall ^= cw.Bit(pos)
+	}
+	cw = cw.SetBit(0, overall)
+	return cw
+}
+
+// Syndrome computes the Hamming syndrome and the overall parity of a
+// (possibly corrupted) codeword. syndrome == 0 and parityOK means no
+// error; syndrome != 0 and !parityOK means a single error at position
+// `syndrome`; syndrome != 0 and parityOK means a double error;
+// syndrome == 0 and !parityOK means the overall parity bit itself
+// flipped.
+func Syndrome(cw Codeword) (syndrome int, parityOK bool) {
+	for k := 0; k < CheckBits; k++ {
+		p := 1 << uint(k)
+		var parity uint
+		for pos := 1; pos <= 71; pos++ {
+			if pos&p != 0 {
+				parity ^= cw.Bit(pos)
+			}
+		}
+		if parity != 0 {
+			syndrome |= p
+		}
+	}
+	var overall uint
+	for pos := 0; pos <= 71; pos++ {
+		overall ^= cw.Bit(pos)
+	}
+	return syndrome, overall == 0
+}
+
+// Decode recovers the data word from a codeword, correcting a single
+// bit error if present. It reports what happened and, for Corrected
+// results, the (0-based, 72-bit layout) position that was repaired;
+// the position is -1 otherwise.
+func Decode(cw Codeword) (data uint64, res Result, fixedBit int) {
+	syn, parityOK := Syndrome(cw)
+	fixedBit = -1
+	switch {
+	case syn == 0 && parityOK:
+		res = OK
+	case syn == 0 && !parityOK:
+		// The overall parity bit itself flipped; data is intact.
+		res = Corrected
+		fixedBit = 0
+		cw = cw.FlipBit(0)
+	case syn != 0 && !parityOK:
+		if syn > 71 {
+			// Syndrome points outside the word: multi-bit corruption.
+			return extract(cw), Uncorrectable, -1
+		}
+		res = Corrected
+		fixedBit = syn
+		cw = cw.FlipBit(syn)
+	default: // syn != 0 && parityOK
+		res = Uncorrectable
+	}
+	return extract(cw), res, fixedBit
+}
+
+// extract pulls the 64 data bits out of a codeword without any
+// correction.
+func extract(cw Codeword) uint64 {
+	var data uint64
+	for i := 0; i < DataBits; i++ {
+		data |= uint64(cw.Bit(dataPositions[i])) << uint(i)
+	}
+	return data
+}
+
+// IsCheckBit reports whether 72-bit-layout position i holds ECC
+// metadata (overall parity or a Hamming check bit) rather than data.
+func IsCheckBit(i int) bool {
+	if i == 0 {
+		return true
+	}
+	return i&(i-1) == 0 // power of two within 1..64
+}

@@ -1,0 +1,145 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, d := range []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeefcafebabe, 1 << 63} {
+		cw := Encode(d)
+		got, res, fixed := Decode(cw)
+		if res != OK || got != d || fixed != -1 {
+			t.Fatalf("Decode(Encode(%#x)) = (%#x, %v, %d)", d, got, res, fixed)
+		}
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	d := uint64(0x0123456789abcdef)
+	cw := Encode(d)
+	for i := 0; i < TotalBits; i++ {
+		got, res, fixed := Decode(cw.FlipBit(i))
+		if res != Corrected {
+			t.Fatalf("bit %d: result %v, want Corrected", i, res)
+		}
+		if got != d {
+			t.Fatalf("bit %d: data %#x, want %#x", i, got, d)
+		}
+		if fixed != i {
+			t.Fatalf("bit %d: reported fix at %d", i, fixed)
+		}
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	d := uint64(0xfeedface12345678)
+	cw := Encode(d)
+	for i := 0; i < TotalBits; i++ {
+		for j := i + 1; j < TotalBits; j += 7 { // sample pairs
+			_, res, _ := Decode(cw.FlipBit(i).FlipBit(j))
+			if res != Uncorrectable {
+				t.Fatalf("bits (%d,%d): result %v, want Uncorrectable", i, j, res)
+			}
+		}
+	}
+}
+
+// Property: round trip holds for arbitrary data words.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(d uint64) bool {
+		got, res, _ := Decode(Encode(d))
+		return res == OK && got == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any single flip of an arbitrary codeword is corrected back.
+func TestSingleFlipProperty(t *testing.T) {
+	f := func(d uint64, pos uint8) bool {
+		i := int(pos) % TotalBits
+		got, res, fixed := Decode(Encode(d).FlipBit(i))
+		return res == Corrected && got == d && fixed == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any double flip is flagged uncorrectable, never silently
+// miscorrected into OK.
+func TestDoubleFlipProperty(t *testing.T) {
+	f := func(d uint64, p1, p2 uint8) bool {
+		i, j := int(p1)%TotalBits, int(p2)%TotalBits
+		if i == j {
+			return true
+		}
+		_, res, _ := Decode(Encode(d).FlipBit(i).FlipBit(j))
+		return res == Uncorrectable
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitSetGet(t *testing.T) {
+	var cw Codeword
+	for _, i := range []int{0, 1, 63, 64, 71} {
+		cw = cw.SetBit(i, 1)
+		if cw.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+		cw = cw.SetBit(i, 0)
+		if cw.Bit(i) != 0 {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestIsCheckBit(t *testing.T) {
+	wantCheck := map[int]bool{0: true, 1: true, 2: true, 4: true, 8: true, 16: true, 32: true, 64: true}
+	count := 0
+	for i := 0; i < TotalBits; i++ {
+		if IsCheckBit(i) != wantCheck[i] {
+			t.Fatalf("IsCheckBit(%d) = %v", i, IsCheckBit(i))
+		}
+		if IsCheckBit(i) {
+			count++
+		}
+	}
+	if count != CheckBits+1 {
+		t.Fatalf("%d check bits, want %d", count, CheckBits+1)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Uncorrectable.String() != "uncorrectable" {
+		t.Fatal("Result strings wrong")
+	}
+	if Result(42).String() != "Result(42)" {
+		t.Fatal("unknown Result string wrong")
+	}
+}
+
+func TestSyndromeZeroOnClean(t *testing.T) {
+	syn, parityOK := Syndrome(Encode(0x55aa55aa55aa55aa))
+	if syn != 0 || !parityOK {
+		t.Fatalf("clean codeword syndrome = (%d,%v)", syn, parityOK)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkDecodeCorrect(b *testing.B) {
+	cw := Encode(0xdeadbeefcafebabe).FlipBit(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Decode(cw)
+	}
+}

@@ -1,0 +1,162 @@
+// Package enroll implements the factory enrollment station: the
+// post-manufacturing pipeline (paper Section 2.1) that characterises
+// each chip's low-voltage error map, screens it against acceptance
+// criteria, and provisions it into an authentication server.
+//
+// Screening matters because the PUF's quality degrades at both ends of
+// the error-density spectrum: too few errors make challenges slow
+// (Figure 14: runtime grows as maps get sparser) and reduce entropy;
+// too many mean the chip's safe-voltage floor sits uncomfortably close
+// to the challenge band. The station also verifies persistence by
+// re-characterising each plane and comparing — a chip whose error map
+// is unstable at the factory will false-reject in the field.
+package enroll
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/errormap"
+	"repro/internal/mapkey"
+)
+
+// Criteria are the acceptance thresholds of the station.
+type Criteria struct {
+	// AuthPlanes and ReservedPlanes set how many voltage levels are
+	// characterised for authentication and for key updates.
+	AuthPlanes     int
+	ReservedPlanes int
+	// PlaneSpacingMV is the vertical spacing between levels.
+	PlaneSpacingMV int
+
+	// MinErrorsPerPlane rejects sparse, slow, low-entropy maps.
+	MinErrorsPerPlane int
+	// MaxErrorsPerPlane rejects chips whose defect density is
+	// anomalous (possible systematic defect or test escape).
+	MaxErrorsPerPlane int
+
+	// FloorWindowMV rejects chips whose calibrated floor falls outside
+	// [Min, Max] — either end indicates out-of-family silicon.
+	MinFloorMV, MaxFloorMV int
+
+	// MaxInstabilityPct bounds the fraction of map cells that differ
+	// between two independent characterisations of the same plane.
+	MaxInstabilityPct float64
+}
+
+// DefaultCriteria matches the repo calibration for 1 MB-class caches.
+// Error-count bounds scale with cache size: the defect model places
+// ~150 weak lines per 64 K lines.
+func DefaultCriteria(cacheLines int) Criteria {
+	expected := 150 * cacheLines / 65536
+	return Criteria{
+		AuthPlanes:        2,
+		ReservedPlanes:    1,
+		PlaneSpacingMV:    10,
+		MinErrorsPerPlane: expected / 8,
+		MaxErrorsPerPlane: expected * 4,
+		MinFloorMV:        600,
+		MaxFloorMV:        720,
+		MaxInstabilityPct: 25,
+	}
+}
+
+// Record is the provisioning artifact the station produces for an
+// accepted chip.
+type Record struct {
+	ID           auth.ClientID
+	FloorMV      int
+	Map          *errormap.Map
+	AuthVdds     []int
+	ReservedVdds []int
+	// InstabilityPct is the measured plane instability (lower is
+	// better; 0 means the two characterisations agreed exactly).
+	InstabilityPct float64
+}
+
+// Result reports the screening outcome; Rejections is empty iff the
+// chip was accepted.
+type Result struct {
+	Record     Record
+	Rejections []string
+}
+
+// Accepted reports whether the chip cleared every screen.
+func (r *Result) Accepted() bool { return len(r.Rejections) == 0 }
+
+// Characterize runs the full station flow on one chip. Screening
+// failures do not abort characterisation: the Result lists every
+// violated criterion so yield analysis sees the complete picture.
+func Characterize(chip *core.Chip, id auth.ClientID, crit Criteria) (*Result, error) {
+	if crit.AuthPlanes <= 0 || crit.PlaneSpacingMV <= 0 {
+		return nil, fmt.Errorf("enroll: invalid criteria %+v", crit)
+	}
+	res := &Result{Record: Record{ID: id, FloorMV: chip.FloorMV()}}
+
+	if chip.FloorMV() < crit.MinFloorMV || chip.FloorMV() > crit.MaxFloorMV {
+		res.Rejections = append(res.Rejections,
+			fmt.Sprintf("floor %d mV outside [%d, %d]", chip.FloorMV(), crit.MinFloorMV, crit.MaxFloorMV))
+	}
+
+	levels := chip.AuthVoltagesMV(crit.AuthPlanes+crit.ReservedPlanes, crit.PlaneSpacingMV)
+	m, err := chip.Enroll(levels)
+	if err != nil {
+		return nil, fmt.Errorf("enroll: characterisation failed: %w", err)
+	}
+	res.Record.Map = m
+	// Reserve the lowest (densest) planes for key updates.
+	res.Record.AuthVdds = levels[:crit.AuthPlanes]
+	res.Record.ReservedVdds = levels[crit.AuthPlanes:]
+
+	for _, v := range levels {
+		n := m.Plane(v).ErrorCount()
+		if n < crit.MinErrorsPerPlane {
+			res.Rejections = append(res.Rejections,
+				fmt.Sprintf("plane %d mV has %d errors, below minimum %d", v, n, crit.MinErrorsPerPlane))
+		}
+		if crit.MaxErrorsPerPlane > 0 && n > crit.MaxErrorsPerPlane {
+			res.Rejections = append(res.Rejections,
+				fmt.Sprintf("plane %d mV has %d errors, above maximum %d", v, n, crit.MaxErrorsPerPlane))
+		}
+	}
+
+	// Stability screen: re-characterise the densest auth plane and
+	// compare. The symmetric difference over the union approximates
+	// the intra-die variation the server will face.
+	stabilityVdd := res.Record.AuthVdds[len(res.Record.AuthVdds)-1]
+	second, err := chip.Enroll([]int{stabilityVdd})
+	if err != nil {
+		return nil, fmt.Errorf("enroll: stability re-characterisation failed: %w", err)
+	}
+	res.Record.InstabilityPct = instability(m.Plane(stabilityVdd), second.Plane(stabilityVdd))
+	if res.Record.InstabilityPct > crit.MaxInstabilityPct {
+		res.Rejections = append(res.Rejections,
+			fmt.Sprintf("plane %d mV instability %.1f%% exceeds %.1f%%",
+				stabilityVdd, res.Record.InstabilityPct, crit.MaxInstabilityPct))
+	}
+	return res, nil
+}
+
+// instability returns the symmetric-difference percentage between two
+// characterisations of the same plane.
+func instability(a, b *errormap.Plane) float64 {
+	diff := a.DiffCount(b)
+	union := a.ErrorCount() + b.ErrorCount()
+	// union counts the intersection twice; |A∪B| = |A|+|B|-|A∩B| and
+	// diff = |A|+|B|-2|A∩B|, so |A∪B| = (|A|+|B|+diff)/2.
+	u := float64(union+diff) / 2
+	if u == 0 {
+		return 0
+	}
+	return float64(diff) / u * 100
+}
+
+// Provision enrolls an accepted chip into the authentication server
+// and returns the initial remap key to burn into the device.
+func Provision(srv *auth.Server, res *Result) (mapkey.Key, error) {
+	if !res.Accepted() {
+		return mapkey.Key{}, fmt.Errorf("enroll: chip %q rejected: %v", res.Record.ID, res.Rejections)
+	}
+	return srv.Enroll(res.Record.ID, res.Record.Map, res.Record.ReservedVdds...)
+}

@@ -1,0 +1,161 @@
+package enroll
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+func stationChip(t *testing.T, seed uint64) *core.Chip {
+	t.Helper()
+	chip, err := core.NewChip(core.ChipConfig{Seed: seed, CacheBytes: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+func TestHealthyChipAccepted(t *testing.T) {
+	chip := stationChip(t, 1)
+	crit := DefaultCriteria(chip.Geometry().Lines())
+	res, err := Characterize(chip, "unit-1", crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Fatalf("healthy chip rejected: %v", res.Rejections)
+	}
+	if len(res.Record.AuthVdds) != crit.AuthPlanes || len(res.Record.ReservedVdds) != crit.ReservedPlanes {
+		t.Fatalf("plane split wrong: %v / %v", res.Record.AuthVdds, res.Record.ReservedVdds)
+	}
+	if res.Record.InstabilityPct > crit.MaxInstabilityPct {
+		t.Fatalf("instability = %v", res.Record.InstabilityPct)
+	}
+	// Reserved planes must be the lowest (densest) voltages.
+	for _, a := range res.Record.AuthVdds {
+		for _, r := range res.Record.ReservedVdds {
+			if r >= a {
+				t.Fatalf("reserved plane %d not below auth plane %d", r, a)
+			}
+		}
+	}
+}
+
+func TestProvisionIntoServerAndAuthenticate(t *testing.T) {
+	chip := stationChip(t, 2)
+	crit := DefaultCriteria(chip.Geometry().Lines())
+	res, err := Characterize(chip, "unit-2", crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Fatalf("rejections: %v", res.Rejections)
+	}
+	cfg := auth.DefaultConfig()
+	cfg.ChallengeBits = 64
+	srv := auth.NewServer(cfg, 7)
+	key, err := Provision(srv, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := auth.NewResponder("unit-2", chip.Device(), key)
+	ch, err := srv.IssueChallenge("unit-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	answer, err := dev.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := srv.Verify("unit-2", ch.ID, answer); !ok {
+		t.Fatal("provisioned chip rejected by server")
+	}
+	// Reserved planes really are reserved.
+	for _, v := range res.Record.ReservedVdds {
+		if _, err := srv.IssueChallengeAt("unit-2", v); err == nil {
+			t.Fatalf("reserved plane %d usable for auth", v)
+		}
+	}
+}
+
+func TestSparseMapRejected(t *testing.T) {
+	chip := stationChip(t, 3)
+	crit := DefaultCriteria(chip.Geometry().Lines())
+	crit.MinErrorsPerPlane = 1 << 20 // impossible bar
+	res, err := Characterize(chip, "unit-3", crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted() {
+		t.Fatal("chip passed an impossible error-count bar")
+	}
+	found := false
+	for _, r := range res.Rejections {
+		if strings.Contains(r, "below minimum") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing sparse-map rejection: %v", res.Rejections)
+	}
+	// Provision must refuse rejected chips.
+	srv := auth.NewServer(auth.DefaultConfig(), 1)
+	if _, err := Provision(srv, res); err == nil {
+		t.Fatal("rejected chip provisioned")
+	}
+}
+
+func TestFloorWindowRejection(t *testing.T) {
+	chip := stationChip(t, 4)
+	crit := DefaultCriteria(chip.Geometry().Lines())
+	crit.MinFloorMV = chip.FloorMV() + 1 // guarantee violation
+	res, err := Characterize(chip, "unit-4", crit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted() {
+		t.Fatal("out-of-window floor accepted")
+	}
+}
+
+func TestCriteriaValidation(t *testing.T) {
+	chip := stationChip(t, 5)
+	if _, err := Characterize(chip, "x", Criteria{}); err == nil {
+		t.Fatal("zero criteria accepted")
+	}
+}
+
+func TestInstabilityMetric(t *testing.T) {
+	g := errormap.NewGeometry(1024)
+	a := errormap.RandomPlane(g, 50, rng.New(1))
+	if got := instability(a, a.Clone()); got != 0 {
+		t.Fatalf("identical planes instability = %v", got)
+	}
+	b := errormap.NewPlane(g)
+	for i, e := range a.Errors() {
+		if i%2 == 0 {
+			b.Set(e, true)
+		}
+	}
+	// b is half of a: diff = 25, union = 50 -> 50%.
+	got := instability(a, b)
+	if got < 45 || got > 55 {
+		t.Fatalf("half-overlap instability = %v, want ~50", got)
+	}
+	empty := errormap.NewPlane(g)
+	if got := instability(empty, empty); got != 0 {
+		t.Fatalf("empty planes instability = %v", got)
+	}
+}
+
+func TestDefaultCriteriaScales(t *testing.T) {
+	small := DefaultCriteria(4096)
+	big := DefaultCriteria(65536)
+	if small.MinErrorsPerPlane >= big.MinErrorsPerPlane {
+		t.Fatal("criteria do not scale with cache size")
+	}
+}

@@ -1,0 +1,75 @@
+package errormap
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzPlaneUnmarshal hardens the wire decoder: arbitrary bytes must
+// either decode into a self-consistent plane or be rejected — never
+// panic, never produce a plane whose error count disagrees with its
+// bits.
+func FuzzPlaneUnmarshal(f *testing.F) {
+	good, _ := RandomPlane(NewGeometry(1000), 30, rng.New(1)).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Add(good[:len(good)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Plane
+		if err := p.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted planes must be internally consistent.
+		if p.ErrorCount() != len(p.Errors()) {
+			t.Fatalf("count %d != listed %d", p.ErrorCount(), len(p.Errors()))
+		}
+		round, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q Plane
+		if err := q.UnmarshalBinary(round); err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if !p.Equal(&q) {
+			t.Fatal("marshal/unmarshal not idempotent")
+		}
+	})
+}
+
+// FuzzMapUnmarshal does the same for the multi-plane container.
+func FuzzMapUnmarshal(f *testing.F) {
+	g := NewGeometry(500)
+	m := NewMap(g)
+	r := rng.New(2)
+	m.AddPlane(660, RandomPlane(g, 10, r))
+	m.AddPlane(680, RandomPlane(g, 5, r))
+	good, _ := m.MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalMap(data)
+		if err != nil {
+			return
+		}
+		if len(m.Voltages()) == 0 {
+			t.Fatal("accepted map with no planes")
+		}
+		round, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := UnmarshalMap(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range m.Voltages() {
+			if !m.Plane(v).Equal(m2.Plane(v)) {
+				t.Fatalf("plane %d not stable across round trip", v)
+			}
+		}
+	})
+}

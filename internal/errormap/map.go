@@ -1,0 +1,135 @@
+package errormap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Map is the full 3D error volume of a chip: one Plane per
+// characterised supply-voltage level (paper Figure 4). Voltage levels
+// are identified by their integer millivolt value so map keys are
+// exact.
+type Map struct {
+	geo    Geometry
+	planes map[int]*Plane
+}
+
+// NewMap creates an empty map over the geometry.
+func NewMap(g Geometry) *Map {
+	return &Map{geo: g, planes: make(map[int]*Plane)}
+}
+
+// Geometry returns the map's plane layout.
+func (m *Map) Geometry() Geometry { return m.geo }
+
+// AddPlane registers the error plane measured at vddMV millivolts.
+// The plane's geometry must match the map's.
+func (m *Map) AddPlane(vddMV int, p *Plane) {
+	if p.Geometry() != m.geo {
+		panic("errormap: plane geometry does not match map")
+	}
+	m.planes[vddMV] = p
+}
+
+// Plane returns the plane measured at vddMV, or nil if absent.
+func (m *Map) Plane(vddMV int) *Plane { return m.planes[vddMV] }
+
+// Voltages returns the characterised voltage levels in ascending
+// order.
+func (m *Map) Voltages() []int {
+	out := make([]int, 0, len(m.planes))
+	for v := range m.planes {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of the map.
+func (m *Map) Clone() *Map {
+	c := NewMap(m.geo)
+	for v, p := range m.planes {
+		c.planes[v] = p.Clone()
+	}
+	return c
+}
+
+// TotalErrors sums error counts across all planes.
+func (m *Map) TotalErrors() int {
+	t := 0
+	for _, p := range m.planes {
+		t += p.ErrorCount()
+	}
+	return t
+}
+
+const mapMagic = 0x41434d4d // "ACMM"
+
+// MarshalBinary encodes the map with all its planes.
+func (m *Map) MarshalBinary() ([]byte, error) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], mapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(m.planes)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(m.geo.Lines))
+	buf := append([]byte(nil), hdr[:]...)
+	for _, v := range m.Voltages() {
+		pb, err := m.planes[v].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		var rec [8]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(int32(v)))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(len(pb)))
+		buf = append(buf, rec[:]...)
+		buf = append(buf, pb...)
+	}
+	return buf, nil
+}
+
+// UnmarshalMap decodes a map produced by MarshalBinary.
+func UnmarshalMap(data []byte) (*Map, error) {
+	if len(data) < 16 {
+		return nil, errors.New("errormap: truncated map header")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != mapMagic {
+		return nil, errors.New("errormap: bad map magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != 1 {
+		return nil, fmt.Errorf("errormap: unsupported map version %d", v)
+	}
+	nPlanes := int(binary.LittleEndian.Uint32(data[8:]))
+	off := 16
+	var m *Map
+	for i := 0; i < nPlanes; i++ {
+		if len(data) < off+8 {
+			return nil, errors.New("errormap: truncated plane record")
+		}
+		vdd := int(int32(binary.LittleEndian.Uint32(data[off:])))
+		plen := int(binary.LittleEndian.Uint32(data[off+4:]))
+		off += 8
+		if len(data) < off+plen {
+			return nil, errors.New("errormap: truncated plane payload")
+		}
+		var p Plane
+		if err := p.UnmarshalBinary(data[off : off+plen]); err != nil {
+			return nil, err
+		}
+		off += plen
+		if m == nil {
+			m = NewMap(p.Geometry())
+		} else if p.Geometry() != m.geo {
+			return nil, errors.New("errormap: inconsistent plane geometries")
+		}
+		m.planes[vdd] = &p
+	}
+	if m == nil {
+		return nil, errors.New("errormap: map has no planes")
+	}
+	if off != len(data) {
+		return nil, errors.New("errormap: trailing bytes after map")
+	}
+	return m, nil
+}

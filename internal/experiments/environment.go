@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+	"repro/internal/sram"
+	"repro/internal/variation"
+)
+
+// Extension experiments beyond the paper's figures: full environmental
+// sensitivity sweeps. The paper reports single points (intra-die <6%
+// at ΔT = 25 °C); these sweeps trace the whole curve, which is what a
+// deployment needs to size its acceptance threshold.
+
+// ExtTemperature measures intra-die response variation and error-map
+// churn as a function of the temperature excursion from enrollment.
+func ExtTemperature(seed uint64) *Table {
+	return environmentSweep(
+		"ext-temp",
+		"Intra-die variation vs temperature excursion (extension)",
+		"delta_T_C",
+		seed,
+		[]float64{0, 10, 20, 25, 30, 40, 50},
+		func(x float64) variation.Environment { return variation.Environment{DeltaT: x} },
+		[]string{
+			"paper anchor: <6% intra-die at +25C (Section 3)",
+			"threshold sizing: the acceptance threshold must clear the curve's field maximum",
+		},
+	)
+}
+
+// ExtAging measures intra-die variation and map churn versus
+// accumulated NBTI/HCI stress. Aging only ever raises cell onsets, so
+// churn is dominated by injected (new) errors — recalibration plus
+// re-enrollment absorbs it (Section 5.3's periodic recalibration).
+func ExtAging(seed uint64) *Table {
+	return environmentSweep(
+		"ext-aging",
+		"Intra-die variation vs circuit aging (extension)",
+		"age_years",
+		seed,
+		[]float64{0, 1, 2, 5, 7, 10},
+		func(x float64) variation.Environment { return variation.Environment{AgeYears: x} },
+		[]string{
+			"aging shifts onsets up ~(years/10)^0.25; drift is one-sided (errors appear, rarely vanish)",
+			"paper: 10-year lifetime assumed for the Table 1 budget",
+		},
+	)
+}
+
+// environmentSweep builds error maps for several chips at a fixed test
+// voltage, re-measures them under each environment, and reports the
+// mean response flip rate and map churn.
+func environmentSweep(id, title, axis string, seed uint64, xs []float64,
+	env func(x float64) variation.Environment, notes []string) *Table {
+
+	const nChips = 4
+	geo := cache.GeometryForSize(1 << 20)
+	params := variation.DefaultParams()
+	vtestMV := int((params.DefectBandHi-0.055)*1000 + 0.5)
+	vtest := float64(vtestMV) / 1000
+	mapGeo := errormap.NewGeometry(geo.Lines())
+
+	models := montecarlo.Models(nChips, seed, params)
+	baseline := make([]*errormap.Plane, nChips)
+	baseFields := make([]*errormap.DistanceField, nChips)
+	for i, m := range models {
+		arr := sram.New(m, geo.Lines(), m.ChipSeed()^0xe0)
+		h := cache.NewErrorHandler(arr, geo)
+		arr.SetVoltage(vtest)
+		baseline[i] = h.BuildPlane(8)
+		baseFields[i] = baseline[i].DistanceTransform()
+	}
+	gen := rng.New(seed ^ 0xe1)
+	challenges := make([]*crp.Challenge, 8)
+	for i := range challenges {
+		challenges[i] = crp.Generate(mapGeo, 64, vtestMV, gen)
+	}
+
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{axis, "intra_die_pct", "map_churn_pct"},
+		Notes:  notes,
+	}
+	for _, x := range xs {
+		var flipSum, churnSum float64
+		var flipN int
+		for i, m := range models {
+			arr := sram.New(m, geo.Lines(), m.ChipSeed()^uint64(1000+int(x*10)))
+			h := cache.NewErrorHandler(arr, geo)
+			arr.SetEnvironment(env(x))
+			arr.SetVoltage(vtest)
+			plane := h.BuildPlane(8)
+			field := plane.DistanceTransform()
+			for _, ch := range challenges {
+				ref := evalOnField(ch, baseFields[i])
+				got := evalOnField(ch, field)
+				flipSum += float64(ref.HammingDistance(got)) / 64
+				flipN++
+			}
+			diff := baseline[i].DiffCount(plane)
+			union := float64(baseline[i].ErrorCount()+plane.ErrorCount()+diff) / 2
+			if union > 0 {
+				churnSum += float64(diff) / union * 100
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", x),
+			f2(flipSum / float64(flipN) * 100),
+			f2(churnSum / nChips),
+		})
+	}
+	return t
+}

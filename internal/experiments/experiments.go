@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6) from the simulated substrate. Each
+// Fig*/Table* function runs one experiment and returns a printable
+// Table; cmd/acsim exposes them as subcommands and bench_test.go runs
+// them under testing.B.
+//
+// Experiments that the paper ran on Itanium hardware (Figures 1–3, 11,
+// 13 and the Section 3 characterisation) run here against full
+// simulated chips — variation model, ECC SRAM, voltage controller,
+// firmware. Experiments the paper itself ran as Monte Carlo
+// simulations (Figures 9, 10, 12, 14, 15, 16) run against randomly
+// generated error maps, exactly as the paper describes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // experiment id, e.g. "fig9"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Fprint renders the table in aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// FprintMarkdown renders the table as GitHub-flavoured markdown, for
+// dropping experiment results straight into EXPERIMENTS.md-style
+// documents.
+func (t *Table) FprintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

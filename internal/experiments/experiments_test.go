@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps experiment tests fast.
+func tinyScale() MCScale {
+	return MCScale{Maps: 4, ProfilesPerMap: 3, ChallengesPerMap: 2}
+}
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric", row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestTablePrint(t *testing.T) {
+	tbl := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n1"},
+	}
+	var buf bytes.Buffer
+	tbl.FprintMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### x: demo", "| a | b |", "| --- | --- |", "| 1 | 2 |", "> n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tbl := Fig1(1)
+	if len(tbl.Rows) != 14 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Monotone non-decreasing cumulative counts; plausible total.
+	prev := -1.0
+	for i := range tbl.Rows {
+		v := cell(t, tbl, i, 1)
+		if v < prev {
+			t.Fatalf("cumulative count decreased at row %d", i)
+		}
+		prev = v
+	}
+	if prev < 80 || prev > 180 {
+		t.Fatalf("total failing lines = %v, want ~122", prev)
+	}
+}
+
+func TestFig2Uniformity(t *testing.T) {
+	tbl := Fig2(2)
+	// 8 way rows + 8 set rows.
+	if len(tbl.Rows) != 16 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var total float64
+	for i := 0; i < 8; i++ {
+		if tbl.Rows[i][0] != "way" {
+			t.Fatalf("row %d dimension = %q", i, tbl.Rows[i][0])
+		}
+		total += cell(t, tbl, i, 2)
+	}
+	if total < 60 || total > 220 {
+		t.Fatalf("total errors over ways = %v", total)
+	}
+}
+
+func TestFig3LowOverlap(t *testing.T) {
+	tbl := Fig3(3)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Each 768 KB cache carries a sane error count; overlap note is
+	// checked via the notes text (paper: ~6 duplicates, sharing 2).
+	for i := range tbl.Rows {
+		c := cell(t, tbl, i, 1)
+		if c < 5 || c > 80 {
+			t.Fatalf("cache %d errors = %v", i, c)
+		}
+	}
+	if !strings.Contains(tbl.Notes[0], "addresses appearing in >1 cache") {
+		t.Fatal("missing overlap note")
+	}
+}
+
+func TestSec3InterIntraSeparation(t *testing.T) {
+	tbl := Sec3(4)
+	inter := cell(t, tbl, 0, 1)
+	intra := cell(t, tbl, 1, 1)
+	if inter < 40 || inter > 55 {
+		t.Fatalf("inter-die = %v%%, want ~44-50", inter)
+	}
+	if intra > 12 {
+		t.Fatalf("intra-die = %v%%, want < ~6-12", intra)
+	}
+	if intra >= inter/2 {
+		t.Fatalf("inter (%v) and intra (%v) poorly separated", inter, intra)
+	}
+}
+
+func TestFig9Separation(t *testing.T) {
+	tbl := Fig9(5, tinyScale())
+	if len(tbl.Rows) != 32 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Means note must show intra10 << intra150 << inter ≈ 50%.
+	if !strings.Contains(tbl.Notes[0], "means:") {
+		t.Fatal("means note missing")
+	}
+}
+
+func TestFig10Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 runs a binary search over Monte Carlo estimates")
+	}
+	tbl := Fig10(6, tinyScale())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Tolerable noise grows with CRP size, and injection beats removal.
+	prevInj, prevRem := 0.0, 0.0
+	for i := range tbl.Rows {
+		inj, rem := cell(t, tbl, i, 1), cell(t, tbl, i, 2)
+		if inj < prevInj || rem < prevRem {
+			t.Fatalf("tolerable noise not monotone in CRP size at row %d", i)
+		}
+		if inj < rem {
+			t.Fatalf("row %d: removal (%v) tolerated more than injection (%v)", i, rem, inj)
+		}
+		prevInj, prevRem = inj, rem
+	}
+	// 512-bit anchors (paper: 142% / 62%).
+	inj512, rem512 := cell(t, tbl, 3, 1), cell(t, tbl, 3, 2)
+	if inj512 < 90 || inj512 > 250 {
+		t.Fatalf("512-bit injection tolerance = %v%%, paper 142%%", inj512)
+	}
+	if rem512 < 35 || rem512 > 90 {
+		t.Fatalf("512-bit removal tolerance = %v%%, paper 62%%", rem512)
+	}
+}
+
+func TestFig11CDF(t *testing.T) {
+	tbl := Fig11(7)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	prev := 0.0
+	for i := range tbl.Rows {
+		v := cell(t, tbl, i, 1)
+		if v < prev || v > 1 {
+			t.Fatalf("CDF not monotone at row %d", i)
+		}
+		prev = v
+	}
+	first := cell(t, tbl, 0, 1)
+	if first < 0.55 || first > 0.92 {
+		t.Fatalf("first-attempt CDF = %v, paper 0.74", first)
+	}
+	if prev < 0.90 {
+		t.Fatalf("eighth-attempt CDF = %v, paper 1.0", prev)
+	}
+}
+
+func TestFig12NearIdeal(t *testing.T) {
+	tbl := Fig12(8, tinyScale())
+	if len(tbl.Rows) != 20 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		alias, uni := cell(t, tbl, i, 2), cell(t, tbl, i, 3)
+		if alias < 0.90 || alias > 1.02 {
+			t.Fatalf("row %d aliasing = %v", i, alias)
+		}
+		if uni < 0.90 || uni > 1.02 {
+			t.Fatalf("row %d uniformity = %v", i, uni)
+		}
+	}
+}
+
+func TestFig13LinearAndUnderEnvelope(t *testing.T) {
+	tbl := Fig13(9)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Runtime grows with CRP size and attempts; 512x4 near the paper's
+	// 125 ms envelope.
+	for i := range tbl.Rows {
+		prev := 0.0
+		for col := 1; col <= 4; col++ {
+			v := cell(t, tbl, i, col)
+			if v <= prev {
+				t.Fatalf("row %d: runtime not increasing across attempts", i)
+			}
+			prev = v
+		}
+	}
+	v512x4 := cell(t, tbl, 3, 3)
+	if v512x4 < 40 || v512x4 > 200 {
+		t.Fatalf("512-bit x4 = %v ms, paper <125 ms", v512x4)
+	}
+}
+
+func TestFig14RelativeGrowth(t *testing.T) {
+	tbl := Fig14(10, tinyScale())
+	base := cell(t, tbl, 0, 1)
+	if base != 1.0 {
+		t.Fatalf("baseline = %v, want 1.00", base)
+	}
+	// Sparser maps and longer CRPs are slower.
+	for i := range tbl.Rows {
+		prev := 0.0
+		for col := 1; col <= 5; col++ {
+			v := cell(t, tbl, i, col)
+			if v <= prev {
+				t.Fatalf("row %d: relative runtime not increasing towards sparser maps", i)
+			}
+			prev = v
+		}
+	}
+	worst := cell(t, tbl, 3, 5)
+	if worst < 8 {
+		t.Fatalf("512-bit/20-error relative runtime = %v, want >> 1 (paper ~45)", worst)
+	}
+}
+
+func TestFig15DecreasesWithErrors(t *testing.T) {
+	tbl := Fig15(11, tinyScale())
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Distances shrink with more errors (down the rows) and grow with
+	// cache size (across the columns).
+	for col := 1; col <= 5; col++ {
+		prev := 1e9
+		for i := range tbl.Rows {
+			v := cell(t, tbl, i, col)
+			if v >= prev {
+				t.Fatalf("col %d row %d: distance did not shrink (%v -> %v)", col, i, prev, v)
+			}
+			prev = v
+		}
+	}
+	for i := range tbl.Rows {
+		prev := 0.0
+		for col := 1; col <= 5; col++ {
+			v := cell(t, tbl, i, col)
+			if v <= prev {
+				t.Fatalf("row %d: distance did not grow with cache size", i)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig16Learns(t *testing.T) {
+	tbl := Fig16(12, 40000, 5000)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	first := cell(t, tbl, 0, 1)
+	last := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if last <= first {
+		t.Fatalf("attacker failed to learn: %v -> %v", first, last)
+	}
+	if last < 0.75 {
+		t.Fatalf("late prediction rate = %v", last)
+	}
+}
+
+func TestExtTemperatureMonotone(t *testing.T) {
+	tbl := ExtTemperature(14)
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	base := cell(t, tbl, 0, 1)
+	hot := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if hot <= base {
+		t.Fatalf("intra-die variation did not grow with temperature: %v -> %v", base, hot)
+	}
+	// Paper anchor: at +25C (row index 3) the variation stays under
+	// ~8% (the paper's point measurement was <6%).
+	at25 := cell(t, tbl, 3, 1)
+	if at25 > 8 {
+		t.Fatalf("intra-die at +25C = %v%%, paper <6%%", at25)
+	}
+}
+
+func TestExtAgingBounded(t *testing.T) {
+	tbl := ExtAging(15)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		v := cell(t, tbl, i, 1)
+		if v < 0 || v > 20 {
+			t.Fatalf("row %d intra-die = %v%% out of plausible range", i, v)
+		}
+	}
+	// A decade of aging must hurt more than a fresh chip's measurement
+	// noise floor.
+	if cell(t, tbl, 5, 1) <= cell(t, tbl, 0, 1) {
+		t.Fatal("10-year aging indistinguishable from fresh silicon")
+	}
+}
+
+func TestFig16DependencySlowerThanWinRate(t *testing.T) {
+	const total, every = 20000, 10000
+	dep := Fig16Dependency(12, total, every)
+	win := Fig16(12, total, every)
+	depLast := cell(t, dep, len(dep.Rows)-1, 1)
+	winLast := cell(t, win, len(win.Rows)-1, 1)
+	if depLast >= winLast {
+		t.Fatalf("dependency model (%v) not slower than win-rate (%v)", depLast, winLast)
+	}
+	// The dependency model must still be above the 50% floor by 20K.
+	if depLast < 0.50 {
+		t.Fatalf("dependency model below chance: %v", depLast)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := Table1()
+	want4MB := []float64{9192, 4596, 2298, 1149}
+	for i, w := range want4MB {
+		if got := cell(t, tbl, i, 1); got != w {
+			t.Fatalf("4MB row %d = %v, want %v", i, got, w)
+		}
+	}
+	// 32 MB column within integer-division rounding of the paper.
+	want32MB := []float64{588350, 294175, 147087, 73543}
+	for i, w := range want32MB {
+		if got := cell(t, tbl, i, 2); got != w {
+			t.Fatalf("32MB row %d = %v, want %v", i, got, w)
+		}
+	}
+}

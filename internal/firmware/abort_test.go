@@ -1,0 +1,64 @@
+package firmware
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/crp"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+// A drastic environmental excursion after calibration pushes the bulk
+// cell population into the challenge voltage band: targeted self-tests
+// start hitting double-bit (uncorrectable) errors, the error handler
+// fires the emergency, and the firmware must abort the transaction and
+// restore the system — the paper's Section 5.2/5.3 protection path.
+func TestUncorrectableMidChallengeAborts(t *testing.T) {
+	r := newRig(t, 30, cache.GeometryForSize(512<<10))
+
+	// Stale calibration: the silicon heats far beyond anything the
+	// floor accounted for (deliberately unphysical to make the bulk
+	// intrude deterministically).
+	r.handler.Array().SetEnvironment(variation.Environment{DeltaT: 400})
+
+	ch := crp.Generate(r.client.Geometry(), 64, r.floorMV, rng.New(1))
+	r.client.MaxAttempts = 4
+	_, err := r.client.Authenticate(ch)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected abort under uncorrectable storm, got %v", err)
+	}
+	if r.handler.Emergencies() == 0 {
+		t.Fatal("emergency path never fired")
+	}
+	// System restored: rail at nominal, cores running.
+	if v := r.handler.Array().Voltage(); v != 0.800 {
+		t.Fatalf("rail left at %v after emergency abort", v)
+	}
+	for i, s := range r.client.CoreStates() {
+		if s != CoreRunning {
+			t.Fatalf("core %d left in %v", i, s)
+		}
+	}
+	_, emergencies := r.ctrl.Stats()
+	if emergencies == 0 {
+		t.Fatal("controller never recorded the emergency")
+	}
+}
+
+// After recalibrating under the new conditions, the chip either works
+// at its new floor or reports honestly that nominal operation is
+// impossible — it must not keep aborting silently.
+func TestRecalibrationRestoresService(t *testing.T) {
+	r := newRig(t, 31, cache.GeometryForSize(512<<10))
+	r.handler.Array().SetEnvironment(variation.Environment{DeltaT: 25, AgeYears: 10})
+	floor, err := r.ctrl.Recalibrate(r.handler)
+	if err != nil {
+		t.Fatalf("recalibration failed: %v", err)
+	}
+	ch := crp.Generate(r.client.Geometry(), 32, floor+10, rng.New(2))
+	if _, err := r.client.Authenticate(ch); err != nil {
+		t.Fatalf("authentication at the recalibrated floor failed: %v", err)
+	}
+}

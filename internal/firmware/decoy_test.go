@@ -1,0 +1,91 @@
+package firmware
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/crp"
+	"repro/internal/rng"
+)
+
+func TestDecoysIncreaseTraffic(t *testing.T) {
+	r := newRig(t, 20, cache.GeometryForSize(512<<10))
+	gen := rng.New(1)
+
+	ch := crp.Generate(r.client.Geometry(), 32, r.floorMV, gen)
+	r.client.DecoyRatio = 0
+	if _, err := r.client.Authenticate(ch); err != nil {
+		t.Fatal(err)
+	}
+	plainProbes := r.client.ProbesLastRun()
+	if r.client.DecoysLastRun() != 0 {
+		t.Fatalf("decoys issued with ratio 0: %d", r.client.DecoysLastRun())
+	}
+
+	ch2 := crp.Generate(r.client.Geometry(), 32, r.floorMV, gen)
+	r.client.DecoyRatio = 2
+	if _, err := r.client.Authenticate(ch2); err != nil {
+		t.Fatal(err)
+	}
+	decoyProbes := r.client.ProbesLastRun()
+	decoys := r.client.DecoysLastRun()
+	if decoys == 0 {
+		t.Fatal("no decoys issued at ratio 2")
+	}
+	// Total traffic should roughly triple: each genuine probe brings
+	// two decoys (genuine probe counts fluctuate between challenges, so
+	// compare loosely).
+	if decoyProbes < plainProbes*2 {
+		t.Fatalf("decoy traffic too small: %d vs plain %d", decoyProbes, plainProbes)
+	}
+	// Decoys are part of the probe count (they cost time like any
+	// self-test).
+	if decoys >= decoyProbes {
+		t.Fatalf("decoys (%d) exceed total probes (%d)", decoys, decoyProbes)
+	}
+}
+
+func TestDecoysDoNotBreakAuthentication(t *testing.T) {
+	r := newRig(t, 21, cache.GeometryForSize(512<<10))
+	gen := rng.New(2)
+
+	// Evaluate the same challenge against the enrolled plane.
+	ch := crp.Generate(r.client.Geometry(), 64, r.floorMV, gen)
+	df := r.plane.DistanceTransform()
+	want := crp.NewResponse(len(ch.Bits))
+	for i, b := range ch.Bits {
+		da, db := df.DistLine(b.A), df.DistLine(b.B)
+		want.SetBit(i, crp.ResponseBit(da, true, db, true))
+	}
+
+	r.client.DecoyRatio = 3
+	r.client.MaxAttempts = 8
+	got, err := r.client.Authenticate(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.HammingDistance(want); d > 6 {
+		t.Fatalf("decoy-interleaved response differs in %d/64 bits", d)
+	}
+}
+
+func TestDecoyCostCharged(t *testing.T) {
+	r := newRig(t, 22, cache.GeometryForSize(512<<10))
+	gen := rng.New(3)
+	ch := crp.Generate(r.client.Geometry(), 32, r.floorMV, gen)
+	r.client.DecoyRatio = 0
+	if _, err := r.client.Authenticate(ch); err != nil {
+		t.Fatal(err)
+	}
+	plain := r.client.Elapsed()
+
+	ch2 := crp.Generate(r.client.Geometry(), 32, r.floorMV, gen)
+	r.client.DecoyRatio = 4
+	if _, err := r.client.Authenticate(ch2); err != nil {
+		t.Fatal(err)
+	}
+	withDecoys := r.client.Elapsed()
+	if withDecoys <= plain {
+		t.Fatalf("decoys free of charge: %v vs %v", withDecoys, plain)
+	}
+}

@@ -1,0 +1,372 @@
+// Package firmware simulates the System-Firmware side of the
+// Authenticache prototype (paper Section 5): the SMM-style shadowed
+// execution environment, core synchronisation, challenge processing,
+// and the cost model behind the paper's performance results.
+//
+// On the real prototype, a client application traps into System
+// Management Mode via an SMI; the interrupted core becomes the master,
+// halts its siblings, takes ownership of the voltage rail, and answers
+// the challenge by self-testing cache lines in expanding Von Neumann
+// rings around each challenge coordinate (Section 5.4). This package
+// reproduces that control flow against the simulated cache, and
+// charges every action to a virtual clock:
+//
+//   - SMI entry + core synchronisation: fixed cost per authentication,
+//   - each supply-voltage transition: fixed cost (challenges sorted by
+//     descending Vdd to minimise transitions, Section 5.4),
+//   - each cache-line self-test attempt: fixed cost.
+//
+// Absolute times are calibrated so a 512-bit CRP with 4 self-test
+// attempts per line lands near the paper's ~125 ms (Figure 13); the
+// relative scaling across CRP sizes and error densities (Figure 14)
+// emerges from the ring-search probe counts.
+package firmware
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+	"repro/internal/voltage"
+)
+
+// CostModel holds the virtual-time constants.
+type CostModel struct {
+	// SMIEntry covers the SMI trap, master election and halting of the
+	// sibling cores, and the final resume.
+	SMIEntry time.Duration
+	// VddTransition is charged per distinct supply-voltage change.
+	VddTransition time.Duration
+	// LineTest is charged per single cache-line self-test attempt
+	// (write pattern + read back + ECC log inspection).
+	LineTest time.Duration
+}
+
+// DefaultCostModel reproduces the prototype's measured envelope.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SMIEntry:      500 * time.Microsecond,
+		VddTransition: 2 * time.Millisecond,
+		LineTest:      40 * time.Nanosecond,
+	}
+}
+
+// CoreState models one core's view during shadowed execution.
+type CoreState int
+
+const (
+	// CoreRunning executes OS code.
+	CoreRunning CoreState = iota
+	// CoreHalted is parked inside the SMI handler.
+	CoreHalted
+	// CoreMaster coordinates the authentication.
+	CoreMaster
+)
+
+func (s CoreState) String() string {
+	switch s {
+	case CoreRunning:
+		return "running"
+	case CoreHalted:
+		return "halted"
+	case CoreMaster:
+		return "master"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// ErrBusy is returned when an authentication is already in flight.
+var ErrBusy = errors.New("firmware: authentication already in progress")
+
+// ErrAborted is returned when the voltage controller rejects a
+// requested Vdd; the transaction terminates and control returns to the
+// OS (paper Section 5.3).
+var ErrAborted = errors.New("firmware: transaction aborted")
+
+// Client is the firmware-resident Authenticache client.
+type Client struct {
+	handler *cache.ErrorHandler
+	ctrl    *voltage.Controller
+	costs   CostModel
+	geo     errormap.Geometry
+
+	cores   []CoreState
+	inSMM   bool
+	elapsed time.Duration // virtual clock of the last transaction
+
+	// MaxAttempts is the per-line self-test attempt budget while
+	// searching for errors (Section 6.3's accuracy/performance knob).
+	MaxAttempts int
+
+	// DecoyRatio interleaves this many self-tests of random unrelated
+	// cache lines per genuine probe. It implements the side-channel
+	// mitigation of Section 7.2: an attacker correlating ECC activity
+	// (power or EM emanations) with the authentication sees genuine
+	// accesses hidden in decoy traffic. 0 disables decoys.
+	DecoyRatio int
+
+	// payloadBits caps how many challenge bits one atomic firmware
+	// transaction processes (Section 5.4's segmentation).
+	payloadBits int
+
+	decoyRand     *rng.Rand
+	probesLastRun int
+	decoysLastRun int
+}
+
+// NewClient builds the firmware client over an error handler and a
+// calibrated voltage controller. cores is the core count of the
+// package (the prototype synchronises all of them).
+func NewClient(handler *cache.ErrorHandler, ctrl *voltage.Controller, cores int, costs CostModel) *Client {
+	if cores < 1 {
+		panic("firmware: need at least one core")
+	}
+	return &Client{
+		handler:     handler,
+		ctrl:        ctrl,
+		costs:       costs,
+		geo:         errormap.NewGeometry(handler.Geometry().Lines()),
+		cores:       make([]CoreState, cores),
+		MaxAttempts: 1,
+		payloadBits: 64,
+		decoyRand:   rng.New(0xdec0dec0),
+	}
+}
+
+// Geometry returns the logical error-map geometry of the client cache.
+func (c *Client) Geometry() errormap.Geometry { return c.geo }
+
+// Elapsed returns the virtual time consumed by the last transaction.
+func (c *Client) Elapsed() time.Duration { return c.elapsed }
+
+// ProbesLastRun returns how many line self-test attempts the last
+// transaction executed (probe count × attempts); this drives the
+// Figure 13/14 analysis.
+func (c *Client) ProbesLastRun() int { return c.probesLastRun }
+
+// DecoysLastRun returns how many decoy self-tests the last transaction
+// interleaved (Section 7.2 side-channel mitigation).
+func (c *Client) DecoysLastRun() int { return c.decoysLastRun }
+
+// CoreStates returns a snapshot of the core states.
+func (c *Client) CoreStates() []CoreState {
+	out := make([]CoreState, len(c.cores))
+	copy(out, c.cores)
+	return out
+}
+
+// enterSMM traps into shadowed execution: core 0 becomes master, all
+// others halt.
+func (c *Client) enterSMM() error {
+	if c.inSMM {
+		return ErrBusy
+	}
+	c.inSMM = true
+	c.cores[0] = CoreMaster
+	for i := 1; i < len(c.cores); i++ {
+		c.cores[i] = CoreHalted
+	}
+	c.elapsed += c.costs.SMIEntry
+	return nil
+}
+
+// exitSMM resumes all cores and returns the rail to nominal.
+func (c *Client) exitSMM() {
+	c.ctrl.RestoreNominal()
+	for i := range c.cores {
+		c.cores[i] = CoreRunning
+	}
+	c.inSMM = false
+}
+
+// sortBitsByVdd orders challenge bit indices by descending voltage so
+// the rail only ever steps downward within a transaction (Section
+// 5.4). The sort is stable so bits at equal Vdd stay in challenge
+// order.
+func sortBitsByVdd(ch *crp.Challenge) []int {
+	idx := make([]int, len(ch.Bits))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return ch.Bits[idx[a]].VddMV > ch.Bits[idx[b]].VddMV
+	})
+	return idx
+}
+
+// Unmapper translates a logical error-map position into the physical
+// cache line to self-test. Authenticache's keyed remap (paper Section
+// 4.3, "Unmap(KA)" in Figure 6) supplies the real implementation; the
+// identity function corresponds to the default mapping used during
+// key updates.
+type Unmapper func(logicalLine int) int
+
+// IdentityUnmap is the default (unkeyed) mapping.
+func IdentityUnmap(line int) int { return line }
+
+// issueDecoys self-tests DecoyRatio random unrelated cache lines,
+// discarding the outcomes. Decoys are indistinguishable from genuine
+// probes on the ECC activity side-channel; their cost is charged like
+// any other self-test and returned so the caller can account for it.
+func (c *Client) issueDecoys() int {
+	if c.DecoyRatio <= 0 {
+		return 0
+	}
+	spent := 0
+	for i := 0; i < c.DecoyRatio; i++ {
+		line := c.decoyRand.Intn(c.geo.Lines)
+		res := c.handler.TestLine(line, 1)
+		spent += res.Attempts
+	}
+	c.decoysLastRun += spent
+	return spent
+}
+
+// searchNearest performs the firmware's outward, clockwise Von Neumann
+// ring search around the logical map coordinate, self-testing each
+// visited position's *physical* line (via unmap) up to MaxAttempts
+// times. It returns the Manhattan distance — in logical space — of the
+// first position that triggered a correctable error, whether one
+// triggered at all within the search horizon, the number of self-test
+// attempts spent, and any abort condition.
+func (c *Client) searchNearest(line int, unmap Unmapper) (dist int, found bool, attempts int, err error) {
+	g := c.geo
+	center := g.Coord(line)
+	maxR := g.Width + g.Height()
+	for r := 0; r <= maxR; r++ {
+		hit := false
+		var aborted error
+		ringVisit(center, r, func(cell errormap.Coord) {
+			if hit || aborted != nil {
+				return
+			}
+			logical, ok := g.Line(cell)
+			if !ok {
+				return
+			}
+			target := unmap(logical)
+			res := c.handler.TestLine(target, c.MaxAttempts)
+			attempts += res.Attempts
+			attempts += c.issueDecoys()
+			if res.Uncorrectable {
+				// The emergency path has already raised the rail; the
+				// transaction must abort.
+				aborted = fmt.Errorf("%w: uncorrectable error at line %d", ErrAborted, target)
+				return
+			}
+			if res.Triggered {
+				hit = true
+			}
+		})
+		if aborted != nil {
+			return 0, false, attempts, aborted
+		}
+		if hit {
+			return r, true, attempts, nil
+		}
+	}
+	return 0, false, attempts, nil
+}
+
+// ringVisit mirrors errormap's clockwise-from-north ring traversal; it
+// is duplicated here deliberately: the firmware implements its own
+// walk over physical self-tests rather than over a stored bitmap.
+func ringVisit(c errormap.Coord, r int, fn func(errormap.Coord)) {
+	if r == 0 {
+		fn(c)
+		return
+	}
+	for i := 0; i < r; i++ {
+		fn(errormap.Coord{X: c.X + i, Y: c.Y - r + i})
+	}
+	for i := 0; i < r; i++ {
+		fn(errormap.Coord{X: c.X + r - i, Y: c.Y + i})
+	}
+	for i := 0; i < r; i++ {
+		fn(errormap.Coord{X: c.X - i, Y: c.Y + r - i})
+	}
+	for i := 0; i < r; i++ {
+		fn(errormap.Coord{X: c.X - r + i, Y: c.Y - i})
+	}
+}
+
+// Authenticate processes a challenge whose coordinates are physical
+// line indices (identity mapping). Production flows use
+// AuthenticateMapped with the keyed unmapper.
+func (c *Client) Authenticate(ch *crp.Challenge) (crp.Response, error) {
+	return c.AuthenticateMapped(ch, func(vddMV int) Unmapper { return IdentityUnmap })
+}
+
+// AuthenticateMapped processes a challenge end to end inside shadowed
+// execution and returns the response. Challenge coordinates are
+// logical positions; unmapFor supplies the per-voltage-plane keyed
+// translation back to physical lines.
+func (c *Client) AuthenticateMapped(ch *crp.Challenge, unmapFor func(vddMV int) Unmapper) (crp.Response, error) {
+	c.elapsed = 0
+	c.probesLastRun = 0
+	c.decoysLastRun = 0
+	if err := ch.Validate(c.geo); err != nil {
+		return crp.Response{}, err
+	}
+	if err := c.enterSMM(); err != nil {
+		return crp.Response{}, err
+	}
+	defer c.exitSMM()
+
+	resp := crp.NewResponse(len(ch.Bits))
+	order := sortBitsByVdd(ch)
+	curVdd := -1
+	var unmap Unmapper
+	processedInPayload := 0
+	for _, bitIdx := range order {
+		b := ch.Bits[bitIdx]
+		if b.VddMV != curVdd {
+			if err := c.ctrl.Request(b.VddMV); err != nil {
+				return crp.Response{}, fmt.Errorf("%w: vdd %d mV: %v", ErrAborted, b.VddMV, err)
+			}
+			c.elapsed += c.costs.VddTransition
+			curVdd = b.VddMV
+			unmap = unmapFor(b.VddMV)
+			if unmap == nil {
+				unmap = IdentityUnmap
+			}
+		}
+		distA, foundA, attA, err := c.searchNearest(b.A, unmap)
+		c.probesLastRun += attA
+		c.elapsed += time.Duration(attA) * c.costs.LineTest
+		if err != nil {
+			return crp.Response{}, err
+		}
+		distB, foundB, attB, err := c.searchNearest(b.B, unmap)
+		c.probesLastRun += attB
+		c.elapsed += time.Duration(attB) * c.costs.LineTest
+		if err != nil {
+			return crp.Response{}, err
+		}
+		resp.SetBit(bitIdx, crp.ResponseBit(distA, foundA, distB, foundB))
+
+		processedInPayload++
+		if processedInPayload == c.payloadBits {
+			// Atomic transaction boundary (Section 5.4): the prototype
+			// re-enters the handler per payload; charge one SMI round
+			// trip.
+			c.elapsed += c.costs.SMIEntry
+			processedInPayload = 0
+		}
+	}
+	return resp, nil
+}
+
+// MeasureResponse is the map-update primitive (Section 4.5): it
+// answers a challenge exactly like Authenticate but is named
+// separately because the response never leaves the device — it is
+// fed into the fuzzy extractor to derive the next map key.
+func (c *Client) MeasureResponse(ch *crp.Challenge) (crp.Response, error) {
+	return c.Authenticate(ch)
+}

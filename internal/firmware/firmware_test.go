@@ -1,0 +1,246 @@
+package firmware
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+	"repro/internal/sram"
+	"repro/internal/variation"
+	"repro/internal/voltage"
+)
+
+// rig bundles a fully calibrated simulated client.
+type rig struct {
+	client  *Client
+	handler *cache.ErrorHandler
+	ctrl    *voltage.Controller
+	floorMV int
+	plane   *errormap.Plane
+}
+
+func newRig(t testing.TB, seed uint64, geo cache.Geometry) *rig {
+	t.Helper()
+	model := variation.NewModel(seed, variation.DefaultParams())
+	arr := sram.New(model, geo.Lines(), seed^0x77)
+	h := cache.NewErrorHandler(arr, geo)
+	cfg := voltage.DefaultConfig()
+	cfg.StepMV = 5
+	cfg.VMinSearch = 0.600
+	ctrl := voltage.NewController(arr, cfg)
+	h.SetEmergencyCallback(ctrl.Emergency)
+	floor, err := ctrl.CalibrateFloor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(h, ctrl, 8, DefaultCostModel())
+
+	// Challenges run 10 mV above the floor: at the floor itself the
+	// bulk cells sit right at the stochastic trigger boundary and
+	// flicker, which is exactly why the controller adds guardband.
+	testMV := floor + 10
+	if err := ctrl.Request(testMV); err != nil {
+		t.Fatal(err)
+	}
+	plane := h.BuildPlane(8)
+	ctrl.RestoreNominal()
+	return &rig{client: cl, handler: h, ctrl: ctrl, floorMV: testMV, plane: plane}
+}
+
+func TestAuthenticateMatchesServerEvaluation(t *testing.T) {
+	r := newRig(t, 1, cache.GeometryForSize(1<<20))
+	gen := rng.New(42)
+	ch := crp.Generate(r.client.Geometry(), 64, r.floorMV, gen)
+
+	m := errormap.NewMap(r.plane.Geometry())
+	m.AddPlane(r.floorMV, r.plane)
+	want, err := crp.Evaluate(ch, crp.NewPlaneOracles(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.client.MaxAttempts = 8 // conservative mode: match enrollment
+	got, err := r.client.Authenticate(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.HammingDistance(want)
+	// A few marginal-line flips are expected; gross disagreement means
+	// the search logic diverges from the map semantics.
+	if d > 6 {
+		t.Fatalf("firmware response differs from map evaluation in %d/64 bits", d)
+	}
+}
+
+func TestAuthenticateRestoresSystemState(t *testing.T) {
+	r := newRig(t, 2, cache.GeometryForSize(512<<10))
+	ch := crp.Generate(r.client.Geometry(), 16, r.floorMV, rng.New(1))
+	if _, err := r.client.Authenticate(ch); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range r.client.CoreStates() {
+		if s != CoreRunning {
+			t.Fatalf("core %d left in state %v", i, s)
+		}
+	}
+	if v := r.handler.Array().Voltage(); v != 0.800 {
+		t.Fatalf("rail left at %v", v)
+	}
+}
+
+func TestAuthenticateAbortsOnBadVdd(t *testing.T) {
+	r := newRig(t, 3, cache.GeometryForSize(512<<10))
+	ch := crp.Generate(r.client.Geometry(), 8, r.floorMV-50, rng.New(2))
+	_, err := r.client.Authenticate(ch)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("below-floor challenge: %v", err)
+	}
+	// System must be restored even after the abort.
+	if v := r.handler.Array().Voltage(); v != 0.800 {
+		t.Fatalf("rail left at %v after abort", v)
+	}
+	for i, s := range r.client.CoreStates() {
+		if s != CoreRunning {
+			t.Fatalf("core %d stuck in %v after abort", i, s)
+		}
+	}
+}
+
+func TestAuthenticateRejectsInvalidChallenge(t *testing.T) {
+	r := newRig(t, 4, cache.GeometryForSize(512<<10))
+	bad := &crp.Challenge{Bits: []crp.PairBit{{A: 1, B: 1, VddMV: r.floorMV}}}
+	if _, err := r.client.Authenticate(bad); err == nil {
+		t.Fatal("degenerate challenge accepted")
+	}
+}
+
+func TestElapsedGrowsWithCRPSize(t *testing.T) {
+	r := newRig(t, 5, cache.Geometry4MB)
+	gen := rng.New(3)
+	times := map[int]time.Duration{}
+	for _, bits := range []int{64, 256} {
+		ch := crp.Generate(r.client.Geometry(), bits, r.floorMV, gen)
+		if _, err := r.client.Authenticate(ch); err != nil {
+			t.Fatal(err)
+		}
+		times[bits] = r.client.Elapsed()
+	}
+	if times[256] <= times[64] {
+		t.Fatalf("256-bit (%v) not slower than 64-bit (%v)", times[256], times[64])
+	}
+}
+
+func TestElapsedGrowsWithAttempts(t *testing.T) {
+	r := newRig(t, 6, cache.Geometry4MB)
+	gen := rng.New(4)
+	ch := crp.Generate(r.client.Geometry(), 64, r.floorMV, gen)
+	r.client.MaxAttempts = 1
+	if _, err := r.client.Authenticate(ch); err != nil {
+		t.Fatal(err)
+	}
+	t1 := r.client.Elapsed()
+	ch2 := crp.Generate(r.client.Geometry(), 64, r.floorMV, gen)
+	r.client.MaxAttempts = 8
+	if _, err := r.client.Authenticate(ch2); err != nil {
+		t.Fatal(err)
+	}
+	t8 := r.client.Elapsed()
+	if t8 <= t1 {
+		t.Fatalf("8-attempt (%v) not slower than 1-attempt (%v)", t8, t1)
+	}
+}
+
+// Figure 13 anchor: a 512-bit CRP with 4 attempts per line on a 4 MB
+// cache completes in under ~200 ms of virtual time (paper: <125 ms).
+func TestFigure13Envelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 512-bit authentication is slow")
+	}
+	r := newRig(t, 7, cache.Geometry4MB)
+	ch := crp.Generate(r.client.Geometry(), 512, r.floorMV, rng.New(5))
+	r.client.MaxAttempts = 4
+	if _, err := r.client.Authenticate(ch); err != nil {
+		t.Fatal(err)
+	}
+	e := r.client.Elapsed()
+	if e > 400*time.Millisecond {
+		t.Fatalf("512-bit/4-attempt virtual runtime = %v, want prototype-scale (<400ms)", e)
+	}
+	if e < 5*time.Millisecond {
+		t.Fatalf("virtual runtime %v implausibly small", e)
+	}
+}
+
+func TestVddSortingMinimisesTransitions(t *testing.T) {
+	ch := &crp.Challenge{Bits: []crp.PairBit{
+		{A: 0, B: 1, VddMV: 700},
+		{A: 2, B: 3, VddMV: 720},
+		{A: 4, B: 5, VddMV: 700},
+		{A: 6, B: 7, VddMV: 720},
+	}}
+	order := sortBitsByVdd(ch)
+	// Expect both 720s first (stable: bit 1 then 3), then the 700s.
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRingVisitMatchesErrormapSemantics(t *testing.T) {
+	// The firmware's physical walk and the map package's logical walk
+	// must visit identical cells: the server predicts client behaviour.
+	for r := 0; r <= 4; r++ {
+		var a, b []errormap.Coord
+		ringVisit(errormap.Coord{X: 7, Y: 9}, r, func(c errormap.Coord) { a = append(a, c) })
+		collectRing(errormap.Coord{X: 7, Y: 9}, r, &b)
+		if len(a) != len(b) {
+			t.Fatalf("r=%d: lengths %d vs %d", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("r=%d: cell %d differs: %v vs %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// collectRing regenerates the expected clockwise-from-north order.
+func collectRing(c errormap.Coord, r int, out *[]errormap.Coord) {
+	if r == 0 {
+		*out = append(*out, c)
+		return
+	}
+	for i := 0; i < r; i++ {
+		*out = append(*out, errormap.Coord{X: c.X + i, Y: c.Y - r + i})
+	}
+	for i := 0; i < r; i++ {
+		*out = append(*out, errormap.Coord{X: c.X + r - i, Y: c.Y + i})
+	}
+	for i := 0; i < r; i++ {
+		*out = append(*out, errormap.Coord{X: c.X - i, Y: c.Y + r - i})
+	}
+	for i := 0; i < r; i++ {
+		*out = append(*out, errormap.Coord{X: c.X - r + i, Y: c.Y - i})
+	}
+}
+
+func TestCoreStateString(t *testing.T) {
+	if CoreRunning.String() != "running" || CoreHalted.String() != "halted" || CoreMaster.String() != "master" {
+		t.Fatal("CoreState strings wrong")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero cores accepted")
+		}
+	}()
+	NewClient(nil, nil, 0, DefaultCostModel())
+}

@@ -1,0 +1,215 @@
+// Package keygen turns the Authenticache PUF into a memoryless
+// cryptographic key vault — the key-generation application of the
+// paper's Section 7.3.
+//
+// No key material is stored on the device. Provisioning measures the
+// PUF's response to a fixed challenge, binds a fresh secret to it with
+// code-offset helper data (public), and derives the key by
+// strengthening the secret. At runtime the device re-measures the
+// noisy response and reproduces exactly the same key through the
+// helper data. Two extractors are available: the repetition code
+// (simple, paper-faithful) and BCH (higher rate, production-grade).
+package keygen
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/crp"
+	"repro/internal/ecc"
+	"repro/internal/rng"
+)
+
+// Scheme selects the fuzzy extractor.
+type Scheme string
+
+const (
+	// SchemeRepetition uses the 5x repetition code (tolerates 2 flips
+	// per 5-bit group).
+	SchemeRepetition Scheme = "repetition"
+	// SchemeBCH uses BCH(2^m-1, k, t) blocks.
+	SchemeBCH Scheme = "bch"
+)
+
+// Params configures provisioning.
+type Params struct {
+	Scheme Scheme
+	// KeyBits is the secret length before strengthening.
+	KeyBits int
+	// BCHm/BCHt select the BCH code (ignored for repetition).
+	BCHm, BCHt int
+	// VddMV is the voltage plane the key challenge measures.
+	VddMV int
+	// Label domain-separates keys derived from the same device.
+	Label string
+	// ChallengeSeed makes the key challenge reproducible; the same
+	// bundle must always re-measure the same coordinates.
+	ChallengeSeed uint64
+}
+
+// DefaultParams derives a 128-bit secret from the repetition extractor.
+func DefaultParams(vddMV int) Params {
+	return Params{
+		Scheme:        SchemeRepetition,
+		KeyBits:       128,
+		VddMV:         vddMV,
+		Label:         "keygen/v1",
+		ChallengeSeed: 0x6b657967, // "keyg"
+	}
+}
+
+// BCHParams derives keys through BCH(255,131,18) blocks.
+func BCHParams(vddMV int) Params {
+	p := DefaultParams(vddMV)
+	p.Scheme = SchemeBCH
+	p.BCHm, p.BCHt = 8, 18
+	return p
+}
+
+// Bundle is the public provisioning artifact: everything needed to
+// re-derive the key given the right silicon, and nothing that helps
+// without it.
+type Bundle struct {
+	Params    Params          `json:"params"`
+	Challenge *crp.Challenge  `json:"challenge"`
+	Rep       *ecc.HelperData `json:"rep,omitempty"`
+	BCH       []ecc.BCHHelper `json:"bch,omitempty"`
+}
+
+// Key is the derived 256-bit key.
+type Key = [32]byte
+
+// respBitsNeeded returns the PUF response length the scheme consumes.
+func respBitsNeeded(p Params) (int, *ecc.BCH, error) {
+	switch p.Scheme {
+	case SchemeRepetition:
+		return p.KeyBits * ecc.Repetition, nil, nil
+	case SchemeBCH:
+		code, err := ecc.NewBCH(p.BCHm, p.BCHt)
+		if err != nil {
+			return 0, nil, err
+		}
+		blocks := (p.KeyBits + code.K - 1) / code.K
+		return blocks * code.N, code, nil
+	default:
+		return 0, nil, fmt.Errorf("keygen: unknown scheme %q", p.Scheme)
+	}
+}
+
+// keyChallenge deterministically derives the fixed key challenge.
+func keyChallenge(dev auth.Device, p Params, bits int) *crp.Challenge {
+	gen := rng.New(p.ChallengeSeed ^ uint64(p.VddMV))
+	return crp.Generate(dev.Geometry(), bits, p.VddMV, gen)
+}
+
+// Provision measures the device and produces the public bundle plus
+// the derived key. secretRand supplies the fresh secret (a CSPRNG in
+// production; the simulator's deterministic stream in tests).
+func Provision(dev auth.Device, p Params, secretRand *rng.Rand) (*Bundle, Key, error) {
+	if p.KeyBits <= 0 {
+		return nil, Key{}, errors.New("keygen: KeyBits must be positive")
+	}
+	bits, code, err := respBitsNeeded(p)
+	if err != nil {
+		return nil, Key{}, err
+	}
+	ch := keyChallenge(dev, p, bits)
+	resp, err := dev.RespondDefault(ch)
+	if err != nil {
+		return nil, Key{}, fmt.Errorf("keygen: reference measurement: %w", err)
+	}
+
+	bundle := &Bundle{Params: p, Challenge: ch}
+	var secret []byte
+	switch p.Scheme {
+	case SchemeRepetition:
+		secret = make([]byte, (p.KeyBits+7)/8)
+		for i := range secret {
+			secret[i] = byte(secretRand.Uint64())
+		}
+		helper, err := ecc.GenerateHelper(resp.Bits, p.KeyBits, secret)
+		if err != nil {
+			return nil, Key{}, err
+		}
+		bundle.Rep = &helper
+	case SchemeBCH:
+		blocks := (p.KeyBits + code.K - 1) / code.K
+		blockBytes := (code.N + 7) / 8
+		for b := 0; b < blocks; b++ {
+			blockSecret := make([]byte, (code.K+7)/8)
+			for i := range blockSecret {
+				blockSecret[i] = byte(secretRand.Uint64())
+			}
+			// Mask bits beyond K: the codec ignores them, so they must
+			// be zero for Provision and Recover to hash identical
+			// secrets.
+			if rem := code.K % 8; rem != 0 {
+				blockSecret[len(blockSecret)-1] &= byte(1<<rem) - 1
+			}
+			secret = append(secret, blockSecret...)
+			blockResp := sliceBits(resp.Bits, b*code.N, code.N, blockBytes)
+			helper, err := ecc.GenerateBCHHelper(code, blockResp, blockSecret)
+			if err != nil {
+				return nil, Key{}, err
+			}
+			bundle.BCH = append(bundle.BCH, helper)
+		}
+	}
+	key := ecc.StrengthenKey(secret, p.Label)
+	return bundle, key, nil
+}
+
+// Recover re-measures the device and re-derives the key from the
+// bundle. With the right silicon and in-tolerance noise the result
+// equals the provisioned key bit for bit; wrong silicon yields either
+// an error (BCH decode failure) or a different key.
+func Recover(dev auth.Device, bundle *Bundle) (Key, error) {
+	p := bundle.Params
+	_, code, err := respBitsNeeded(p)
+	if err != nil {
+		return Key{}, err
+	}
+	resp, err := dev.RespondDefault(bundle.Challenge)
+	if err != nil {
+		return Key{}, fmt.Errorf("keygen: re-measurement: %w", err)
+	}
+	var secret []byte
+	switch p.Scheme {
+	case SchemeRepetition:
+		if bundle.Rep == nil {
+			return Key{}, errors.New("keygen: bundle missing repetition helper")
+		}
+		secret, err = ecc.Reproduce(resp.Bits, *bundle.Rep)
+		if err != nil {
+			return Key{}, err
+		}
+	case SchemeBCH:
+		blockBytes := (code.N + 7) / 8
+		for b, helper := range bundle.BCH {
+			blockResp := sliceBits(resp.Bits, b*code.N, code.N, blockBytes)
+			blockSecret, err := ecc.ReproduceBCH(helper, blockResp)
+			if err != nil {
+				return Key{}, fmt.Errorf("keygen: block %d: %w", b, err)
+			}
+			secret = append(secret, blockSecret...)
+		}
+		if len(bundle.BCH) == 0 {
+			return Key{}, errors.New("keygen: bundle missing BCH helpers")
+		}
+	}
+	return ecc.StrengthenKey(secret, p.Label), nil
+}
+
+// sliceBits copies `count` bits starting at bit offset `from` into a
+// fresh buffer of outBytes bytes.
+func sliceBits(src []byte, from, count, outBytes int) []byte {
+	out := make([]byte, outBytes)
+	for i := 0; i < count; i++ {
+		bit := (src[(from+i)/8] >> uint((from+i)%8)) & 1
+		if bit == 1 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}

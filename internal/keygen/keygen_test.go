@@ -1,0 +1,172 @@
+package keygen
+
+import (
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/errormap"
+	"repro/internal/noise"
+	"repro/internal/rng"
+)
+
+const kgVdd = 680
+
+func deviceFromPlane(p *errormap.Plane) *auth.SimDevice {
+	m := errormap.NewMap(p.Geometry())
+	m.AddPlane(kgVdd, p)
+	return auth.NewSimDevice(m)
+}
+
+func freshPlane(seed uint64) *errormap.Plane {
+	return errormap.RandomPlane(errormap.NewGeometry(16384), 100, rng.New(seed))
+}
+
+func TestProvisionRecoverNoiseless(t *testing.T) {
+	for _, params := range []Params{DefaultParams(kgVdd), BCHParams(kgVdd)} {
+		plane := freshPlane(1)
+		dev := deviceFromPlane(plane)
+		bundle, key, err := Provision(dev, params, rng.New(2))
+		if err != nil {
+			t.Fatalf("%s: %v", params.Scheme, err)
+		}
+		got, err := Recover(dev, bundle)
+		if err != nil {
+			t.Fatalf("%s: %v", params.Scheme, err)
+		}
+		if got != key {
+			t.Fatalf("%s: noiseless recovery diverged", params.Scheme)
+		}
+	}
+}
+
+func TestRecoverUnderFieldNoise(t *testing.T) {
+	for _, params := range []Params{DefaultParams(kgVdd), BCHParams(kgVdd)} {
+		plane := freshPlane(3)
+		dev := deviceFromPlane(plane)
+		bundle, key, err := Provision(dev, params, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mild field noise: a few percent of map churn.
+		noisy := noise.Apply(plane, noise.Profile{InjectFrac: 0.03, RemoveFrac: 0.01}, rng.New(5))
+		fieldDev := deviceFromPlane(noisy)
+		got, err := Recover(fieldDev, bundle)
+		if err != nil {
+			t.Fatalf("%s: recovery failed under mild noise: %v", params.Scheme, err)
+		}
+		if got != key {
+			t.Fatalf("%s: noisy recovery produced a different key", params.Scheme)
+		}
+	}
+}
+
+func TestCloneCannotRecover(t *testing.T) {
+	for _, params := range []Params{DefaultParams(kgVdd), BCHParams(kgVdd)} {
+		dev := deviceFromPlane(freshPlane(6))
+		bundle, key, err := Provision(dev, params, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := deviceFromPlane(freshPlane(999))
+		got, err := Recover(clone, bundle)
+		if err == nil && got == key {
+			t.Fatalf("%s: cloned silicon recovered the key", params.Scheme)
+		}
+	}
+}
+
+func TestLabelSeparation(t *testing.T) {
+	plane := freshPlane(8)
+	dev := deviceFromPlane(plane)
+	pa := DefaultParams(kgVdd)
+	pb := DefaultParams(kgVdd)
+	pb.Label = "other-purpose"
+	// Same secret stream, different labels: different keys.
+	_, ka, err := Provision(dev, pa, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kb, err := Provision(dev, pb, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == kb {
+		t.Fatal("labels did not separate keys")
+	}
+}
+
+func TestChallengeDeterministic(t *testing.T) {
+	plane := freshPlane(10)
+	dev := deviceFromPlane(plane)
+	p := DefaultParams(kgVdd)
+	b1, _, err := Provision(dev, p, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, err := Provision(dev, p, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Challenge.Bits) != len(b2.Challenge.Bits) {
+		t.Fatal("challenge lengths differ")
+	}
+	for i := range b1.Challenge.Bits {
+		if b1.Challenge.Bits[i] != b2.Challenge.Bits[i] {
+			t.Fatal("key challenge not deterministic across provisionings")
+		}
+	}
+}
+
+func TestMultiBlockBCH(t *testing.T) {
+	// 256 key bits need two BCH(255,131) blocks.
+	plane := freshPlane(13)
+	dev := deviceFromPlane(plane)
+	p := BCHParams(kgVdd)
+	p.KeyBits = 256
+	bundle, key, err := Provision(dev, p, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.BCH) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(bundle.BCH))
+	}
+	got, err := Recover(dev, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatal("multi-block recovery diverged")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	dev := deviceFromPlane(freshPlane(15))
+	bad := DefaultParams(kgVdd)
+	bad.KeyBits = 0
+	if _, _, err := Provision(dev, bad, rng.New(16)); err == nil {
+		t.Fatal("zero key bits accepted")
+	}
+	badScheme := DefaultParams(kgVdd)
+	badScheme.Scheme = "rot13"
+	if _, _, err := Provision(dev, badScheme, rng.New(17)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	badBCH := BCHParams(kgVdd)
+	badBCH.BCHm = 3
+	if _, _, err := Provision(dev, badBCH, rng.New(18)); err == nil {
+		t.Fatal("bad BCH field accepted")
+	}
+	// Corrupt bundles.
+	if _, err := Recover(dev, &Bundle{Params: DefaultParams(kgVdd), Challenge: keyChallenge(dev, DefaultParams(kgVdd), 640)}); err == nil {
+		t.Fatal("bundle without helper accepted")
+	}
+	bp := BCHParams(kgVdd)
+	if _, err := Recover(dev, &Bundle{Params: bp, Challenge: keyChallenge(dev, bp, 255)}); err == nil {
+		t.Fatal("BCH bundle without helpers accepted")
+	}
+	// Wrong voltage plane in the bundle: the device cannot measure it.
+	p := DefaultParams(999)
+	if _, _, err := Provision(dev, p, rng.New(19)); err == nil {
+		t.Fatal("unknown plane accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package mapkey
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b ^ byte(i)
+	}
+	return k
+}
+
+func TestPermutationBijective(t *testing.T) {
+	for _, n := range []int{2, 3, 16, 100, 257, 4096, 12288} {
+		p := NewPermutation(testKey(1), n)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			m := p.Map(i)
+			if m < 0 || m >= n {
+				t.Fatalf("n=%d: Map(%d) = %d out of range", n, i, m)
+			}
+			if seen[m] {
+				t.Fatalf("n=%d: Map collision at output %d", n, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestUnmapInvertsMap(t *testing.T) {
+	for _, n := range []int{2, 100, 65536} {
+		p := NewPermutation(testKey(2), n)
+		step := 1
+		if n > 1000 {
+			step = 97
+		}
+		for i := 0; i < n; i += step {
+			if got := p.Unmap(p.Map(i)); got != i {
+				t.Fatalf("n=%d: Unmap(Map(%d)) = %d", n, i, got)
+			}
+		}
+	}
+}
+
+func TestInversionProperty(t *testing.T) {
+	p := NewPermutation(testKey(3), 50000)
+	f := func(x uint16) bool {
+		i := int(x) % 50000
+		return p.Unmap(p.Map(i)) == i && p.Map(p.Unmap(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	const n = 10000
+	p1 := NewPermutation(testKey(4), n)
+	p2 := NewPermutation(testKey(5), n)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if p1.Map(i) == p2.Map(i) {
+			same++
+		}
+	}
+	// Two random permutations agree on a point with prob 1/n.
+	if same > 5 {
+		t.Fatalf("different keys agreed on %d of 1000 points", same)
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := NewPermutation(testKey(6), 12345)
+	b := NewPermutation(testKey(6), 12345)
+	for i := 0; i < 500; i++ {
+		if a.Map(i) != b.Map(i) {
+			t.Fatalf("same key/domain diverged at %d", i)
+		}
+	}
+}
+
+func TestMapLooksRandom(t *testing.T) {
+	// The permutation should not preserve locality: consecutive inputs
+	// should land far apart on average.
+	const n = 65536
+	p := NewPermutation(testKey(7), n)
+	adjacent := 0
+	for i := 0; i < 1000; i++ {
+		d := p.Map(i) - p.Map(i+1)
+		if d < 0 {
+			d = -d
+		}
+		if d < 100 {
+			adjacent++
+		}
+	}
+	if adjacent > 20 {
+		t.Fatalf("%d of 1000 consecutive pairs mapped within 100", adjacent)
+	}
+}
+
+func TestPanicsOutOfDomain(t *testing.T) {
+	p := NewPermutation(testKey(8), 100)
+	for _, bad := range []int{-1, 100, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Map(%d) did not panic", bad)
+				}
+			}()
+			p.Map(bad)
+		}()
+	}
+}
+
+func TestPanicsTinyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("domain 1 accepted")
+		}
+	}()
+	NewPermutation(testKey(9), 1)
+}
+
+func TestDomainAccessor(t *testing.T) {
+	if d := NewPermutation(testKey(10), 777).Domain(); d != 777 {
+		t.Fatalf("Domain = %d", d)
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	a := KeyFromBytes([]byte("secret"), "x")
+	b := KeyFromBytes([]byte("secret"), "x")
+	if a != b {
+		t.Fatal("not deterministic")
+	}
+	if a == KeyFromBytes([]byte("secret"), "y") {
+		t.Fatal("label ignored")
+	}
+	if a == KeyFromBytes([]byte("other"), "x") {
+		t.Fatal("material ignored")
+	}
+}
+
+func TestPlaneKeysIndependent(t *testing.T) {
+	master := testKey(11)
+	if PlaneKey(master, 680) == PlaneKey(master, 700) {
+		t.Fatal("plane keys collide across voltages")
+	}
+	if PlaneKey(master, 680) != PlaneKey(master, 680) {
+		t.Fatal("plane key not deterministic")
+	}
+	if DeriveSubkey(master, "a") == DeriveSubkey(master, "b") {
+		t.Fatal("subkeys collide")
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	p := NewPermutation(testKey(1), 65536)
+	for i := 0; i < b.N; i++ {
+		_ = p.Map(i & 0xffff)
+	}
+}

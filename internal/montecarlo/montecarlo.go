@@ -1,0 +1,98 @@
+// Package montecarlo provides the simulation harness behind the
+// paper's evaluation: deterministic generation of chip populations
+// (random error maps or full variation models) and a parallel runner
+// that fans experiment trials across CPUs while keeping every trial's
+// randomness reproducible.
+//
+// The paper's methodology (Section 6.1) simulates each cache
+// configuration with 100 distinct error maps, each evaluated against
+// 50 K noise profiles; this package is how the repo expresses that
+// shape.
+package montecarlo
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+// Run executes fn for trial indices 0..n-1 across workers goroutines
+// and collects the results in order. Each trial receives its own
+// generator derived from seed and the trial index, so results do not
+// depend on scheduling. workers <= 0 selects GOMAXPROCS.
+func Run[T any](n int, workers int, seed uint64, fn func(trial int, r *rng.Rand) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				out[i] = fn(i, trialRand(seed, i))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// trialRand derives the deterministic generator of one trial.
+func trialRand(seed uint64, trial int) *rng.Rand {
+	h := seed ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+	h ^= h >> 31
+	h *= 0xff51afd7ed558ccd
+	return rng.New(h)
+}
+
+// Population describes a simulated chip population for map-level Monte
+// Carlo: planes with a fixed error count over a fixed geometry.
+type Population struct {
+	Geometry errormap.Geometry
+	Errors   int
+	Seed     uint64
+}
+
+// Plane materialises chip i's error plane.
+func (p Population) Plane(i int) *errormap.Plane {
+	return errormap.RandomPlane(p.Geometry, p.Errors, trialRand(p.Seed, i))
+}
+
+// Planes materialises the first n chips.
+func (p Population) Planes(n int) []*errormap.Plane {
+	out := make([]*errormap.Plane, n)
+	for i := range out {
+		out[i] = p.Plane(i)
+	}
+	return out
+}
+
+// Models generates n full variation models (for chip-level
+// experiments: Figures 1–3, 11, 13–14).
+func Models(n int, seed uint64, params variation.Params) []*variation.Model {
+	out := make([]*variation.Model, n)
+	for i := range out {
+		out[i] = variation.NewModel(trialRand(seed, i).Uint64(), params)
+	}
+	return out
+}

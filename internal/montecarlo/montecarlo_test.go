@@ -1,0 +1,92 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+func TestRunCollectsInOrder(t *testing.T) {
+	got := Run(100, 8, 1, func(trial int, r *rng.Rand) int {
+		return trial * 2
+	})
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := func(trial int, r *rng.Rand) uint64 { return r.Uint64() }
+	a := Run(50, 1, 7, f)
+	b := Run(50, 16, 7, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	f := func(trial int, r *rng.Rand) uint64 { return r.Uint64() }
+	a := Run(10, 4, 1, f)
+	b := Run(10, 4, 2, f)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d trials identical across seeds", same)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if got := Run(0, 4, 1, func(int, *rng.Rand) int { return 1 }); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestPopulationPlanes(t *testing.T) {
+	p := Population{Geometry: errormap.NewGeometry(4096), Errors: 50, Seed: 3}
+	planes := p.Planes(10)
+	if len(planes) != 10 {
+		t.Fatalf("planes = %d", len(planes))
+	}
+	for i, pl := range planes {
+		if pl.ErrorCount() != 50 {
+			t.Fatalf("plane %d has %d errors", i, pl.ErrorCount())
+		}
+	}
+	// Distinct chips differ; same index reproduces.
+	if planes[0].Equal(planes[1]) {
+		t.Fatal("two chips share an error map")
+	}
+	if !planes[3].Equal(p.Plane(3)) {
+		t.Fatal("Plane(i) not reproducible")
+	}
+}
+
+func TestModelsDistinctAndReproducible(t *testing.T) {
+	a := Models(5, 9, variation.DefaultParams())
+	b := Models(5, 9, variation.DefaultParams())
+	for i := range a {
+		if a[i].ChipSeed() != b[i].ChipSeed() {
+			t.Fatal("Models not reproducible")
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, m := range a {
+		if seen[m.ChipSeed()] {
+			t.Fatal("duplicate chip seeds in population")
+		}
+		seen[m.ChipSeed()] = true
+	}
+}

@@ -1,0 +1,147 @@
+// Package noise models the perturbations an Authenticache client
+// experiences between enrollment and authentication (paper Section
+// 6.2): measurement error, supply-voltage fluctuations, temperature
+// excursions, and circuit aging (NBTI/HCI).
+//
+// At the error-map level all of these reduce to two effects the paper
+// quantifies directly:
+//
+//   - Injection: cache lines *not* in the enrolled map raise errors in
+//     the field ("unexpected errors injected"). The paper expresses
+//     this as a percentage of the baseline error count — 150% noise on
+//     a 100-error map means 150 new error lines.
+//   - Masking/removal: enrolled lines fail to trigger ("expected
+//     errors removed"), typically flaky lines recorded during a noisy
+//     enrollment.
+//
+// The package perturbs logical error planes for Monte Carlo runs and
+// converts physical conditions (ΔT, age) into the equivalent injection
+// levels for the full-chip simulation.
+package noise
+
+import (
+	"fmt"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+// Profile describes one field-conditions draw.
+type Profile struct {
+	// InjectFrac is the number of new error lines to add, as a
+	// fraction of the plane's enrolled error count (1.5 = paper's
+	// "150% noise").
+	InjectFrac float64
+	// RemoveFrac is the fraction of enrolled error lines masked.
+	RemoveFrac float64
+	// DeltaT is the temperature excursion in °C (full-chip runs).
+	DeltaT float64
+	// AgeYears is the accumulated aging (full-chip runs).
+	AgeYears float64
+}
+
+// Validate rejects meaningless fractions.
+func (p Profile) Validate() error {
+	if p.InjectFrac < 0 {
+		return fmt.Errorf("noise: negative injection %v", p.InjectFrac)
+	}
+	if p.RemoveFrac < 0 || p.RemoveFrac > 1 {
+		return fmt.Errorf("noise: removal fraction %v outside [0,1]", p.RemoveFrac)
+	}
+	return nil
+}
+
+// Apply returns a perturbed copy of the plane. Injection places
+// round(InjectFrac·k) new errors on uniformly random clean cells;
+// removal clears round(RemoveFrac·k) uniformly random enrolled errors.
+// The original plane is not modified.
+func Apply(p *errormap.Plane, prof Profile, r *rng.Rand) *errormap.Plane {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	out := p.Clone()
+	k := p.ErrorCount()
+	g := p.Geometry()
+
+	nRemove := int(prof.RemoveFrac*float64(k) + 0.5)
+	if nRemove > 0 {
+		errs := out.Errors()
+		for _, idx := range r.SampleK(len(errs), nRemove) {
+			out.Set(errs[idx], false)
+		}
+	}
+
+	nInject := int(prof.InjectFrac*float64(k) + 0.5)
+	if nInject > 0 {
+		clean := g.Lines - out.ErrorCount()
+		if nInject > clean {
+			nInject = clean
+		}
+		injected := 0
+		for injected < nInject {
+			line := r.Intn(g.Lines)
+			if out.Get(line) {
+				continue
+			}
+			out.Set(line, true)
+			injected++
+		}
+	}
+	return out
+}
+
+// Level is a convenience constructor for the paper's single-axis
+// sweeps: a pure injection profile at the given percentage.
+func InjectLevel(percent float64) Profile {
+	return Profile{InjectFrac: percent / 100}
+}
+
+// RemoveLevel is a pure masking profile at the given percentage.
+func RemoveLevel(percent float64) Profile {
+	return Profile{RemoveFrac: percent / 100}
+}
+
+// FlipProbabilities estimates the per-bit response flip probability a
+// profile induces, via direct Monte Carlo over random planes: it
+// returns the measured intra-chip per-bit error probability (pIntra in
+// the paper's equations (3)–(4)).
+//
+// lines and errors describe the plane population; trials controls the
+// estimate's precision. This is the bridge between map-level noise and
+// the binomial FAR/FRR identifiability model.
+func FlipProbability(lines, errors int, prof Profile, trials int, r *rng.Rand) float64 {
+	g := errormap.NewGeometry(lines)
+	flips, total := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		base := errormap.RandomPlane(g, errors, r)
+		noisy := Apply(base, prof, r)
+		dfBase := base.DistanceTransform()
+		dfNoisy := noisy.DistanceTransform()
+		// Sample random pairs and compare response bits.
+		const pairsPerTrial = 256
+		for i := 0; i < pairsPerTrial; i++ {
+			a := r.Intn(lines)
+			b := r.Intn(lines)
+			for b == a {
+				b = r.Intn(lines)
+			}
+			want := respBit(dfBase, a, b)
+			got := respBit(dfNoisy, a, b)
+			if want != got {
+				flips++
+			}
+			total++
+		}
+	}
+	return float64(flips) / float64(total)
+}
+
+func respBit(df *errormap.DistanceField, a, b int) int {
+	if df == nil {
+		return 0
+	}
+	if df.DistLine(a) <= df.DistLine(b) {
+		return 0
+	}
+	return 1
+}

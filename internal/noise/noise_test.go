@@ -1,0 +1,143 @@
+package noise
+
+import (
+	"testing"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+func basePlane(k int, seed uint64) *errormap.Plane {
+	return errormap.RandomPlane(errormap.NewGeometry(65536), k, rng.New(seed))
+}
+
+func TestApplyInjectionCount(t *testing.T) {
+	p := basePlane(100, 1)
+	r := rng.New(2)
+	noisy := Apply(p, InjectLevel(150), r)
+	if got := noisy.ErrorCount(); got != 250 {
+		t.Fatalf("150%% injection on 100 errors -> %d, want 250", got)
+	}
+	// Every enrolled error survives pure injection.
+	for _, e := range p.Errors() {
+		if !noisy.Get(e) {
+			t.Fatalf("injection removed enrolled error %d", e)
+		}
+	}
+}
+
+func TestApplyRemovalCount(t *testing.T) {
+	p := basePlane(100, 3)
+	r := rng.New(4)
+	noisy := Apply(p, RemoveLevel(40), r)
+	if got := noisy.ErrorCount(); got != 60 {
+		t.Fatalf("40%% removal on 100 errors -> %d, want 60", got)
+	}
+	// Removal must not invent errors.
+	for _, e := range noisy.Errors() {
+		if !p.Get(e) {
+			t.Fatalf("removal invented error %d", e)
+		}
+	}
+}
+
+func TestApplyCombined(t *testing.T) {
+	p := basePlane(80, 5)
+	r := rng.New(6)
+	noisy := Apply(p, Profile{InjectFrac: 0.5, RemoveFrac: 0.25}, r)
+	// 80 - 20 removed + 40 injected = 100.
+	if got := noisy.ErrorCount(); got != 100 {
+		t.Fatalf("combined noise -> %d errors, want 100", got)
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	p := basePlane(50, 7)
+	before := p.Clone()
+	Apply(p, Profile{InjectFrac: 1, RemoveFrac: 0.5}, rng.New(8))
+	if !p.Equal(before) {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestApplyZeroProfileIsIdentity(t *testing.T) {
+	p := basePlane(42, 9)
+	noisy := Apply(p, Profile{}, rng.New(10))
+	if !p.Equal(noisy) {
+		t.Fatal("zero profile changed the plane")
+	}
+}
+
+func TestApplyInjectionSaturates(t *testing.T) {
+	g := errormap.NewGeometry(100)
+	p := errormap.RandomPlane(g, 50, rng.New(11))
+	noisy := Apply(p, Profile{InjectFrac: 10}, rng.New(12)) // wants 500, only 50 clean
+	if got := noisy.ErrorCount(); got != 100 {
+		t.Fatalf("saturated injection -> %d, want 100", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Profile{InjectFrac: -1}).Validate(); err == nil {
+		t.Fatal("negative injection accepted")
+	}
+	if err := (Profile{RemoveFrac: 1.5}).Validate(); err == nil {
+		t.Fatal("removal > 1 accepted")
+	}
+	if err := (Profile{InjectFrac: 2, RemoveFrac: 1}).Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+func TestApplyPanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid profile did not panic")
+		}
+	}()
+	Apply(basePlane(10, 13), Profile{RemoveFrac: 2}, rng.New(14))
+}
+
+func TestLevelsConstructors(t *testing.T) {
+	if p := InjectLevel(150); p.InjectFrac != 1.5 || p.RemoveFrac != 0 {
+		t.Fatalf("InjectLevel = %+v", p)
+	}
+	if p := RemoveLevel(62); p.RemoveFrac != 0.62 || p.InjectFrac != 0 {
+		t.Fatalf("RemoveLevel = %+v", p)
+	}
+}
+
+// The response-flip probability must grow with the noise level, stay
+// small at the paper's "normal operation" 10%, and stay well below 0.5
+// even at 150% (which is why Authenticache tolerates so much noise).
+func TestFlipProbabilityMonotone(t *testing.T) {
+	r := rng.New(15)
+	const lines, errs, trials = 16384, 100, 6
+	p10 := FlipProbability(lines, errs, InjectLevel(10), trials, r)
+	p150 := FlipProbability(lines, errs, InjectLevel(150), trials, r)
+	if p10 >= p150 {
+		t.Fatalf("flip probability not monotone: 10%%=%v 150%%=%v", p10, p150)
+	}
+	// ~6% matches the paper's intra-die measurement at normal noise.
+	if p10 > 0.10 {
+		t.Fatalf("10%% noise flips %v of bits, want small", p10)
+	}
+	if p150 > 0.40 {
+		t.Fatalf("150%% noise flips %v of bits, want < 0.40", p150)
+	}
+	if p150 < 0.05 {
+		t.Fatalf("150%% noise flips only %v, implausibly robust", p150)
+	}
+}
+
+func TestFlipProbabilityRemovalHurtsMore(t *testing.T) {
+	// Paper finding: Authenticache is more sensitive to removed errors
+	// than injected ones at equal percentages.
+	r := rng.New(16)
+	const lines, errs, trials = 16384, 100, 6
+	inj := FlipProbability(lines, errs, InjectLevel(50), trials, r)
+	rem := FlipProbability(lines, errs, RemoveLevel(50), trials, r)
+	if rem <= inj {
+		t.Fatalf("removal (%v) should flip more bits than injection (%v)", rem, inj)
+	}
+}

@@ -1,0 +1,234 @@
+// Package quality computes the standard PUF report card of paper
+// Section 2.2 — uniqueness, reliability, identifiability (FAR/FRR/EER),
+// uniformity and bit-aliasing — for a population of Authenticache
+// error maps under a configurable noise profile.
+//
+// It is the evaluation harness a silicon vendor would run before
+// shipping: feed it a sample of enrolled chips, get back the numbers
+// that decide whether the PUF is deployable (the paper's acceptance
+// bar is a sub-1-ppm misidentification rate with near-50% uniqueness
+// and uniformity).
+package quality
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/noise"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config parameterises a report run.
+type Config struct {
+	// CRPBits is the response length evaluated (paper: 64–512).
+	CRPBits int
+	// Challenges is how many distinct challenges feed each metric.
+	Challenges int
+	// Remeasurements is how many noisy re-reads estimate reliability.
+	Remeasurements int
+	// Noise is the field-conditions profile applied for intra-chip
+	// metrics.
+	Noise noise.Profile
+	// Seed drives challenge generation and noise draws.
+	Seed uint64
+}
+
+// DefaultConfig evaluates 256-bit CRPs under the paper's "normal
+// operation" 10% injection noise.
+func DefaultConfig() Config {
+	return Config{
+		CRPBits:        256,
+		Challenges:     16,
+		Remeasurements: 8,
+		Noise:          noise.Profile{InjectFrac: 0.10, RemoveFrac: 0.05},
+		Seed:           1,
+	}
+}
+
+// Report is the PUF report card.
+type Report struct {
+	Chips   int
+	CRPBits int
+
+	// UniquenessPct is the mean inter-chip Hamming distance in percent
+	// (equation (1)); ideal 50.
+	UniquenessPct float64
+	// ReliabilityPct is 100 minus the mean intra-chip distance under
+	// noise (equation (2)); ideal 100.
+	ReliabilityPct float64
+	// UniformityPct is the mean fraction of 1s per response (equation
+	// (5)); ideal 50.
+	UniformityPct float64
+	// BitAliasingPct is the mean per-position bias across chips
+	// (equation (6)); ideal 50.
+	BitAliasingPct float64
+	// BitAliasingWorstPct is the per-position bias farthest from 50.
+	BitAliasingWorstPct float64
+	// ShannonPerBit and MinEntropyPerBit estimate the response entropy
+	// per position across the population (ideal 1.0); min-entropy is
+	// the conservative figure key-derivation arguments need.
+	ShannonPerBit    float64
+	MinEntropyPerBit float64
+
+	// PIntra/PInter are the measured per-bit probabilities behind the
+	// identifiability model (equations (3)-(4)).
+	PIntra, PInter float64
+	// Threshold is the equal-error-rate identification threshold in
+	// bits, with the resulting FAR/FRR.
+	Threshold int
+	FAR, FRR  float64
+}
+
+// FailureRate returns max(FAR, FRR): the misidentification probability
+// compared against the 1 ppm bar.
+func (r *Report) FailureRate() float64 {
+	if r.FAR > r.FRR {
+		return r.FAR
+	}
+	return r.FRR
+}
+
+// MeetsPaperBar reports whether the population clears the paper's
+// acceptance criteria: sub-1-ppm failure rate and uniqueness within
+// 10 points of ideal.
+func (r *Report) MeetsPaperBar() bool {
+	return r.FailureRate() < 1e-6 &&
+		r.UniquenessPct > 40 && r.UniquenessPct < 60
+}
+
+// Fprint renders the report card.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "PUF quality report (%d chips, %d-bit CRPs)\n", r.Chips, r.CRPBits)
+	fmt.Fprintf(w, "  uniqueness:    %6.2f%%  (ideal 50)\n", r.UniquenessPct)
+	fmt.Fprintf(w, "  reliability:   %6.2f%%  (ideal 100)\n", r.ReliabilityPct)
+	fmt.Fprintf(w, "  uniformity:    %6.2f%%  (ideal 50)\n", r.UniformityPct)
+	fmt.Fprintf(w, "  bit-aliasing:  %6.2f%%  (ideal 50, worst %.2f%%)\n", r.BitAliasingPct, r.BitAliasingWorstPct)
+	fmt.Fprintf(w, "  entropy/bit:   %6.3f Shannon, %.3f min-entropy (ideal 1.0)\n", r.ShannonPerBit, r.MinEntropyPerBit)
+	fmt.Fprintf(w, "  p_intra=%.4f p_inter=%.4f -> threshold %d bits, FAR %.2e, FRR %.2e\n",
+		r.PIntra, r.PInter, r.Threshold, r.FAR, r.FRR)
+	verdict := "FAILS"
+	if r.MeetsPaperBar() {
+		verdict = "MEETS"
+	}
+	fmt.Fprintf(w, "  %s the paper's acceptance bar (<1 ppm misidentification)\n", verdict)
+}
+
+// Evaluate runs the report card over a chip population given as one
+// error plane per chip (all with identical geometry). It needs at
+// least two chips.
+func Evaluate(planes []*errormap.Plane, cfg Config) (*Report, error) {
+	if len(planes) < 2 {
+		return nil, fmt.Errorf("quality: need at least 2 chips, got %d", len(planes))
+	}
+	if cfg.CRPBits <= 0 || cfg.Challenges <= 0 || cfg.Remeasurements <= 0 {
+		return nil, fmt.Errorf("quality: invalid config %+v", cfg)
+	}
+	g := planes[0].Geometry()
+	for i, p := range planes {
+		if p.Geometry() != g {
+			return nil, fmt.Errorf("quality: chip %d has mismatched geometry", i)
+		}
+	}
+	r := rng.New(cfg.Seed)
+	fields := make([]*errormap.DistanceField, len(planes))
+	for i, p := range planes {
+		fields[i] = p.DistanceTransform()
+	}
+
+	rep := &Report{Chips: len(planes), CRPBits: cfg.CRPBits}
+
+	var uniqueSum, uniformSum, reliabilitySum float64
+	var shannonSum, minEntSum float64
+	var uniqueN, uniformN, reliabilityN int
+	aliasAccum := make([]float64, cfg.CRPBits)
+	var intraFlips, intraBits, interDiff, interBits int
+
+	for c := 0; c < cfg.Challenges; c++ {
+		ch := crp.Generate(g, cfg.CRPBits, 0, r)
+		responses := make([][]byte, len(planes))
+		for i, f := range fields {
+			resp := evalField(ch, f)
+			responses[i] = resp.Bits
+			uniformSum += stats.Uniformity(resp.Bits, cfg.CRPBits)
+			uniformN++
+		}
+		uniqueSum += stats.UniquenessPercent(responses, cfg.CRPBits)
+		uniqueN++
+		shannonSum += stats.ShannonEntropyPerBit(responses, cfg.CRPBits)
+		minEntSum += stats.MinEntropyPerBit(responses, cfg.CRPBits)
+		for j, a := range stats.BitAliasing(responses, cfg.CRPBits) {
+			aliasAccum[j] += a
+		}
+		for i := 0; i < len(planes); i++ {
+			for j := i + 1; j < len(planes); j++ {
+				interDiff += stats.HammingDistance(responses[i], responses[j], cfg.CRPBits)
+				interBits += cfg.CRPBits
+			}
+		}
+
+		// Reliability: re-measure chip (c mod chips) under noise.
+		chipIdx := c % len(planes)
+		ref := responses[chipIdx]
+		var noisy [][]byte
+		for m := 0; m < cfg.Remeasurements; m++ {
+			perturbed := noise.Apply(planes[chipIdx], cfg.Noise, r)
+			nf := perturbed.DistanceTransform()
+			nr := evalField(ch, nf)
+			noisy = append(noisy, nr.Bits)
+			intraFlips += stats.HammingDistance(ref, nr.Bits, cfg.CRPBits)
+			intraBits += cfg.CRPBits
+		}
+		reliabilitySum += stats.ReliabilityPercent(ref, noisy, cfg.CRPBits)
+		reliabilityN++
+	}
+
+	rep.UniquenessPct = uniqueSum / float64(uniqueN)
+	rep.ShannonPerBit = shannonSum / float64(uniqueN)
+	rep.MinEntropyPerBit = minEntSum / float64(uniqueN)
+	rep.UniformityPct = uniformSum / float64(uniformN)
+	rep.ReliabilityPct = reliabilitySum / float64(reliabilityN)
+
+	var aliasSum, worst float64
+	worstDelta := -1.0
+	for _, acc := range aliasAccum {
+		a := acc / float64(cfg.Challenges)
+		aliasSum += a
+		if d := abs(a - 50); d > worstDelta {
+			worstDelta = d
+			worst = a
+		}
+	}
+	rep.BitAliasingPct = aliasSum / float64(cfg.CRPBits)
+	rep.BitAliasingWorstPct = worst
+
+	rep.PIntra = float64(intraFlips) / float64(intraBits)
+	rep.PInter = float64(interDiff) / float64(interBits)
+	if rep.PIntra <= 0 {
+		rep.PIntra = 1e-9
+	}
+	rep.Threshold, rep.FAR, rep.FRR = stats.EqualErrorRate(cfg.CRPBits, rep.PIntra, rep.PInter)
+	return rep, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func evalField(ch *crp.Challenge, df *errormap.DistanceField) crp.Response {
+	resp := crp.NewResponse(len(ch.Bits))
+	for i, b := range ch.Bits {
+		var da, db int
+		found := df != nil
+		if found {
+			da, db = df.DistLine(b.A), df.DistLine(b.B)
+		}
+		resp.SetBit(i, crp.ResponseBit(da, found, db, found))
+	}
+	return resp
+}

@@ -1,0 +1,128 @@
+package quality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/errormap"
+	"repro/internal/montecarlo"
+	"repro/internal/noise"
+	"repro/internal/rng"
+)
+
+func population(n, lines, errs int, seed uint64) []*errormap.Plane {
+	pop := montecarlo.Population{Geometry: errormap.NewGeometry(lines), Errors: errs, Seed: seed}
+	return pop.Planes(n)
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CRPBits = 128
+	cfg.Challenges = 6
+	cfg.Remeasurements = 3
+	return cfg
+}
+
+func TestReportOnHealthyPopulation(t *testing.T) {
+	planes := population(10, 16384, 100, 1)
+	rep, err := Evaluate(planes, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chips != 10 || rep.CRPBits != 128 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.UniquenessPct < 42 || rep.UniquenessPct > 55 {
+		t.Fatalf("uniqueness = %v, want ~49", rep.UniquenessPct)
+	}
+	if rep.ReliabilityPct < 88 {
+		t.Fatalf("reliability = %v, want >88 at normal noise", rep.ReliabilityPct)
+	}
+	if rep.UniformityPct < 42 || rep.UniformityPct > 55 {
+		t.Fatalf("uniformity = %v", rep.UniformityPct)
+	}
+	if rep.BitAliasingPct < 42 || rep.BitAliasingPct > 55 {
+		t.Fatalf("bit-aliasing = %v", rep.BitAliasingPct)
+	}
+	if !rep.MeetsPaperBar() {
+		t.Fatalf("healthy population fails the bar: failure=%v uniq=%v",
+			rep.FailureRate(), rep.UniquenessPct)
+	}
+	if rep.Threshold <= 0 || rep.Threshold >= 128 {
+		t.Fatalf("threshold = %d", rep.Threshold)
+	}
+}
+
+func TestReportDetectsCrushingNoise(t *testing.T) {
+	planes := population(8, 16384, 100, 2)
+	cfg := fastConfig()
+	cfg.CRPBits = 64
+	// Noise far past Figure 10's 64-bit tolerance: the report must
+	// flag the configuration as undeployable.
+	cfg.Noise = noise.Profile{InjectFrac: 2.5, RemoveFrac: 0.8}
+	rep, err := Evaluate(planes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeetsPaperBar() {
+		t.Fatalf("crushing noise passed the bar: failure=%v", rep.FailureRate())
+	}
+	if rep.ReliabilityPct > 85 {
+		t.Fatalf("reliability = %v under crushing noise", rep.ReliabilityPct)
+	}
+}
+
+func TestReportDetectsClonedChips(t *testing.T) {
+	// A population of identical chips has zero uniqueness: the PUF is
+	// not a PUF. The report must fail the bar.
+	g := errormap.NewGeometry(4096)
+	clone := errormap.RandomPlane(g, 60, rng.New(3))
+	planes := []*errormap.Plane{clone, clone.Clone(), clone.Clone()}
+	rep, err := Evaluate(planes, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UniquenessPct > 5 {
+		t.Fatalf("clones show uniqueness %v", rep.UniquenessPct)
+	}
+	if rep.MeetsPaperBar() {
+		t.Fatal("cloned population passed the bar")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g := errormap.NewGeometry(1024)
+	one := []*errormap.Plane{errormap.RandomPlane(g, 10, rng.New(4))}
+	if _, err := Evaluate(one, fastConfig()); err == nil {
+		t.Fatal("single-chip population accepted")
+	}
+	mixed := []*errormap.Plane{
+		errormap.RandomPlane(g, 10, rng.New(5)),
+		errormap.RandomPlane(errormap.NewGeometry(2048), 10, rng.New(6)),
+	}
+	if _, err := Evaluate(mixed, fastConfig()); err == nil {
+		t.Fatal("mixed geometries accepted")
+	}
+	bad := fastConfig()
+	bad.CRPBits = 0
+	if _, err := Evaluate(population(3, 1024, 10, 7), bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFprintContainsVerdict(t *testing.T) {
+	planes := population(6, 8192, 80, 8)
+	rep, err := Evaluate(planes, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"uniqueness", "reliability", "bit-aliasing", "acceptance bar"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the Authenticache simulator.
+//
+// Monte Carlo experiments must be reproducible: the same seed must
+// produce the same chip population, the same noise profiles, and the
+// same challenges on every run and on every platform. The standard
+// library's math/rand/v2 would work, but its exact output is not
+// guaranteed stable across Go releases, so the simulator carries its
+// own generator: xoshiro256** seeded through SplitMix64, the same
+// construction recommended by the xoshiro authors.
+//
+// Streams can be split hierarchically with Split, so that independent
+// subsystems (per-chip variation, per-experiment noise, per-session
+// challenges) draw from statistically independent sequences without
+// coordinating.
+package rng
+
+import "math"
+
+// Rand is a xoshiro256** generator. It is NOT safe for concurrent use;
+// give each goroutine its own stream via Split.
+type Rand struct {
+	s [4]uint64
+	// cached second Gaussian variate from the Box-Muller transform
+	gauss    float64
+	hasGauss bool
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, never for user-visible randomness.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Any seed, including zero,
+// yields a well-distributed initial state.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives an independent child generator. The child's sequence is
+// statistically independent of the parent's subsequent output because
+// the child state is produced by hashing two parent outputs through
+// SplitMix64.
+func (r *Rand) Split() *Rand {
+	seed := r.Uint64() ^ rotl(r.Uint64(), 31)
+	return New(seed)
+}
+
+// SplitNamed derives a child generator bound to a label, so call-site
+// reordering does not silently change which stream a subsystem gets.
+func (r *Rand) SplitNamed(label string) *Rand {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	seed := r.Uint64() ^ h
+	return New(seed)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Rejection sampling removes modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire's nearly-divisionless method with rejection.
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1, w2 := t&mask32, t>>32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1)
+// via the Box-Muller transform.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.gauss = mag * math.Sin(2*math.Pi*v)
+	r.hasGauss = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// Gaussian returns a normal variate with the given mean and stddev.
+func (r *Rand) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleK returns k distinct integers drawn uniformly from [0, n) in
+// random order. It panics if k > n or k < 0. For small k relative to n
+// it uses rejection against a set; otherwise a partial Fisher-Yates.
+func (r *Rand) SampleK(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: SampleK called with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*20 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			v := r.Intn(n)
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// Binomial returns a draw from Binomial(n, p) by direct simulation for
+// small n and by normal approximation with continuity correction for
+// large n (the simulator only needs it for noise-profile sizing).
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		c := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				c++
+			}
+		}
+		return c
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	v := int(math.Round(r.Gaussian(mean, sd)))
+	if v < 0 {
+		v = 0
+	}
+	if v > n {
+		v = n
+	}
+	return v
+}

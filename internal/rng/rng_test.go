@@ -1,0 +1,285 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedIsUsable(t *testing.T) {
+	r := New(0)
+	if r.s == [4]uint64{} {
+		t.Fatal("zero seed produced all-zero state")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("zero-seeded stream repeated values: %d unique of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child and parent must not track each other.
+	match := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			match++
+		}
+	}
+	if match > 0 {
+		t.Fatalf("parent and child streams matched %d times", match)
+	}
+}
+
+func TestSplitNamedStability(t *testing.T) {
+	a := New(9).SplitNamed("variation")
+	b := New(9).SplitNamed("variation")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same-named splits from same seed differ")
+	}
+	c := New(9).SplitNamed("noise")
+	d := New(9).SplitNamed("variation")
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("differently-named splits collided")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestGaussianScaling(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Gaussian(5, 2)
+	}
+	if m := sum / n; math.Abs(m-5) > 0.05 {
+		t.Errorf("Gaussian(5,2) mean = %v", m)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid element %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKDistinct(t *testing.T) {
+	r := New(23)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 10}, {100, 3}, {1000, 500}, {1 << 16, 20}} {
+		s := r.SampleK(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("SampleK(%d,%d) returned %d items", tc.n, tc.k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("SampleK(%d,%d) produced invalid/duplicate %d", tc.n, tc.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleK(3,4) did not panic")
+		}
+	}()
+	New(1).SampleK(3, 4)
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := New(29)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {50, 0.3}, {100000, 0.001}} {
+		for i := 0; i < 50; i++ {
+			v := r.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", tc.n, tc.p, v)
+			}
+		}
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := New(31)
+	const n, p, draws = 40, 0.25, 20000
+	var sum int
+	for i := 0; i < draws; i++ {
+		sum += r.Binomial(n, p)
+	}
+	mean := float64(sum) / draws
+	if math.Abs(mean-n*p) > 0.1 {
+		t.Errorf("Binomial(%d,%v) mean = %v, want %v", n, p, mean, n*p)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(37)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / draws; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+// Property: Uint64n(n) is always < n for any nonzero n.
+func TestUint64nProperty(t *testing.T) {
+	r := New(41)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mul64 agrees with big-integer multiplication on the low and
+// high halves (cross-checked against math/bits semantics by identity
+// (a*b) mod 2^64 == lo).
+func TestMul64LowHalf(t *testing.T) {
+	f := func(a, b uint64) bool {
+		_, lo := mul64(a, b)
+		return lo == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMul64KnownValues(t *testing.T) {
+	hi, lo := mul64(1<<63, 2)
+	if hi != 1 || lo != 0 {
+		t.Fatalf("mul64(2^63,2) = (%d,%d), want (1,0)", hi, lo)
+	}
+	hi, lo = mul64(0xffffffffffffffff, 0xffffffffffffffff)
+	if hi != 0xfffffffffffffffe || lo != 1 {
+		t.Fatalf("mul64(max,max) = (%#x,%#x)", hi, lo)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

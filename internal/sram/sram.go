@@ -1,0 +1,288 @@
+// Package sram simulates an ECC-protected SRAM data array operating at
+// a scaled supply voltage — the physical substrate the Authenticache
+// prototype probes through firmware.
+//
+// The array stores 64-byte lines as eight 64-bit words, each protected
+// by a Hamming(72,64) SECDED codeword (package ecc). The variation
+// model (package variation) assigns every line its weak cells; when a
+// word is read while the supply voltage sits below a weak cell's
+// effective onset, that cell's bit may flip, and the ECC decode either
+// corrects it (raising a correctable machine-check event, the PUF
+// signal) or flags it uncorrectable (two failing cells in one word,
+// which the voltage controller treats as an emergency).
+//
+// Fault manifestation is stochastic per read, governed by
+// variation.TriggerProbability: lines far below their onset trigger
+// essentially always, marginal lines are flaky — reproducing the
+// persistence behaviour of Figure 11.
+package sram
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ecc"
+	"repro/internal/rng"
+	"repro/internal/variation"
+)
+
+// WordsPerLine is the number of 64-bit data words in a 64-byte line.
+const WordsPerLine = 8
+
+// EventType classifies a logged ECC event.
+type EventType int
+
+const (
+	// EventCorrectable is a single-bit error repaired by SECDED.
+	EventCorrectable EventType = iota
+	// EventUncorrectable is a detected double-bit error.
+	EventUncorrectable
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventCorrectable:
+		return "correctable"
+	case EventUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(e))
+	}
+}
+
+// Event is one ECC machine-check record, analogous to the per-bank
+// MCA logs firmware reads on the prototype.
+type Event struct {
+	Line int
+	Word uint8
+	Bit  uint8 // position within the 72-bit codeword
+	Type EventType
+}
+
+// ErrorLog accumulates ECC events. It mirrors a hardware error bank:
+// bounded capacity with an overflow counter, plus running totals.
+type ErrorLog struct {
+	mu            sync.Mutex
+	events        []Event
+	capacity      int
+	Overflowed    int
+	Correctable   int
+	Uncorrectable int
+}
+
+// NewErrorLog creates a log holding at most capacity detailed events
+// (older events are never dropped; past capacity only counters grow).
+func NewErrorLog(capacity int) *ErrorLog {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &ErrorLog{capacity: capacity}
+}
+
+// Record appends an event, tracking overflow beyond capacity.
+func (l *ErrorLog) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch e.Type {
+	case EventCorrectable:
+		l.Correctable++
+	case EventUncorrectable:
+		l.Uncorrectable++
+	}
+	if len(l.events) < l.capacity {
+		l.events = append(l.events, e)
+	} else {
+		l.Overflowed++
+	}
+}
+
+// Drain returns and clears the buffered events; counters keep running.
+func (l *ErrorLog) Drain() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := l.events
+	l.events = nil
+	return out
+}
+
+// Len reports the number of buffered (undrained) events.
+func (l *ErrorLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset clears events and counters.
+func (l *ErrorLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+	l.Overflowed = 0
+	l.Correctable = 0
+	l.Uncorrectable = 0
+}
+
+// Array is one ECC-protected SRAM array.
+type Array struct {
+	model *variation.Model
+	lines int
+	vdd   float64
+	env   variation.Environment
+	meas  *rng.Rand
+	log   *ErrorLog
+
+	// data holds written lines sparsely; untouched lines read as zero.
+	data map[int]*[WordsPerLine]uint64
+
+	// profCache memoises line profiles, which are deterministic.
+	profCache map[int]variation.LineProfile
+}
+
+// New creates an array of `lines` cache lines over the given variation
+// model. measSeed seeds the measurement-noise stream (per-read fault
+// trigger draws); two arrays over the same model but different
+// measSeeds represent re-measurements of the same physical silicon.
+func New(model *variation.Model, lines int, measSeed uint64) *Array {
+	if lines <= 0 {
+		panic("sram: array needs at least one line")
+	}
+	return &Array{
+		model:     model,
+		lines:     lines,
+		vdd:       model.Params().VNominal,
+		meas:      rng.New(measSeed),
+		log:       NewErrorLog(0),
+		data:      make(map[int]*[WordsPerLine]uint64),
+		profCache: make(map[int]variation.LineProfile),
+	}
+}
+
+// Lines returns the number of cache lines in the array.
+func (a *Array) Lines() int { return a.lines }
+
+// Log exposes the ECC event log.
+func (a *Array) Log() *ErrorLog { return a.log }
+
+// SetVoltage sets the array supply voltage in volts.
+func (a *Array) SetVoltage(v float64) { a.vdd = v }
+
+// Voltage returns the current supply voltage.
+func (a *Array) Voltage() float64 { return a.vdd }
+
+// SetEnvironment sets operating conditions (temperature, aging).
+func (a *Array) SetEnvironment(env variation.Environment) { a.env = env }
+
+// Environment returns the current operating conditions.
+func (a *Array) Environment() variation.Environment { return a.env }
+
+// Profile returns the (memoised) variation profile of a line.
+func (a *Array) Profile(line int) variation.LineProfile {
+	if p, ok := a.profCache[line]; ok {
+		return p
+	}
+	p := a.model.Line(line)
+	a.profCache[line] = p
+	return p
+}
+
+func (a *Array) checkLine(line int) {
+	if line < 0 || line >= a.lines {
+		panic(fmt.Sprintf("sram: line %d out of range [0,%d)", line, a.lines))
+	}
+}
+
+// WriteLine stores a full line of data. Writing is modelled as
+// fault-free: the prototype writes test patterns at a voltage where
+// write margins still hold, and retention at low Vdd is what fails.
+func (a *Array) WriteLine(line int, words [WordsPerLine]uint64) {
+	a.checkLine(line)
+	w := words
+	a.data[line] = &w
+}
+
+// ReadWord reads one 64-bit word of a line through the ECC pipeline at
+// the current voltage, logging any ECC event. It returns the
+// (possibly corrected) data and the decode result.
+func (a *Array) ReadWord(line int, word int) (uint64, ecc.Result) {
+	a.checkLine(line)
+	if word < 0 || word >= WordsPerLine {
+		panic(fmt.Sprintf("sram: word %d out of range", word))
+	}
+	var stored uint64
+	if d, ok := a.data[line]; ok {
+		stored = d[word]
+	}
+
+	// Decide which weak cells of this word flip on this read.
+	var flips []int
+	prof := a.Profile(line)
+	for i := 0; i < 3; i++ {
+		if int(prof.Loc[i].Word) != word {
+			continue
+		}
+		margin := prof.EffectiveOnset(i, a.env, a.model.Params()) - a.vdd
+		if p := variation.TriggerProbability(margin); p > 0 && a.meas.Bool(p) {
+			flips = append(flips, int(prof.Loc[i].Bit))
+		}
+	}
+	if len(flips) == 0 {
+		// Fault-free fast path: Decode(Encode(x)) is the identity, so
+		// skip the codec entirely (it dominates full-cache sweep time).
+		return stored, ecc.OK
+	}
+
+	cw := ecc.Encode(stored)
+	for _, b := range flips {
+		cw = cw.FlipBit(b)
+	}
+	data, res, fixed := ecc.Decode(cw)
+	switch res {
+	case ecc.Corrected:
+		a.log.Record(Event{Line: line, Word: uint8(word), Bit: uint8(fixed), Type: EventCorrectable})
+	case ecc.Uncorrectable:
+		a.log.Record(Event{Line: line, Word: uint8(word), Type: EventUncorrectable})
+	}
+	return data, res
+}
+
+// ReadLine reads all words of a line, returning the worst decode
+// result observed (OK < Corrected < Uncorrectable).
+func (a *Array) ReadLine(line int) (words [WordsPerLine]uint64, worst ecc.Result) {
+	for w := 0; w < WordsPerLine; w++ {
+		d, res := a.ReadWord(line, w)
+		words[w] = d
+		if res > worst {
+			worst = res
+		}
+	}
+	return
+}
+
+// triggerCutoff mirrors variation.TriggerProbability's hard zero: a
+// cell whose onset sits more than 20 mV below the supply can never
+// flip.
+const triggerCutoff = 0.020
+
+// TestLine performs one write-then-read self-test pass over a line
+// with the given pattern, reporting the worst ECC result. This is the
+// primitive the error handler's targeted testing builds on (paper
+// Section 5.2).
+func (a *Array) TestLine(line int, pattern uint64) ecc.Result {
+	a.checkLine(line)
+	// Fast path: if even the line's weakest cell sits beyond the
+	// trigger cutoff, no fault can manifest and the write/read pass is
+	// a guaranteed-clean no-op. This keeps full-cache sweeps (65 K+
+	// lines, of which only ~150 are interesting) tractable without
+	// changing observable behaviour.
+	prof := a.Profile(line)
+	if prof.EffectiveOnset(0, a.env, a.model.Params())+triggerCutoff < a.vdd {
+		return ecc.OK
+	}
+	var words [WordsPerLine]uint64
+	for w := range words {
+		words[w] = pattern
+	}
+	a.WriteLine(line, words)
+	_, worst := a.ReadLine(line)
+	return worst
+}

@@ -1,0 +1,243 @@
+package sram
+
+import (
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/variation"
+)
+
+func newTestArray(t *testing.T, chipSeed uint64, lines int) *Array {
+	t.Helper()
+	m := variation.NewModel(chipSeed, variation.DefaultParams())
+	return New(m, lines, chipSeed^0xabcdef)
+}
+
+func TestReadBackAtNominal(t *testing.T) {
+	a := newTestArray(t, 1, 4096)
+	pattern := [WordsPerLine]uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	a.WriteLine(42, pattern)
+	words, worst := a.ReadLine(42)
+	if worst != ecc.OK {
+		t.Fatalf("nominal-voltage read result = %v", worst)
+	}
+	if words != pattern {
+		t.Fatalf("read back %v, want %v", words, pattern)
+	}
+}
+
+func TestUnwrittenLinesReadZero(t *testing.T) {
+	a := newTestArray(t, 2, 64)
+	words, worst := a.ReadLine(7)
+	if worst != ecc.OK || words != [WordsPerLine]uint64{} {
+		t.Fatalf("unwritten line returned (%v,%v)", words, worst)
+	}
+}
+
+func TestNoErrorsAtNominalVoltage(t *testing.T) {
+	a := newTestArray(t, 3, 8192)
+	for l := 0; l < 8192; l += 64 {
+		if res := a.TestLine(l, 0xaaaaaaaaaaaaaaaa); res != ecc.OK {
+			t.Fatalf("line %d failed at nominal Vdd: %v", l, res)
+		}
+	}
+	if a.Log().Correctable+a.Log().Uncorrectable != 0 {
+		t.Fatalf("events logged at nominal voltage")
+	}
+}
+
+// Lowering Vdd into the defect band must produce correctable errors in
+// some lines, with corrected data still intact — ECC masks the fault.
+func TestCorrectableErrorsAtLowVoltage(t *testing.T) {
+	a := newTestArray(t, 4, 65536)
+	p := a.model.Params()
+	a.SetVoltage(p.DefectBandHi - 0.065)
+	pattern := [WordsPerLine]uint64{}
+	for i := range pattern {
+		pattern[i] = 0x5555555555555555
+	}
+	failing := 0
+	for l := 0; l < 65536; l++ {
+		prof := a.Profile(l)
+		if !prof.FailsAt(a.Voltage(), a.Environment(), p) {
+			continue
+		}
+		failing++
+		a.WriteLine(l, pattern)
+		words, worst := a.ReadLine(l)
+		if worst == ecc.Uncorrectable {
+			t.Fatalf("line %d uncorrectable in defect band", l)
+		}
+		if words != pattern {
+			t.Fatalf("line %d data corrupted despite ECC", l)
+		}
+	}
+	if failing < 60 || failing > 200 {
+		t.Fatalf("failing lines = %d, want ~122", failing)
+	}
+	if a.Log().Correctable == 0 {
+		t.Fatal("no correctable events logged")
+	}
+	if a.Log().Uncorrectable != 0 {
+		t.Fatalf("%d uncorrectable events in the correctable band", a.Log().Uncorrectable)
+	}
+}
+
+// Far below the bulk onset everything fails and double-bit errors
+// appear: the region the voltage controller must never enter.
+func TestUncorrectableStormDeepBelowBulk(t *testing.T) {
+	a := newTestArray(t, 5, 4096)
+	a.SetVoltage(0.40)
+	unc := 0
+	for l := 0; l < 4096; l++ {
+		if a.TestLine(l, 0) == ecc.Uncorrectable {
+			unc++
+		}
+	}
+	if unc == 0 {
+		t.Fatal("no uncorrectable errors deep below bulk onset")
+	}
+	if a.Log().Uncorrectable == 0 {
+		t.Fatal("uncorrectable events not logged")
+	}
+}
+
+func TestEventLocationsMatchProfile(t *testing.T) {
+	a := newTestArray(t, 6, 65536)
+	p := a.model.Params()
+	a.SetVoltage(p.DefectBandHi - 0.065)
+	// Find one failing line with a comfortable margin.
+	target := -1
+	for l := 0; l < 65536; l++ {
+		prof := a.Profile(l)
+		if prof.Margin(a.Voltage(), a.Environment(), p) > 0.03 {
+			target = l
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no deep-margin line in this seed")
+	}
+	prof := a.Profile(target)
+	for attempt := 0; attempt < 16; attempt++ {
+		a.TestLine(target, 0xffffffffffffffff)
+	}
+	events := a.Log().Drain()
+	found := false
+	for _, e := range events {
+		if e.Line != target {
+			continue
+		}
+		found = true
+		if e.Word != prof.Loc[0].Word || e.Bit != prof.Loc[0].Bit {
+			t.Fatalf("event at (word=%d,bit=%d), profile says (%d,%d)",
+				e.Word, e.Bit, prof.Loc[0].Word, prof.Loc[0].Bit)
+		}
+	}
+	if !found {
+		t.Fatal("deep-margin line never triggered in 16 attempts")
+	}
+}
+
+// Persistence: the same physical chip re-measured with a different
+// measurement seed exposes (almost) the same failing lines.
+func TestErrorMapPersistsAcrossMeasurements(t *testing.T) {
+	model := variation.NewModel(7, variation.DefaultParams())
+	p := model.Params()
+	vtest := p.DefectBandHi - 0.065
+
+	collect := func(measSeed uint64) map[int]bool {
+		a := New(model, 65536, measSeed)
+		a.SetVoltage(vtest)
+		fails := map[int]bool{}
+		for l := 0; l < 65536; l++ {
+			// 8 attempts per line, like the conservative prototype mode.
+			for att := 0; att < 8; att++ {
+				if a.TestLine(l, 0xa5a5a5a5a5a5a5a5) != ecc.OK {
+					fails[l] = true
+					break
+				}
+			}
+		}
+		return fails
+	}
+	m1 := collect(100)
+	m2 := collect(200)
+	inter := 0
+	for l := range m1 {
+		if m2[l] {
+			inter++
+		}
+	}
+	union := len(m1) + len(m2) - inter
+	if union == 0 {
+		t.Fatal("no failing lines found")
+	}
+	jaccard := float64(inter) / float64(union)
+	if jaccard < 0.80 {
+		t.Fatalf("error maps not persistent: jaccard = %v (|m1|=%d |m2|=%d)", jaccard, len(m1), len(m2))
+	}
+}
+
+func TestErrorLogOverflow(t *testing.T) {
+	l := NewErrorLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Line: i, Type: EventCorrectable})
+	}
+	if l.Len() != 2 {
+		t.Fatalf("buffered = %d, want 2", l.Len())
+	}
+	if l.Overflowed != 3 {
+		t.Fatalf("overflowed = %d, want 3", l.Overflowed)
+	}
+	if l.Correctable != 5 {
+		t.Fatalf("counter = %d, want 5", l.Correctable)
+	}
+	ev := l.Drain()
+	if len(ev) != 2 || l.Len() != 0 {
+		t.Fatal("drain did not clear buffer")
+	}
+	if l.Correctable != 5 {
+		t.Fatal("drain reset counters")
+	}
+	l.Reset()
+	if l.Correctable != 0 || l.Overflowed != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestPanicsOnBadLine(t *testing.T) {
+	a := newTestArray(t, 8, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range line did not panic")
+		}
+	}()
+	a.ReadWord(16, 0)
+}
+
+func TestPanicsOnBadWord(t *testing.T) {
+	a := newTestArray(t, 8, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range word did not panic")
+		}
+	}()
+	a.ReadWord(0, WordsPerLine)
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EventCorrectable.String() != "correctable" ||
+		EventUncorrectable.String() != "uncorrectable" {
+		t.Fatal("EventType strings wrong")
+	}
+}
+
+func BenchmarkTestLineClean(b *testing.B) {
+	m := variation.NewModel(1, variation.DefaultParams())
+	a := New(m, 65536, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TestLine(i&0xffff, 0x5555555555555555)
+	}
+}

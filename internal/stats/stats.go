@@ -1,0 +1,442 @@
+// Package stats implements the statistical machinery behind the PUF
+// quality metrics of the Authenticache paper (Section 2.2): descriptive
+// statistics, numerically stable binomial tail probabilities for the
+// FAR/FRR identifiability analysis, histograms for Hamming-distance
+// distributions, and a chi-square uniformity test for error-map layout
+// checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest elements of xs.
+// It panics on an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// logGamma wraps math.Lgamma, discarding the sign (arguments here are
+// always positive).
+func logGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// LogBinomCoeff returns ln C(n, k). It panics for k outside [0, n].
+func LogBinomCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("stats: C(%d,%d) undefined", n, k))
+	}
+	return logGamma(float64(n)+1) - logGamma(float64(k)+1) - logGamma(float64(n-k)+1)
+}
+
+// BinomPMF returns P(X = k) for X ~ Binomial(n, p), computed in log
+// space so that extreme tails (needed for sub-ppm failure rates) do not
+// underflow prematurely.
+func BinomPMF(k, n int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lp := LogBinomCoeff(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lp)
+}
+
+// BinomCDF returns P(X <= k) for X ~ Binomial(n, p): the cumulative
+// binomial distribution function F_bino used in the paper's equations
+// (3) and (4). The sum runs over whichever tail is shorter.
+func BinomCDF(k, n int, p float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	if k <= n/2 {
+		var sum float64
+		for i := 0; i <= k; i++ {
+			sum += BinomPMF(i, n, p)
+		}
+		return math.Min(sum, 1)
+	}
+	var sum float64
+	for i := k + 1; i <= n; i++ {
+		sum += BinomPMF(i, n, p)
+	}
+	return math.Max(0, 1-sum)
+}
+
+// BinomSF returns the survival function P(X > k) = 1 - CDF(k), computed
+// directly on the upper tail for numerical accuracy at small values.
+func BinomSF(k, n int, p float64) float64 {
+	if k < 0 {
+		return 1
+	}
+	if k >= n {
+		return 0
+	}
+	if k > n/2 {
+		var sum float64
+		for i := k + 1; i <= n; i++ {
+			sum += BinomPMF(i, n, p)
+		}
+		return math.Min(sum, 1)
+	}
+	return math.Max(0, 1-BinomCDF(k, n, p))
+}
+
+// FAR returns the False Acceptance Rate at identification threshold t
+// for n-bit responses when impostor responses differ per-bit with
+// probability pInter (paper equation (3)): the probability that a
+// random impostor lands within t bit errors of the enrolled response.
+func FAR(t, n int, pInter float64) float64 {
+	return BinomCDF(t, n, pInter)
+}
+
+// FRR returns the False Rejection Rate at threshold t for n-bit
+// responses when noise flips each bit with probability pIntra (paper
+// equation (4)): the probability that a genuine response exceeds t bit
+// errors.
+func FRR(t, n int, pIntra float64) float64 {
+	return BinomSF(t, n, pIntra)
+}
+
+// EqualErrorRate finds the identification threshold minimising the
+// larger of FAR and FRR, the standard Equal-Error-Rate operating point
+// (paper Section 2.2.3). It returns the threshold and the two rates.
+func EqualErrorRate(n int, pIntra, pInter float64) (t int, far, frr float64) {
+	best := math.Inf(1)
+	for cand := 0; cand <= n; cand++ {
+		fa, fr := FAR(cand, n, pInter), FRR(cand, n, pIntra)
+		if worst := math.Max(fa, fr); worst < best {
+			best, t, far, frr = worst, cand, fa, fr
+		}
+	}
+	return
+}
+
+// FailureRate returns max(FAR, FRR) at the EER threshold: the
+// misidentification probability the paper reports against the 1 ppm
+// bar.
+func FailureRate(n int, pIntra, pInter float64) float64 {
+	_, far, frr := EqualErrorRate(n, pIntra, pInter)
+	return math.Max(far, frr)
+}
+
+// Histogram is a fixed-width binning of float64 observations.
+type Histogram struct {
+	Lo, Hi float64 // inclusive lower bound, exclusive upper bound
+	Counts []int
+	N      int // total observations, including out-of-range clamps
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records an observation; values outside [lo, hi) are clamped into
+// the first/last bin so tails remain visible.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.N++
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Density returns the fraction of observations in bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// OverlapFraction estimates the overlap between two histograms over the
+// same range: the summed min of per-bin densities. Two identical
+// distributions overlap at 1; disjoint distributions at 0. The paper
+// uses (absence of) intra/inter-die overlap as the identifiability
+// argument.
+func OverlapFraction(a, b *Histogram) float64 {
+	if len(a.Counts) != len(b.Counts) || a.Lo != b.Lo || a.Hi != b.Hi {
+		panic("stats: OverlapFraction on incompatible histograms")
+	}
+	var overlap float64
+	for i := range a.Counts {
+		overlap += math.Min(a.Density(i), b.Density(i))
+	}
+	return overlap
+}
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against a uniform expectation, together with the degrees of freedom.
+// The caller compares the statistic to a critical value; for the error
+// map layout check (Fig 2) a statistic near dof indicates uniformity.
+func ChiSquareUniform(counts []int) (stat float64, dof int) {
+	if len(counts) < 2 {
+		return 0, 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, len(counts) - 1
+	}
+	expected := float64(total) / float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, len(counts) - 1
+}
+
+// HammingFraction returns the fraction of differing bits between two
+// equal-length bit vectors packed as bytes, considering only the first
+// nbits bits. It panics on length mismatch or nbits exceeding capacity.
+func HammingFraction(a, b []byte, nbits int) float64 {
+	if nbits == 0 {
+		return 0
+	}
+	d := HammingDistance(a, b, nbits)
+	return float64(d) / float64(nbits)
+}
+
+// HammingDistance counts differing bits among the first nbits bits of
+// the packed vectors a and b.
+func HammingDistance(a, b []byte, nbits int) int {
+	if len(a) != len(b) {
+		panic("stats: HammingDistance length mismatch")
+	}
+	if nbits < 0 || nbits > len(a)*8 {
+		panic("stats: HammingDistance nbits out of range")
+	}
+	full := nbits / 8
+	d := 0
+	for i := 0; i < full; i++ {
+		d += popcount8(a[i] ^ b[i])
+	}
+	if rem := nbits % 8; rem != 0 {
+		mask := byte(1<<rem - 1)
+		d += popcount8((a[full] ^ b[full]) & mask)
+	}
+	return d
+}
+
+func popcount8(b byte) int {
+	c := 0
+	for b != 0 {
+		b &= b - 1
+		c++
+	}
+	return c
+}
+
+// Uniformity implements paper equation (5): the fraction of 1s in a
+// response bit vector, in percent. Ideal is 50.
+func Uniformity(resp []byte, nbits int) float64 {
+	ones := 0
+	for i := 0; i < nbits; i++ {
+		if resp[i/8]&(1<<(i%8)) != 0 {
+			ones++
+		}
+	}
+	if nbits == 0 {
+		return 0
+	}
+	return float64(ones) / float64(nbits) * 100
+}
+
+// BitAliasing implements paper equation (6): for each bit position j,
+// the percentage of chips whose response bit j is 1. Ideal is 50 at
+// every position. responses holds one packed response per chip.
+func BitAliasing(responses [][]byte, nbits int) []float64 {
+	out := make([]float64, nbits)
+	if len(responses) == 0 {
+		return out
+	}
+	for j := 0; j < nbits; j++ {
+		ones := 0
+		for _, r := range responses {
+			if r[j/8]&(1<<(j%8)) != 0 {
+				ones++
+			}
+		}
+		out[j] = float64(ones) / float64(len(responses)) * 100
+	}
+	return out
+}
+
+// UniquenessPercent implements paper equation (1): the average pairwise
+// Hamming distance, in percent of nbits, across k chips' responses to
+// the same challenge. Ideal is 50.
+func UniquenessPercent(responses [][]byte, nbits int) float64 {
+	k := len(responses)
+	if k < 2 {
+		return 0
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < k-1; i++ {
+		for j := i + 1; j < k; j++ {
+			sum += HammingFraction(responses[i], responses[j], nbits)
+			pairs++
+		}
+	}
+	return sum / float64(pairs) * 100
+}
+
+// ShannonEntropyPerBit estimates the mean per-position Shannon entropy
+// (in bits) of PUF responses across a chip population: positions whose
+// bit-aliasing probability p sits at 0.5 contribute a full bit,
+// strongly biased positions contribute less. responses holds one
+// packed response per chip.
+func ShannonEntropyPerBit(responses [][]byte, nbits int) float64 {
+	if nbits == 0 || len(responses) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range BitAliasing(responses, nbits) {
+		p := a / 100
+		sum += binaryEntropy(p)
+	}
+	return sum / float64(nbits)
+}
+
+// MinEntropyPerBit estimates the mean per-position min-entropy (in
+// bits): -log2(max(p, 1-p)) per position. Min-entropy is the measure
+// key-derivation security arguments use; it is always <= Shannon.
+func MinEntropyPerBit(responses [][]byte, nbits int) float64 {
+	if nbits == 0 || len(responses) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range BitAliasing(responses, nbits) {
+		p := a / 100
+		pMax := math.Max(p, 1-p)
+		if pMax >= 1 {
+			continue // zero min-entropy position
+		}
+		sum += -math.Log2(pMax)
+	}
+	return sum / float64(nbits)
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// ReliabilityPercent implements paper equation (2): 100% minus the mean
+// intra-chip Hamming fraction between the reference response and m
+// noisy re-measurements. Ideal is 100.
+func ReliabilityPercent(reference []byte, noisy [][]byte, nbits int) float64 {
+	if len(noisy) == 0 {
+		return 100
+	}
+	var sum float64
+	for _, r := range noisy {
+		sum += HammingFraction(reference, r, nbits)
+	}
+	return 100 - sum/float64(len(noisy))*100
+}

@@ -1,0 +1,365 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-slice mean/variance should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%v,%v)", min, max)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 5, 64, 512} {
+		for _, p := range []float64{0.01, 0.5, 0.9} {
+			var sum float64
+			for k := 0; k <= n; k++ {
+				sum += BinomPMF(k, n, p)
+			}
+			if !almost(sum, 1, 1e-9) {
+				t.Errorf("PMF(n=%d,p=%v) sums to %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomPMFKnown(t *testing.T) {
+	// C(4,2) * 0.5^4 = 6/16
+	if got := BinomPMF(2, 4, 0.5); !almost(got, 0.375, 1e-12) {
+		t.Fatalf("BinomPMF(2,4,0.5) = %v", got)
+	}
+	if got := BinomPMF(0, 10, 0); got != 1 {
+		t.Fatalf("BinomPMF(0,10,0) = %v", got)
+	}
+	if got := BinomPMF(10, 10, 1); got != 1 {
+		t.Fatalf("BinomPMF(10,10,1) = %v", got)
+	}
+}
+
+func TestBinomCDFEdges(t *testing.T) {
+	if BinomCDF(-1, 10, 0.5) != 0 {
+		t.Fatal("CDF(-1) != 0")
+	}
+	if BinomCDF(10, 10, 0.5) != 1 {
+		t.Fatal("CDF(n) != 1")
+	}
+	if got := BinomCDF(5, 10, 0.5); !almost(got, 0.623046875, 1e-9) {
+		t.Fatalf("CDF(5,10,0.5) = %v", got)
+	}
+}
+
+func TestBinomCDFPlusSF(t *testing.T) {
+	for k := 0; k < 64; k += 7 {
+		got := BinomCDF(k, 64, 0.3) + BinomSF(k, 64, 0.3)
+		if !almost(got, 1, 1e-9) {
+			t.Errorf("CDF+SF at k=%d = %v", k, got)
+		}
+	}
+}
+
+func TestBinomTailPrecision(t *testing.T) {
+	// Deep tail must not round to zero: P(X <= 10) for Bin(512, 0.5)
+	// is about 1e-127 and must be representable.
+	v := BinomCDF(10, 512, 0.5)
+	if v == 0 || v > 1e-100 {
+		t.Fatalf("deep tail CDF = %v, want tiny but nonzero", v)
+	}
+}
+
+func TestBinomCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for k := 0; k <= 128; k++ {
+		v := BinomCDF(k, 128, 0.37)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at k=%d: %v < %v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEqualErrorRate(t *testing.T) {
+	// Well separated distributions: pIntra=0.06, pInter=0.5, n=512.
+	thr, far, frr := EqualErrorRate(512, 0.06, 0.5)
+	if thr <= 0 || thr >= 512 {
+		t.Fatalf("EER threshold = %d", thr)
+	}
+	if far > 1e-6 || frr > 1e-6 {
+		t.Fatalf("well-separated case should be < 1ppm: FAR=%v FRR=%v", far, frr)
+	}
+	// Threshold should sit between the two means.
+	if thr < 30 || thr > 256 {
+		t.Fatalf("threshold %d outside (mean_intra, mean_inter)", thr)
+	}
+}
+
+func TestFailureRateDegradesWithNoise(t *testing.T) {
+	clean := FailureRate(256, 0.05, 0.5)
+	noisy := FailureRate(256, 0.30, 0.5)
+	if clean >= noisy {
+		t.Fatalf("failure rate should grow with intra noise: %v vs %v", clean, noisy)
+	}
+}
+
+func TestFARFRRBehaviour(t *testing.T) {
+	// FAR grows with threshold, FRR shrinks.
+	if FAR(10, 64, 0.5) >= FAR(40, 64, 0.5) {
+		t.Fatal("FAR should increase with threshold")
+	}
+	if FRR(10, 64, 0.1) <= FRR(40, 64, 0.1) {
+		t.Fatal("FRR should decrease with threshold")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1.9, 2, 9.99, -5, 100} {
+		h.Add(v)
+	}
+	if h.N != 6 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Counts[0] != 3 { // 0, 1.9, clamped -5
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99, clamped 100
+		t.Fatalf("bin4 = %d", h.Counts[4])
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.Density(0); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("Density(0) = %v", got)
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		a.Add(2.5)
+		b.Add(7.5)
+	}
+	if o := OverlapFraction(a, b); o != 0 {
+		t.Fatalf("disjoint overlap = %v", o)
+	}
+	c := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		c.Add(2.5)
+	}
+	if o := OverlapFraction(a, c); !almost(o, 1, 1e-12) {
+		t.Fatalf("identical overlap = %v", o)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	uniform := []int{100, 101, 99, 100, 100, 100, 99, 101}
+	stat, dof := ChiSquareUniform(uniform)
+	if dof != 7 {
+		t.Fatalf("dof = %d", dof)
+	}
+	if stat > 1 {
+		t.Fatalf("near-uniform counts gave chi2 = %v", stat)
+	}
+	skewed := []int{800, 0, 0, 0, 0, 0, 0, 0}
+	stat2, _ := ChiSquareUniform(skewed)
+	if stat2 < 100 {
+		t.Fatalf("skewed counts gave chi2 = %v", stat2)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := []byte{0b10101010, 0b11111111}
+	b := []byte{0b01010101, 0b11111111}
+	if d := HammingDistance(a, b, 16); d != 8 {
+		t.Fatalf("distance = %d, want 8", d)
+	}
+	if d := HammingDistance(a, b, 4); d != 4 {
+		t.Fatalf("partial distance = %d, want 4", d)
+	}
+	if d := HammingDistance(a, a, 16); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+	if f := HammingFraction(a, b, 16); !almost(f, 0.5, 1e-12) {
+		t.Fatalf("fraction = %v", f)
+	}
+}
+
+func TestHammingNonMultipleOf8(t *testing.T) {
+	a := []byte{0xff, 0x01}
+	b := []byte{0x00, 0x00}
+	if d := HammingDistance(a, b, 9); d != 9 {
+		t.Fatalf("9-bit distance = %d", d)
+	}
+	// Bits beyond nbits must be ignored.
+	c := []byte{0xff, 0xfe}
+	if d := HammingDistance(a, c, 9); d != 1 {
+		t.Fatalf("masked distance = %d", d)
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	if u := Uniformity([]byte{0x0f}, 8); u != 50 {
+		t.Fatalf("Uniformity = %v", u)
+	}
+	if u := Uniformity([]byte{0xff}, 8); u != 100 {
+		t.Fatalf("Uniformity = %v", u)
+	}
+	if u := Uniformity([]byte{0x00}, 8); u != 0 {
+		t.Fatalf("Uniformity = %v", u)
+	}
+}
+
+func TestBitAliasing(t *testing.T) {
+	resp := [][]byte{{0b0000_0001}, {0b0000_0011}, {0b0000_0010}, {0b0000_0000}}
+	al := BitAliasing(resp, 2)
+	if !almost(al[0], 50, 1e-12) || !almost(al[1], 50, 1e-12) {
+		t.Fatalf("aliasing = %v", al)
+	}
+}
+
+func TestUniquenessPercent(t *testing.T) {
+	// Two complementary 8-bit responses: 100% pairwise distance.
+	resp := [][]byte{{0x00}, {0xff}}
+	if u := UniquenessPercent(resp, 8); u != 100 {
+		t.Fatalf("uniqueness = %v", u)
+	}
+	// Three responses where each pair differs in 4 of 8 bits -> 50%.
+	resp = [][]byte{{0b00001111}, {0b00110011}, {0b11000011}}
+	u := UniquenessPercent(resp, 8)
+	if !almost(u, 50, 1e-9) {
+		t.Fatalf("uniqueness = %v", u)
+	}
+}
+
+func TestReliabilityPercent(t *testing.T) {
+	ref := []byte{0xff}
+	noisy := [][]byte{{0xff}, {0xfe}} // 0 and 1 bit errors over 8 bits
+	r := ReliabilityPercent(ref, noisy, 8)
+	if !almost(r, 100-100*0.5/8, 1e-9) {
+		t.Fatalf("reliability = %v", r)
+	}
+	if r := ReliabilityPercent(ref, nil, 8); r != 100 {
+		t.Fatalf("no-noise reliability = %v", r)
+	}
+}
+
+func TestEntropyIdealPopulation(t *testing.T) {
+	// Four chips covering all 2-bit patterns: per-bit aliasing is
+	// exactly 50%, so both entropies are a full bit per position.
+	resp := [][]byte{{0b00}, {0b01}, {0b10}, {0b11}}
+	if h := ShannonEntropyPerBit(resp, 2); !almost(h, 1, 1e-12) {
+		t.Fatalf("Shannon = %v, want 1", h)
+	}
+	if h := MinEntropyPerBit(resp, 2); !almost(h, 1, 1e-12) {
+		t.Fatalf("min-entropy = %v, want 1", h)
+	}
+}
+
+func TestEntropyDegeneratePopulation(t *testing.T) {
+	// All chips identical: zero entropy.
+	resp := [][]byte{{0xA5}, {0xA5}, {0xA5}}
+	if h := ShannonEntropyPerBit(resp, 8); h != 0 {
+		t.Fatalf("Shannon = %v, want 0", h)
+	}
+	if h := MinEntropyPerBit(resp, 8); h != 0 {
+		t.Fatalf("min-entropy = %v, want 0", h)
+	}
+}
+
+func TestMinEntropyBelowShannon(t *testing.T) {
+	// Biased position: p = 0.75.
+	resp := [][]byte{{1}, {1}, {1}, {0}}
+	sh := ShannonEntropyPerBit(resp, 1)
+	mn := MinEntropyPerBit(resp, 1)
+	if !(mn < sh && mn > 0) {
+		t.Fatalf("min-entropy %v should be in (0, Shannon %v)", mn, sh)
+	}
+	if !almost(mn, -math.Log2(0.75), 1e-12) {
+		t.Fatalf("min-entropy = %v", mn)
+	}
+}
+
+func TestEntropyEmptyInputs(t *testing.T) {
+	if ShannonEntropyPerBit(nil, 8) != 0 || MinEntropyPerBit(nil, 8) != 0 {
+		t.Fatal("empty population should have zero entropy")
+	}
+}
+
+// Property: Hamming distance is a metric on fixed-length vectors —
+// symmetric, zero iff equal (on masked bits), triangle inequality.
+func TestHammingMetricProperties(t *testing.T) {
+	f := func(a, b, c [8]byte) bool {
+		ab := HammingDistance(a[:], b[:], 64)
+		ba := HammingDistance(b[:], a[:], 64)
+		ac := HammingDistance(a[:], c[:], 64)
+		cb := HammingDistance(c[:], b[:], 64)
+		return ab == ba && ab <= ac+cb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the empirical binomial frequency matches BinomCDF.
+func TestBinomCDFMatchesSimulation(t *testing.T) {
+	r := rng.New(99)
+	const n, p, draws, k = 64, 0.1, 50000, 8
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Binomial(n, p) <= k {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	want := BinomCDF(k, n, p)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical CDF %v vs analytic %v", got, want)
+	}
+}

@@ -1,0 +1,267 @@
+// Package variation models the manufacturing process variation that
+// gives each chip its unique low-voltage cache error signature — the
+// physical phenomenon underneath the Authenticache PUF (paper Section
+// 3).
+//
+// SRAM cells are built from the smallest transistors of a technology
+// node, so random dopant fluctuation dominates their threshold-voltage
+// mismatch. A cell whose transistors are badly mismatched stops
+// retaining data below some minimum operating voltage (Vmin). A cache
+// line fails — raising a correctable ECC event — once the supply drops
+// below the highest cell Vmin in the line.
+//
+// The model has two components, consistent with published Vccmin
+// characterisation of large SRAM arrays:
+//
+//   - A Gaussian "bulk": the extreme order statistics of millions of
+//     RDF-perturbed cells. Every line has a bulk onset voltage; when
+//     the supply approaches the bulk region, failures explode and
+//     quickly become uncorrectable (two cells per ECC word). This sets
+//     the safe voltage floor.
+//   - A sparse "defect tail": a small fraction of lines contain one
+//     markedly weak cell whose onset voltage sits well above the bulk,
+//     spread roughly uniformly over a band. These are the persistent,
+//     randomly located, ECC-correctable errors that Figure 1 counts
+//     (~122 distinct lines over a 65 mV window, ≈2 lines/mV) and that
+//     the PUF consumes.
+//
+// All per-line quantities are derived deterministically from the chip
+// seed and the line index, so a chip's physical identity is a single
+// 64-bit seed: profiles never need to be stored and are identical on
+// every re-measurement, exactly like real silicon.
+package variation
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Params calibrates the variation model. Defaults (see DefaultParams)
+// reproduce the shape of the paper's Itanium 9560 measurements.
+type Params struct {
+	// VNominal is the nominal supply voltage in volts (paper: ~0.8 V).
+	VNominal float64
+	// DefectBandHi is the top of the defect-tail onset band: the first
+	// correctable error appears when Vdd crosses just below this.
+	DefectBandHi float64
+	// DefectBandWidth is the width of the defect onset band in volts.
+	// Onsets are uniform over [DefectBandHi-Width, DefectBandHi].
+	DefectBandWidth float64
+	// DefectsPerLine is the per-line probability of carrying a weak
+	// defect cell. Holding it constant across cache sizes keeps error
+	// density constant, as the paper's scaling study assumes.
+	DefectsPerLine float64
+	// BulkMean and BulkSigma locate the Gaussian bulk of per-line onset
+	// voltages (extreme statistics of the line's healthy cells).
+	BulkMean  float64
+	BulkSigma float64
+	// BulkGap is the minimum spacing, in volts, between a line's
+	// strongest and second-strongest bulk cell onsets; the second cell
+	// failing inside the same ECC word is what turns errors
+	// uncorrectable near the bulk.
+	BulkGap float64
+	// TempCoeffMean/Sigma give the per-cell Vmin temperature
+	// sensitivity in volts per degree Celsius. Heating raises Vmin.
+	TempCoeffMean  float64
+	TempCoeffSigma float64
+	// AgingCoeff is the NBTI/HCI Vmin drift in volts at 10 years,
+	// scaling with (years/10)^0.25.
+	AgingCoeff float64
+	// CellsPerLine is the number of data cells in a cache line
+	// (64 B × 8 = 512), used only for documentation and sanity checks.
+	CellsPerLine int
+}
+
+// DefaultParams returns the calibration used throughout the repo:
+// 64-byte lines, ~150 expected defect lines in a 64 K-line (4 MB)
+// cache spread over an 80 mV band, so ≈122 lines fail within 65 mV of
+// the first correctable error at ≈1.9 lines/mV (Figure 1).
+func DefaultParams() Params {
+	return Params{
+		VNominal:        0.800,
+		DefectBandHi:    0.745,
+		DefectBandWidth: 0.080,
+		DefectsPerLine:  150.0 / 65536.0,
+		BulkMean:        0.610,
+		BulkSigma:       0.012,
+		BulkGap:         0.004,
+		TempCoeffMean:   0.0002,
+		TempCoeffSigma:  0.00012,
+		AgingCoeff:      0.008,
+		CellsPerLine:    512,
+	}
+}
+
+// BitLoc identifies a failing cell inside a cache line: the 64-bit
+// data word it belongs to and the bit position within the word's
+// 72-bit SECDED codeword.
+type BitLoc struct {
+	Word uint8 // word index within the line (0..7 for 64 B lines)
+	Bit  uint8 // bit position within the 72-bit codeword (0..71)
+}
+
+// LineProfile is the voltage fingerprint of one cache line: the onset
+// voltages of its three weakest cells in descending order, with their
+// physical bit locations and temperature sensitivities.
+//
+// Onset[0] is the voltage below which the line starts raising
+// correctable errors. If two of the listed cells share a Word, the
+// line becomes uncorrectable once Vdd drops below the second onset.
+type LineProfile struct {
+	Onset     [3]float64
+	Loc       [3]BitLoc
+	TempCoeff [3]float64
+	// HasDefect records whether Onset[0] comes from the defect tail
+	// (persistent PUF-grade error) rather than the bulk.
+	HasDefect bool
+}
+
+// Model generates line profiles for one chip.
+type Model struct {
+	params   Params
+	chipSeed uint64
+}
+
+// NewModel creates a variation model for the chip identified by seed.
+// Two models with the same seed and params describe the same physical
+// chip.
+func NewModel(seed uint64, p Params) *Model {
+	return &Model{params: p, chipSeed: seed}
+}
+
+// Params returns the calibration this model was built with.
+func (m *Model) Params() Params { return m.params }
+
+// ChipSeed returns the chip identity seed.
+func (m *Model) ChipSeed() uint64 { return m.chipSeed }
+
+// lineRand returns the deterministic per-line generator. Mixing the
+// line index through SplitMix-style multiplication decorrelates
+// neighbouring lines.
+func (m *Model) lineRand(line int) *rng.Rand {
+	h := m.chipSeed
+	h ^= uint64(line)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	return rng.New(h)
+}
+
+// Line computes the profile of the given cache line.
+func (m *Model) Line(line int) LineProfile {
+	r := m.lineRand(line)
+	p := m.params
+
+	// Bulk onsets: strongest bulk cell plus two spaced below it.
+	bulk0 := r.Gaussian(p.BulkMean, p.BulkSigma)
+	bulk1 := bulk0 - p.BulkGap - r.Float64()*p.BulkGap
+	bulk2 := bulk1 - p.BulkGap - r.Float64()*p.BulkGap
+
+	prof := LineProfile{}
+	candidates := []float64{bulk0, bulk1, bulk2}
+	if r.Bool(p.DefectsPerLine) {
+		defect := p.DefectBandHi - r.Float64()*p.DefectBandWidth
+		candidates = append([]float64{defect}, candidates...)
+		prof.HasDefect = true
+	}
+	// Candidates are descending by construction.
+	for i := 0; i < 3; i++ {
+		prof.Onset[i] = candidates[i]
+		prof.Loc[i] = BitLoc{
+			Word: uint8(r.Intn(8)),
+			Bit:  uint8(r.Intn(72)),
+		}
+		tc := r.Gaussian(p.TempCoeffMean, p.TempCoeffSigma)
+		if tc < 0 {
+			tc = 0
+		}
+		prof.TempCoeff[i] = tc
+	}
+	return prof
+}
+
+// Environment captures the operating conditions that shift onset
+// voltages relative to enrollment (paper Section 6.2: temperature,
+// aging).
+type Environment struct {
+	// DeltaT is the temperature offset in °C from the enrollment
+	// temperature. Positive values weaken cells (raise Vmin).
+	DeltaT float64
+	// AgeYears is the accumulated NBTI/HCI stress in years.
+	AgeYears float64
+}
+
+// EffectiveOnset returns cell i's onset voltage under env.
+func (p LineProfile) EffectiveOnset(i int, env Environment, params Params) float64 {
+	v := p.Onset[i] + p.TempCoeff[i]*env.DeltaT
+	if env.AgeYears > 0 {
+		v += params.AgingCoeff * math.Pow(env.AgeYears/10, 0.25)
+	}
+	return v
+}
+
+// FailsAt reports whether the line raises at least a correctable error
+// at supply voltage vdd under env, i.e. whether its weakest cell's
+// effective onset exceeds vdd.
+func (p LineProfile) FailsAt(vdd float64, env Environment, params Params) bool {
+	return p.EffectiveOnset(0, env, params) > vdd
+}
+
+// UncorrectableAt reports whether the line would raise an
+// uncorrectable (double-bit-per-word) error at vdd: the two weakest
+// failing cells share an ECC word.
+func (p LineProfile) UncorrectableAt(vdd float64, env Environment, params Params) bool {
+	failing := 0
+	words := map[uint8]int{}
+	for i := 0; i < 3; i++ {
+		if p.EffectiveOnset(i, env, params) > vdd {
+			failing++
+			words[p.Loc[i].Word]++
+		}
+	}
+	if failing < 2 {
+		return false
+	}
+	for _, c := range words {
+		if c >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Margin returns how far (in volts) the line's weakest cell onset sits
+// above the test voltage; non-positive means the line does not fail at
+// that voltage. The self-test flakiness model (persistence, Figure 11)
+// is driven by this margin.
+func (p LineProfile) Margin(vdd float64, env Environment, params Params) float64 {
+	return p.EffectiveOnset(0, env, params) - vdd
+}
+
+// TriggerProbability converts a margin into the per-attempt
+// probability that a targeted self-test actually raises the error.
+// Lines far above the test voltage trigger essentially always;
+// marginal lines are flaky. Calibrated to Figure 11's persistence CDF:
+// ~74% of map lines trigger on the first attempt, ~95% within four.
+//
+//	q(margin) = 1 - exp(-(margin + m0)/tau), margin >= 0
+//
+// with m0 = 5 mV, tau = 22 mV. For non-failing lines (margin < 0) a
+// small spurious-trigger probability decays exponentially.
+func TriggerProbability(marginVolts float64) float64 {
+	const (
+		m0  = 0.005
+		tau = 0.022
+	)
+	if marginVolts >= 0 {
+		return 1 - math.Exp(-(marginVolts+m0)/tau)
+	}
+	// Spurious triggers: a line just above the failing set can still
+	// flicker, with fast exponential decay (about 2% at the boundary).
+	// Below -20 mV the probability is under 1e-6 and treated as zero so
+	// hot read paths can skip the random draw entirely.
+	if marginVolts < -0.020 {
+		return 0
+	}
+	return 0.02 * math.Exp(marginVolts/0.002)
+}

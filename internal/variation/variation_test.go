@@ -1,0 +1,246 @@
+package variation
+
+import (
+	"math"
+	"testing"
+)
+
+const testLines = 65536 // 4 MB at 64 B/line
+
+func TestLineDeterminism(t *testing.T) {
+	m1 := NewModel(1234, DefaultParams())
+	m2 := NewModel(1234, DefaultParams())
+	for _, l := range []int{0, 1, 999, testLines - 1} {
+		a, b := m1.Line(l), m2.Line(l)
+		if a != b {
+			t.Fatalf("line %d: same seed produced different profiles", l)
+		}
+	}
+}
+
+func TestChipUniqueness(t *testing.T) {
+	m1 := NewModel(1, DefaultParams())
+	m2 := NewModel(2, DefaultParams())
+	same := 0
+	for l := 0; l < 1000; l++ {
+		if m1.Line(l).Onset == m2.Line(l).Onset {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d lines identical across different chips", same)
+	}
+}
+
+func TestOnsetsDescending(t *testing.T) {
+	m := NewModel(7, DefaultParams())
+	for l := 0; l < 5000; l++ {
+		p := m.Line(l)
+		if !(p.Onset[0] >= p.Onset[1] && p.Onset[1] >= p.Onset[2]) {
+			t.Fatalf("line %d onsets not descending: %v", l, p.Onset)
+		}
+	}
+}
+
+func TestDefectDensityCalibration(t *testing.T) {
+	// Expected ~150 defect lines per 65536; allow generous tolerance.
+	m := NewModel(42, DefaultParams())
+	defects := 0
+	for l := 0; l < testLines; l++ {
+		if m.Line(l).HasDefect {
+			defects++
+		}
+	}
+	if defects < 100 || defects > 210 {
+		t.Fatalf("defect lines = %d, want ~150", defects)
+	}
+}
+
+// The headline calibration: roughly 122 distinct failing lines within
+// 65 mV of the first correctable error (paper Figure 1), i.e. about
+// 2 lines/mV.
+func TestFigure1Calibration(t *testing.T) {
+	p := DefaultParams()
+	m := NewModel(99, p)
+	env := Environment{}
+	// Find Vcorr: the highest onset across the cache.
+	vcorr := 0.0
+	for l := 0; l < testLines; l++ {
+		if v := m.Line(l).EffectiveOnset(0, env, p); v > vcorr {
+			vcorr = v
+		}
+	}
+	if vcorr > p.DefectBandHi+1e-9 || vcorr < p.DefectBandHi-0.02 {
+		t.Fatalf("Vcorr = %v, want just below %v", vcorr, p.DefectBandHi)
+	}
+	count := 0
+	vtest := vcorr - 0.065
+	for l := 0; l < testLines; l++ {
+		if m.Line(l).FailsAt(vtest, env, p) {
+			count++
+		}
+	}
+	if count < 80 || count > 170 {
+		t.Fatalf("failing lines at Vcorr-65mV = %d, want ~122", count)
+	}
+}
+
+func TestBulkBelowDefectBand(t *testing.T) {
+	p := DefaultParams()
+	m := NewModel(5, p)
+	for l := 0; l < 2000; l++ {
+		prof := m.Line(l)
+		if !prof.HasDefect && prof.Onset[0] > p.DefectBandHi-p.DefectBandWidth {
+			// A bulk line intruding into the defect band would blur the
+			// PUF signal; the Gaussian bulk must sit clearly below.
+			t.Fatalf("line %d bulk onset %v inside defect band", l, prof.Onset[0])
+		}
+	}
+}
+
+func TestTemperatureRaisesOnset(t *testing.T) {
+	p := DefaultParams()
+	m := NewModel(11, p)
+	prof := m.Line(123)
+	cold := prof.EffectiveOnset(0, Environment{}, p)
+	hot := prof.EffectiveOnset(0, Environment{DeltaT: 25}, p)
+	if hot < cold {
+		t.Fatalf("heating lowered onset: %v -> %v", cold, hot)
+	}
+}
+
+func TestAgingRaisesOnset(t *testing.T) {
+	p := DefaultParams()
+	m := NewModel(11, p)
+	prof := m.Line(321)
+	fresh := prof.EffectiveOnset(0, Environment{}, p)
+	aged := prof.EffectiveOnset(0, Environment{AgeYears: 10}, p)
+	if aged <= fresh {
+		t.Fatalf("aging did not raise onset: %v -> %v", fresh, aged)
+	}
+	if aged-fresh > 0.02 {
+		t.Fatalf("10-year aging shift %v V implausibly large", aged-fresh)
+	}
+	// Sub-linear growth: 5 years is more than half the 10-year shift.
+	mid := prof.EffectiveOnset(0, Environment{AgeYears: 5}, p)
+	if (mid - fresh) <= (aged-fresh)/2 {
+		t.Fatalf("aging not sublinear: 5y=%v 10y=%v", mid-fresh, aged-fresh)
+	}
+}
+
+func TestUncorrectableNeedsSharedWord(t *testing.T) {
+	p := DefaultParams()
+	prof := LineProfile{
+		Onset: [3]float64{0.7, 0.69, 0.3},
+		Loc:   [3]BitLoc{{Word: 1, Bit: 3}, {Word: 2, Bit: 5}, {Word: 1, Bit: 9}},
+	}
+	// Two failing cells in different words: still correctable per word.
+	if prof.UncorrectableAt(0.65, Environment{}, p) {
+		t.Fatal("distinct-word double failure misreported as uncorrectable")
+	}
+	prof.Loc[1].Word = 1
+	if !prof.UncorrectableAt(0.65, Environment{}, p) {
+		t.Fatal("same-word double failure not flagged uncorrectable")
+	}
+	// Only one cell failing: never uncorrectable.
+	if prof.UncorrectableAt(0.695, Environment{}, p) {
+		t.Fatal("single failure flagged uncorrectable")
+	}
+}
+
+func TestFailsAtBoundary(t *testing.T) {
+	p := DefaultParams()
+	prof := LineProfile{Onset: [3]float64{0.70, 0.5, 0.4}}
+	if !prof.FailsAt(0.699, Environment{}, p) {
+		t.Fatal("line should fail just below onset")
+	}
+	if prof.FailsAt(0.701, Environment{}, p) {
+		t.Fatal("line should hold just above onset")
+	}
+}
+
+func TestMarginSign(t *testing.T) {
+	p := DefaultParams()
+	prof := LineProfile{Onset: [3]float64{0.70, 0.5, 0.4}}
+	if m := prof.Margin(0.68, Environment{}, p); math.Abs(m-0.02) > 1e-12 {
+		t.Fatalf("margin = %v, want 0.02", m)
+	}
+	if m := prof.Margin(0.72, Environment{}, p); m >= 0 {
+		t.Fatalf("margin should be negative above onset, got %v", m)
+	}
+}
+
+func TestTriggerProbabilityShape(t *testing.T) {
+	// Monotone in margin, bounded, calibrated anchors.
+	prev := -1.0
+	for m := -0.01; m <= 0.08; m += 0.001 {
+		q := TriggerProbability(m)
+		if q < 0 || q > 1 {
+			t.Fatalf("q(%v) = %v out of [0,1]", m, q)
+		}
+		if q < prev-1e-12 {
+			t.Fatalf("q not monotone at %v", m)
+		}
+		prev = q
+	}
+	// Deep-margin lines trigger essentially always.
+	if q := TriggerProbability(0.065); q < 0.95 {
+		t.Fatalf("deep margin q = %v", q)
+	}
+	// Spurious triggers are rare and vanish quickly.
+	if q := TriggerProbability(-0.005); q > 0.005 {
+		t.Fatalf("spurious q = %v too high", q)
+	}
+}
+
+// Population-level persistence: the average first-attempt trigger
+// probability across defect lines (uniform margins over the band
+// visible at the floor) should be near the paper's 74%.
+func TestPersistenceCalibration(t *testing.T) {
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		margin := 0.065 * float64(i) / n // uniform over 65 mV window
+		sum += TriggerProbability(margin)
+	}
+	avg := sum / n
+	if avg < 0.68 || avg > 0.80 {
+		t.Fatalf("mean first-attempt trigger prob = %v, want ~0.74", avg)
+	}
+}
+
+func TestBitLocRanges(t *testing.T) {
+	m := NewModel(3, DefaultParams())
+	for l := 0; l < 3000; l++ {
+		p := m.Line(l)
+		for i := 0; i < 3; i++ {
+			if p.Loc[i].Word > 7 {
+				t.Fatalf("line %d word %d out of range", l, p.Loc[i].Word)
+			}
+			if p.Loc[i].Bit > 71 {
+				t.Fatalf("line %d bit %d out of range", l, p.Loc[i].Bit)
+			}
+			if p.TempCoeff[i] < 0 {
+				t.Fatalf("line %d negative temp coeff", l)
+			}
+		}
+	}
+}
+
+func TestParamsAccessors(t *testing.T) {
+	p := DefaultParams()
+	m := NewModel(77, p)
+	if m.Params() != p {
+		t.Fatal("Params accessor mismatch")
+	}
+	if m.ChipSeed() != 77 {
+		t.Fatal("ChipSeed accessor mismatch")
+	}
+}
+
+func BenchmarkLineProfile(b *testing.B) {
+	m := NewModel(1, DefaultParams())
+	for i := 0; i < b.N; i++ {
+		_ = m.Line(i & 0xffff)
+	}
+}

@@ -1,0 +1,231 @@
+// Package voltage implements the dynamic voltage control system of the
+// Authenticache prototype (paper Section 5.3).
+//
+// The controller owns the cache supply rail. At boot (and periodically
+// thereafter) it calibrates a voltage *floor*: the lowest safe Vdd at
+// which every triggered error is still correctable. Runtime requests
+// from the authentication algorithm are validated against the floor —
+// a challenge asking for an unsafe voltage receives an ABORT rather
+// than a rail change, which is the defence against crash-inducing
+// malicious challenges. An emergency path raises the rail back to
+// nominal immediately when the error handler sees the correctable
+// error rate explode or any uncorrectable event.
+package voltage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrAborted is returned for invalid runtime Vdd requests (below the
+// calibrated floor or above nominal).
+var ErrAborted = errors.New("voltage: request aborted")
+
+// ErrNotCalibrated is returned when runtime requests arrive before a
+// floor has been established.
+var ErrNotCalibrated = errors.New("voltage: floor not calibrated")
+
+// Rail abstracts the physical supply the controller drives (the
+// simulated SRAM array in this repo).
+type Rail interface {
+	// SetVoltage changes the supply immediately.
+	SetVoltage(v float64)
+	// Voltage reads the current supply.
+	Voltage() float64
+}
+
+// ProbeResult reports what a calibration self-test observed at one
+// voltage step.
+type ProbeResult struct {
+	Correctable   int
+	Uncorrectable int
+}
+
+// Prober runs a cache self-test sweep at the current rail voltage and
+// reports the ECC events it triggered. The error-handler module
+// provides the implementation.
+type Prober interface {
+	Probe() ProbeResult
+}
+
+// Config tunes the controller.
+type Config struct {
+	// VNominal is the nominal (reset) supply voltage in volts.
+	VNominal float64
+	// VMinSearch bounds the calibration search from below; the
+	// controller never drives the rail beneath it even while probing.
+	VMinSearch float64
+	// StepMV is the calibration step size in millivolts.
+	StepMV int
+	// GuardbandMV is added above the first unsafe voltage when setting
+	// the floor.
+	GuardbandMV int
+	// CorrectableCeiling is the per-sweep correctable-event count that,
+	// even without uncorrectable events, marks a voltage unsafe (the
+	// "error rate explosion" emergency precursor).
+	CorrectableCeiling int
+}
+
+// DefaultConfig matches the repo-wide calibration: 0.8 V nominal,
+// 1 mV steps, 5 mV guardband, and an error-rate ceiling comfortably
+// above the ~150-line defect population of a 4 MB cache.
+func DefaultConfig() Config {
+	return Config{
+		VNominal:           0.800,
+		VMinSearch:         0.500,
+		StepMV:             1,
+		GuardbandMV:        5,
+		CorrectableCeiling: 512,
+	}
+}
+
+// Controller is the voltage control state machine.
+type Controller struct {
+	mu   sync.Mutex
+	cfg  Config
+	rail Rail
+
+	calibrated  bool
+	floorMV     int // lowest permitted runtime Vdd, in millivolts
+	emergencies int
+	aborts      int
+}
+
+// NewController creates a controller over the rail. The rail is left
+// at nominal.
+func NewController(rail Rail, cfg Config) *Controller {
+	if cfg.StepMV <= 0 {
+		panic("voltage: step must be positive")
+	}
+	if cfg.VMinSearch >= cfg.VNominal {
+		panic("voltage: search bound must sit below nominal")
+	}
+	c := &Controller{cfg: cfg, rail: rail}
+	rail.SetVoltage(cfg.VNominal)
+	return c
+}
+
+// mv converts volts to integer millivolts (rounding to nearest).
+func mv(v float64) int { return int(v*1000 + 0.5) }
+
+// volts converts integer millivolts to volts.
+func volts(m int) float64 { return float64(m) / 1000 }
+
+// CalibrateFloor runs the boot-time floor search: starting from
+// nominal, the rail is lowered step by step while the prober sweeps
+// the cache. The first step that yields an uncorrectable event or a
+// correctable-rate explosion is unsafe; the floor is set a guardband
+// above it. The rail is returned to nominal afterwards.
+func (c *Controller) CalibrateFloor(p Prober) (floorMV int, err error) {
+	// The probe's error handler may invoke Emergency (which takes the
+	// controller lock) when it finds the unsafe region, so the search
+	// loop must run unlocked; only the final state update is guarded.
+	nominalMV := mv(c.cfg.VNominal)
+	minMV := mv(c.cfg.VMinSearch)
+	unsafeMV := -1
+	for step := nominalMV; step >= minMV; step -= c.cfg.StepMV {
+		c.rail.SetVoltage(volts(step))
+		res := p.Probe()
+		if res.Uncorrectable > 0 || res.Correctable > c.cfg.CorrectableCeiling {
+			unsafeMV = step
+			break
+		}
+	}
+	if unsafeMV == nominalMV {
+		c.rail.SetVoltage(c.cfg.VNominal)
+		return 0, fmt.Errorf("voltage: cache unsafe at nominal %d mV", nominalMV)
+	}
+	candidate := minMV
+	if unsafeMV >= 0 {
+		candidate = unsafeMV + c.cfg.GuardbandMV
+		if candidate > nominalMV {
+			candidate = nominalMV
+		}
+		// Marginal cells trigger stochastically, so one clean probe is
+		// not proof of safety: confirm the candidate with repeated
+		// sweeps and push it up until it verifies clean (the error
+		// handler and controller calibrate "in tandem", Section 5.3).
+		const confirmSweeps = 3
+	verify:
+		for candidate < nominalMV {
+			for i := 0; i < confirmSweeps; i++ {
+				c.rail.SetVoltage(volts(candidate))
+				res := p.Probe()
+				if res.Uncorrectable > 0 || res.Correctable > c.cfg.CorrectableCeiling {
+					candidate += c.cfg.StepMV
+					continue verify
+				}
+			}
+			break
+		}
+	}
+	c.rail.SetVoltage(c.cfg.VNominal)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.floorMV = candidate
+	c.calibrated = true
+	return c.floorMV, nil
+}
+
+// FloorMV returns the calibrated floor in millivolts and whether
+// calibration has run.
+func (c *Controller) FloorMV() (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.floorMV, c.calibrated
+}
+
+// Request validates and applies a runtime Vdd request from the
+// authentication algorithm. Requests outside [floor, nominal] abort
+// without touching the rail.
+func (c *Controller) Request(vddMV int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.calibrated {
+		c.aborts++
+		return ErrNotCalibrated
+	}
+	if vddMV < c.floorMV || vddMV > mv(c.cfg.VNominal) {
+		c.aborts++
+		return fmt.Errorf("%w: %d mV outside [%d, %d]", ErrAborted, vddMV, c.floorMV, mv(c.cfg.VNominal))
+	}
+	c.rail.SetVoltage(volts(vddMV))
+	return nil
+}
+
+// RestoreNominal returns the rail to the nominal voltage, e.g. when
+// handing the cores back to the OS.
+func (c *Controller) RestoreNominal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rail.SetVoltage(c.cfg.VNominal)
+}
+
+// Emergency immediately raises the rail to nominal. The error handler
+// invokes it when tracked error rates exceed the emergency threshold
+// (paper Section 5.2).
+func (c *Controller) Emergency() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.emergencies++
+	c.rail.SetVoltage(c.cfg.VNominal)
+}
+
+// Stats reports abort and emergency counters.
+func (c *Controller) Stats() (aborts, emergencies int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborts, c.emergencies
+}
+
+// Recalibrate re-runs the floor search, accounting for environmental
+// drift (aging, temperature) since boot. It is the "periodic
+// recalibration" of Section 5.3.
+func (c *Controller) Recalibrate(p Prober) (floorMV int, err error) {
+	c.mu.Lock()
+	c.calibrated = false
+	c.mu.Unlock()
+	return c.CalibrateFloor(p)
+}

@@ -1,0 +1,217 @@
+package voltage
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fakeRail records voltage changes.
+type fakeRail struct {
+	v       float64
+	history []float64
+}
+
+func (r *fakeRail) SetVoltage(v float64) { r.v = v; r.history = append(r.history, v) }
+func (r *fakeRail) Voltage() float64     { return r.v }
+
+// thresholdProber reports uncorrectable events below uncMV and a given
+// correctable count below corrMV, reading the rail to decide.
+type thresholdProber struct {
+	rail        *fakeRail
+	corrMV      int
+	uncMV       int
+	corrCount   int
+	probeCalls  int
+	lastProbeMV int
+}
+
+func (p *thresholdProber) Probe() ProbeResult {
+	p.probeCalls++
+	mv := int(p.rail.v*1000 + 0.5)
+	p.lastProbeMV = mv
+	res := ProbeResult{}
+	if mv < p.corrMV {
+		res.Correctable = p.corrCount
+	}
+	if mv < p.uncMV {
+		res.Uncorrectable = 3
+	}
+	return res
+}
+
+func newTestController(t *testing.T) (*Controller, *fakeRail) {
+	t.Helper()
+	rail := &fakeRail{}
+	cfg := DefaultConfig()
+	cfg.StepMV = 5 // keep calibration fast in tests
+	return NewController(rail, cfg), rail
+}
+
+func TestNewControllerSetsNominal(t *testing.T) {
+	c, rail := newTestController(t)
+	if rail.v != 0.800 {
+		t.Fatalf("rail at %v, want nominal", rail.v)
+	}
+	if _, ok := c.FloorMV(); ok {
+		t.Fatal("controller claims calibration before any ran")
+	}
+}
+
+func TestCalibrateFloorFindsUnsafeRegion(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 745, uncMV: 660, corrCount: 100}
+	floor, err := c.CalibrateFloor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First unsafe probe happens at or just below 660; floor must sit a
+	// guardband above it, i.e. in (655, 670].
+	if floor < 656 || floor > 670 {
+		t.Fatalf("floor = %d mV", floor)
+	}
+	if got, ok := c.FloorMV(); !ok || got != floor {
+		t.Fatal("FloorMV accessor mismatch")
+	}
+	// Rail restored to nominal after calibration.
+	if rail.v != 0.800 {
+		t.Fatalf("rail left at %v after calibration", rail.v)
+	}
+}
+
+func TestCalibrateFloorCorrectableExplosion(t *testing.T) {
+	c, rail := newTestController(t)
+	// No uncorrectables anywhere, but correctable storm below 700 mV.
+	p := &thresholdProber{rail: rail, corrMV: 700, uncMV: 0, corrCount: 100000}
+	floor, err := c.CalibrateFloor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor < 696 || floor > 710 {
+		t.Fatalf("floor = %d mV, explosion at <700 expected to set it near 700", floor)
+	}
+}
+
+func TestCalibrateFloorAllSafe(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 0, uncMV: 0}
+	floor, err := c.CalibrateFloor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 500 {
+		t.Fatalf("floor = %d, want search bound 500", floor)
+	}
+}
+
+func TestCalibrateFloorUnsafeAtNominal(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 900, uncMV: 900, corrCount: 1}
+	if _, err := c.CalibrateFloor(p); err == nil {
+		t.Fatal("unsafe-at-nominal cache accepted")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	c, rail := newTestController(t)
+	// Before calibration: abort.
+	if err := c.Request(700); !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("pre-calibration request: %v", err)
+	}
+	p := &thresholdProber{rail: rail, corrMV: 745, uncMV: 660, corrCount: 100}
+	floor, _ := c.CalibrateFloor(p)
+
+	if err := c.Request(floor); err != nil {
+		t.Fatalf("request at floor rejected: %v", err)
+	}
+	if math.Abs(rail.v-float64(floor)/1000) > 1e-9 {
+		t.Fatalf("rail = %v after request of %d mV", rail.v, floor)
+	}
+	if err := c.Request(floor - 1); !errors.Is(err, ErrAborted) {
+		t.Fatalf("below-floor request: %v", err)
+	}
+	if err := c.Request(801); !errors.Is(err, ErrAborted) {
+		t.Fatalf("above-nominal request: %v", err)
+	}
+	aborts, _ := c.Stats()
+	if aborts != 3 {
+		t.Fatalf("aborts = %d, want 3", aborts)
+	}
+}
+
+func TestAbortDoesNotTouchRail(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 745, uncMV: 660, corrCount: 100}
+	floor, _ := c.CalibrateFloor(p)
+	if err := c.Request(floor + 10); err != nil {
+		t.Fatal(err)
+	}
+	before := rail.v
+	_ = c.Request(floor - 50)
+	if rail.v != before {
+		t.Fatal("aborted request changed the rail")
+	}
+}
+
+func TestEmergencyRaisesToNominal(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 745, uncMV: 660, corrCount: 100}
+	floor, _ := c.CalibrateFloor(p)
+	_ = c.Request(floor)
+	c.Emergency()
+	if rail.v != 0.800 {
+		t.Fatalf("rail = %v after emergency", rail.v)
+	}
+	_, em := c.Stats()
+	if em != 1 {
+		t.Fatalf("emergencies = %d", em)
+	}
+}
+
+func TestRestoreNominal(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 745, uncMV: 660, corrCount: 100}
+	floor, _ := c.CalibrateFloor(p)
+	_ = c.Request(floor)
+	c.RestoreNominal()
+	if rail.v != 0.800 {
+		t.Fatalf("rail = %v", rail.v)
+	}
+}
+
+func TestRecalibrateTracksDrift(t *testing.T) {
+	c, rail := newTestController(t)
+	p := &thresholdProber{rail: rail, corrMV: 745, uncMV: 660, corrCount: 100}
+	floor1, _ := c.CalibrateFloor(p)
+	// Aging raised the unsafe region by 20 mV.
+	p.uncMV = 680
+	floor2, err := c.Recalibrate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor2 <= floor1 {
+		t.Fatalf("recalibration did not track drift: %d -> %d", floor1, floor2)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	rail := &fakeRail{}
+	bad := DefaultConfig()
+	bad.StepMV = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero step accepted")
+			}
+		}()
+		NewController(rail, bad)
+	}()
+	bad2 := DefaultConfig()
+	bad2.VMinSearch = 0.9
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted search range accepted")
+		}
+	}()
+	NewController(rail, bad2)
+}
