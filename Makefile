@@ -1,0 +1,13 @@
+.PHONY: check test bench build
+
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+build:
+	go build ./...
+
+bench:
+	go test -bench . -benchtime 2s -run '^$$' ./...

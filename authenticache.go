@@ -18,12 +18,12 @@
 //	emap, _ := chip.Enroll(levels)                 // factory characterisation
 //
 //	srv := authenticache.NewServer(authenticache.DefaultServerConfig(), 1)
-//	key, _ := srv.Enroll("device-42", emap)
+//	key, _ := srv.Enroll(ctx, "device-42", emap)
 //	dev := authenticache.NewResponder("device-42", chip.Device(), key)
 //
-//	ch, _ := srv.IssueChallenge("device-42")
+//	ch, _ := srv.IssueChallenge(ctx, "device-42")
 //	resp, _ := dev.Respond(ch)
-//	ok, _ := srv.Verify("device-42", ch.ID, resp)  // true for real silicon
+//	ok, _ := srv.Verify(ctx, "device-42", ch.ID, resp)  // true for real silicon
 //
 // The internal packages carry the substrates (variation, sram, ecc,
 // cache, voltage, firmware, errormap, crp, mapkey, noise, attack,
@@ -32,6 +32,8 @@
 package authenticache
 
 import (
+	"context"
+
 	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/crp"
@@ -130,8 +132,34 @@ type WireClient = auth.WireClient
 // NewWireServer wraps a Server for TCP serving.
 func NewWireServer(s *Server) *WireServer { return auth.NewWireServer(s) }
 
-// Dial connects to a WireServer.
-func Dial(addr string) (*WireClient, error) { return auth.Dial(addr) }
+// Dial connects to a WireServer; ctx bounds the connection attempt.
+func Dial(ctx context.Context, addr string) (*WireClient, error) { return auth.Dial(ctx, addr) }
+
+// ServerStats is a snapshot of the server's service counters.
+type ServerStats = auth.ServerStats
+
+// AuthError is the typed error every authentication operation returns
+// on failure: a stable ErrorCode, the client concerned, and a wrapped
+// cause that satisfies errors.Is against the sentinel errors below —
+// identically for in-process calls and errors received over TCP.
+type (
+	AuthError = auth.AuthError
+	ErrorCode = auth.ErrorCode
+)
+
+// Sentinel errors re-exported from the auth layer.
+var (
+	ErrUnknownClient    = auth.ErrUnknownClient
+	ErrAlreadyEnrolled  = auth.ErrAlreadyEnrolled
+	ErrUnknownChallenge = auth.ErrUnknownChallenge
+	ErrExhausted        = auth.ErrExhausted
+	ErrNoRemapPending   = auth.ErrNoRemapPending
+	ErrBadPlane         = auth.ErrBadPlane
+)
+
+// ErrorCodeOf extracts the stable ErrorCode from any error produced by
+// the authentication layer.
+func ErrorCodeOf(err error) ErrorCode { return auth.CodeOf(err) }
 
 // PossibleCRPs returns n(n-1)/2, the challenge budget of an n-line
 // cache at one voltage (paper equation (10)).
@@ -172,8 +200,8 @@ func CharacterizeChip(chip *Chip, id ClientID, crit EnrollCriteria) (*EnrollResu
 
 // ProvisionChip enrolls an accepted chip into a server and returns the
 // device key.
-func ProvisionChip(srv *Server, res *EnrollResult) (Key, error) {
-	return enroll.Provision(srv, res)
+func ProvisionChip(ctx context.Context, srv *Server, res *EnrollResult) (Key, error) {
+	return enroll.Provision(ctx, srv, res)
 }
 
 // DefaultEnrollCriteria returns the acceptance thresholds scaled to a

@@ -22,13 +22,13 @@ func TestQuickstart(t *testing.T) {
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 64
 	srv := authenticache.NewServer(cfg, 1)
-	key, err := srv.Enroll("device-42", emap)
+	key, err := srv.Enroll(ctx, "device-42", emap)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dev := authenticache.NewResponder("device-42", chip.Device(), key)
 
-	ch, err := srv.IssueChallenge("device-42")
+	ch, err := srv.IssueChallenge(ctx, "device-42")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := srv.Verify("device-42", ch.ID, resp)
+	ok, err := srv.Verify(ctx, "device-42", ch.ID, resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestFacadeStationAndKeygen(t *testing.T) {
 		t.Fatalf("rejections: %v", res.Rejections)
 	}
 	srv := authenticache.NewServer(authenticache.DefaultServerConfig(), 9)
-	if _, err := authenticache.ProvisionChip(srv, res); err != nil {
+	if _, err := authenticache.ProvisionChip(ctx, srv, res); err != nil {
 		t.Fatal(err)
 	}
 

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -80,13 +81,32 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// syncBuffer makes the daemon's combined output safe to read while
+// exec's pipe-copy goroutines are still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // startAuthd launches the daemon and parses its PROVISION lines,
 // returning id->keyhex and a stop function.
 func startAuthd(t *testing.T, bin, addr, statePath string, extra ...string) (map[string]string, func()) {
 	t.Helper()
 	args := append([]string{"-addr", addr, "-state", statePath}, extra...)
 	cmd := exec.Command(bin, args...)
-	var buf bytes.Buffer
+	var buf syncBuffer
 	cmd.Stdout = &buf
 	cmd.Stderr = &buf
 	if err := cmd.Start(); err != nil {
@@ -112,7 +132,7 @@ func startAuthd(t *testing.T, bin, addr, statePath string, extra ...string) (map
 	}
 	provisions := map[string]string{}
 	re := regexp.MustCompile(`PROVISION id=(\S+).* key=([0-9a-f]{64})`)
-	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
 	for sc.Scan() {
 		if m := re.FindStringSubmatch(sc.Text()); m != nil {
 			provisions[m[1]] = m[2]

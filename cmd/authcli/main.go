@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -23,6 +24,10 @@ import (
 
 	authenticache "repro"
 )
+
+// txTimeout bounds each wire transaction; a stalled server fails the
+// run instead of hanging the CLI.
+const txTimeout = 30 * time.Second
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7430", "authd address")
@@ -64,14 +69,19 @@ func main() {
 	log.Printf("authcli: chip ready (floor %d mV)", chip.FloorMV())
 	responder := authenticache.NewResponder(authenticache.ClientID(*id), chip.Device(), key)
 
-	wc, err := authenticache.Dial(*addr)
+	ctx := context.Background()
+	dialCtx, cancelDial := context.WithTimeout(ctx, txTimeout)
+	wc, err := authenticache.Dial(dialCtx, *addr)
+	cancelDial()
 	if err != nil {
 		log.Fatalf("authcli: dial: %v", err)
 	}
 	defer wc.Close()
 
 	if *remap {
-		if err := wc.Remap(responder); err != nil {
+		if err := withTimeout(ctx, func(ctx context.Context) error {
+			return wc.Remap(ctx, responder)
+		}); err != nil {
 			log.Fatalf("authcli: remap: %v", err)
 		}
 		log.Printf("authcli: key rotated")
@@ -80,7 +90,12 @@ func main() {
 	failures := 0
 	for i := 0; i < *n; i++ {
 		start := time.Now()
-		ok, err := wc.Authenticate(responder)
+		var ok bool
+		err := withTimeout(ctx, func(ctx context.Context) error {
+			var err error
+			ok, err = wc.Authenticate(ctx, responder)
+			return err
+		})
 		if err != nil {
 			log.Fatalf("authcli: authenticate: %v", err)
 		}
@@ -97,4 +112,11 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// withTimeout runs one transaction under the per-transaction deadline.
+func withTimeout(parent context.Context, fn func(context.Context) error) error {
+	ctx, cancel := context.WithTimeout(parent, txTimeout)
+	defer cancel()
+	return fn(ctx)
 }

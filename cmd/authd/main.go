@@ -16,12 +16,14 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 
 	authenticache "repro"
 	"repro/internal/enroll"
@@ -35,6 +37,11 @@ func main() {
 	cacheBytes := flag.Int("cache", 1<<20, "simulated cache size in bytes")
 	statePath := flag.String("state", "", "enrollment database file (loaded if present, written after enrollment)")
 	flag.Parse()
+
+	// SIGINT drains the daemon: the serve loop and every in-flight
+	// transaction observe the cancellation.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = *bits
@@ -53,7 +60,7 @@ func main() {
 				}
 				fmt.Printf("PROVISION id=%s key=%s (restored)\n", id, hex.EncodeToString(key[:]))
 			}
-			serve(srv, *addr)
+			serve(ctx, srv, *addr)
 			return
 		}
 	}
@@ -82,7 +89,7 @@ func main() {
 			log.Printf("authd: chip %d rejected by the station: %v", i, res.Rejections)
 			continue
 		}
-		key, err := enroll.Provision(srv, res)
+		key, err := enroll.Provision(ctx, srv, res)
 		if err != nil {
 			log.Fatalf("authd: provision %q: %v", id, err)
 		}
@@ -99,17 +106,17 @@ func main() {
 		f.Close()
 		log.Printf("authd: enrollment database written to %s", *statePath)
 	}
-	serve(srv, *addr)
+	serve(ctx, srv, *addr)
 }
 
-func serve(srv *authenticache.Server, addr string) {
+func serve(ctx context.Context, srv *authenticache.Server, addr string) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("authd: listen: %v", err)
 	}
 	log.Printf("authd: serving on %s", l.Addr())
 	ws := authenticache.NewWireServer(srv)
-	if err := ws.Serve(l); err != nil {
+	if err := ws.Serve(ctx, l); err != nil {
 		log.Fatalf("authd: serve: %v", err)
 	}
 }

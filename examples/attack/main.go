@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		lines    = 16384
 		errs     = 100
@@ -44,7 +46,7 @@ func main() {
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = crpBits
 	srv := authenticache.NewServer(cfg, 5)
-	key, err := srv.Enroll("victim", emap, remapVdd)
+	key, err := srv.Enroll(ctx, "victim", emap, remapVdd)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,32 +54,32 @@ func main() {
 
 	eavesdropper := attack.NewModel(g)
 	fmt.Println("phase 1: eavesdropper intercepts genuine transactions")
-	runPhase(srv, device, eavesdropper, phase1, window)
+	runPhase(ctx, srv, device, eavesdropper, phase1, window)
 
 	fmt.Println("\n-- server rotates the logical map key (Section 4.5) --")
-	req, err := srv.BeginRemap("victim")
+	req, err := srv.BeginRemap(ctx, "victim")
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := device.HandleRemap(req); err != nil {
 		log.Fatal(err)
 	}
-	if err := srv.CompleteRemap("victim", true); err != nil {
+	if err := srv.CompleteRemap(ctx, "victim", true); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
 
 	fmt.Println("phase 2: the trained model faces the remapped coordinate space")
-	runPhase(srv, device, eavesdropper, phase2, window)
+	runPhase(ctx, srv, device, eavesdropper, phase2, window)
 }
 
 // runPhase runs genuine authentications while the attacker predicts
 // each challenge before observing its true response (prequential
 // evaluation), printing windowed accuracy.
-func runPhase(srv *authenticache.Server, device *authenticache.Responder, model *attack.Model, n, window int) {
+func runPhase(ctx context.Context, srv *authenticache.Server, device *authenticache.Responder, model *attack.Model, n, window int) {
 	correct, bits := 0, 0
 	for i := 1; i <= n; i++ {
-		ch, err := srv.IssueChallenge("victim")
+		ch, err := srv.IssueChallenge(ctx, "victim")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -85,7 +87,7 @@ func runPhase(srv *authenticache.Server, device *authenticache.Responder, model 
 		if err != nil {
 			log.Fatal(err)
 		}
-		if ok, err := srv.Verify("victim", ch.ID, resp); err != nil || !ok {
+		if ok, err := srv.Verify(ctx, "victim", ch.ID, resp); err != nil || !ok {
 			log.Fatalf("genuine device rejected (ok=%v err=%v)", ok, err)
 		}
 		// The eavesdropper sees the wire traffic: predict, then train.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const batch = 6
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 128
@@ -62,7 +64,7 @@ func main() {
 	// Provision every accepted unit and prove the first one works.
 	var firstKey authenticache.Key
 	for i, res := range accepted {
-		key, err := enroll.Provision(srv, res)
+		key, err := enroll.Provision(ctx, srv, res)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +73,7 @@ func main() {
 		}
 	}
 	dev := authenticache.NewResponder(accepted[0].Record.ID, chips[0].Device(), firstKey)
-	ch, err := srv.IssueChallenge(accepted[0].Record.ID)
+	ch, err := srv.IssueChallenge(ctx, accepted[0].Record.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ok, err := srv.Verify(accepted[0].Record.ID, ch.ID, resp)
+	ok, err := srv.Verify(ctx, accepted[0].Record.ID, ch.ID, resp)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,6 +32,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	// Manufacture the fleet as map-backed devices (the error maps are
 	// the silicon identity; examples/quickstart shows the full firmware
 	// path for a single chip).
@@ -58,7 +60,7 @@ func main() {
 		fieldMap.AddPlane(authVdd, fieldPlane)
 
 		id := authenticache.ClientID(fmt.Sprintf("fleet-%03d", i))
-		key, err := srv.Enroll(id, emap)
+		key, err := srv.Enroll(ctx, id, emap)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +76,7 @@ func main() {
 	genuineOK, genuineTotal := 0, 0
 	for round := 0; round < rounds; round++ {
 		for _, d := range devices {
-			ch, err := srv.IssueChallenge(d.id)
+			ch, err := srv.IssueChallenge(ctx, d.id)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -82,7 +84,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			ok, err := srv.Verify(d.id, ch.ID, resp)
+			ok, err := srv.Verify(ctx, d.id, ch.ID, resp)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -99,7 +101,7 @@ func main() {
 	impostorAccepted, impostorTotal := 0, 0
 	for i, d := range devices {
 		victim := devices[(i+1)%len(devices)]
-		ch, err := srv.IssueChallenge(victim.id)
+		ch, err := srv.IssueChallenge(ctx, victim.id)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -110,7 +112,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ok, err := srv.Verify(victim.id, ch.ID, resp)
+		ok, err := srv.Verify(ctx, victim.id, ch.ID, resp)
 		if err != nil {
 			log.Fatal(err)
 		}

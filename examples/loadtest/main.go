@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -33,6 +34,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 128
 	srv := authenticache.NewServer(cfg, 1)
@@ -48,7 +50,7 @@ func main() {
 		m := errormap.NewMap(g)
 		m.AddPlane(vddMV, errormap.RandomPlane(g, errsPerPlane, r))
 		id := authenticache.ClientID(fmt.Sprintf("load-%02d", i))
-		key, err := srv.Enroll(id, m)
+		key, err := srv.Enroll(ctx, id, m)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ws := authenticache.NewWireServer(srv)
-	go ws.Serve(l)
+	go ws.Serve(ctx, l)
 	defer ws.Close()
 	fmt.Printf("server on %s; %d workers x %d transactions\n", l.Addr(), workers, perWorker)
 
@@ -72,7 +74,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wc, err := authenticache.Dial(l.Addr().String())
+			wc, err := authenticache.Dial(ctx, l.Addr().String())
 			if err != nil {
 				failed.Add(int64(perWorker))
 				return
@@ -80,7 +82,7 @@ func main() {
 			defer wc.Close()
 			for i := 0; i < perWorker; i++ {
 				t0 := time.Now()
-				ok, err := wc.Authenticate(clients[w].responder)
+				ok, err := wc.Authenticate(ctx, clients[w].responder)
 				if err != nil {
 					failed.Add(1)
 					continue

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 1. "Manufacture" a chip. The seed is its physical identity:
 	// process variation places this chip's weak cache cells.
 	chip, err := authenticache.NewChip(authenticache.ChipConfig{
@@ -40,7 +42,7 @@ func main() {
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 128
 	srv := authenticache.NewServer(cfg, 7)
-	key, err := srv.Enroll("demo-chip", emap)
+	key, err := srv.Enroll(ctx, "demo-chip", emap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func main() {
 	// logical map; the chip answers by self-testing cache lines at low
 	// voltage inside its (simulated) SMM firmware.
 	for i := 1; i <= 3; i++ {
-		ch, err := srv.IssueChallenge("demo-chip")
+		ch, err := srv.IssueChallenge(ctx, "demo-chip")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ok, err := srv.Verify("demo-chip", ch.ID, resp)
+		ok, err := srv.Verify(ctx, "demo-chip", ch.ID, resp)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,14 +74,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fake := authenticache.NewResponder("demo-chip", clone.Device(), key)
-	ch, err := srv.IssueChallenge("demo-chip")
+	ch, err := srv.IssueChallenge(ctx, "demo-chip")
 	if err != nil {
 		log.Fatal(err)
 	}
 	if resp, err := fake.Respond(ch); err != nil {
 		fmt.Printf("impostor chip: aborted before answering (%v)\n", err)
 	} else {
-		ok, _ := srv.Verify("demo-chip", ch.ID, resp)
+		ok, _ := srv.Verify(ctx, "demo-chip", ch.ID, resp)
 		fmt.Printf("impostor chip with stolen key: accepted=%v\n", ok)
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Factory side: manufacture and enroll one chip.
 	chip, err := authenticache.NewChip(authenticache.ChipConfig{Seed: 7, CacheBytes: 1 << 20})
 	if err != nil {
@@ -29,7 +31,7 @@ func main() {
 	cfg.ChallengeBits = 128
 	srv := authenticache.NewServer(cfg, 11)
 	reserved := levels[len(levels)-1]
-	key, err := srv.Enroll("tcp-demo", emap, reserved)
+	key, err := srv.Enroll(ctx, "tcp-demo", emap, reserved)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,25 +42,25 @@ func main() {
 		log.Fatal(err)
 	}
 	ws := authenticache.NewWireServer(srv)
-	go ws.Serve(l)
+	go ws.Serve(ctx, l)
 	defer ws.Close()
 	fmt.Printf("server listening on %s\n", l.Addr())
 
 	// Client side: dial, rotate the key once, authenticate three times.
 	device := authenticache.NewResponder("tcp-demo", chip.Device(), key)
-	wc, err := authenticache.Dial(l.Addr().String())
+	wc, err := authenticache.Dial(ctx, l.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer wc.Close()
 
-	if err := wc.Remap(device); err != nil {
+	if err := wc.Remap(ctx, device); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("key update transaction complete: client and server rotated to a fresh logical map key")
 
 	for i := 1; i <= 3; i++ {
-		ok, sessionKey, err := wc.AuthenticateSession(device)
+		ok, sessionKey, err := wc.AuthenticateSession(ctx, device)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,6 +68,6 @@ func main() {
 			i, ok, sessionKey[:4], chip.Firmware().Elapsed().Round(1e6))
 	}
 
-	issued, accepted, rejected := srv.Stats()
-	fmt.Printf("server stats: issued=%d accepted=%d rejected=%d\n", issued, accepted, rejected)
+	st := srv.Stats()
+	fmt.Printf("server stats: issued=%d accepted=%d rejected=%d\n", st.Issued, st.Accepted, st.Rejected)
 }

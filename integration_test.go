@@ -32,7 +32,7 @@ func TestFullLifecycle(t *testing.T) {
 	cfg.ChallengeBits = 64
 	srv := authenticache.NewServer(cfg, 3)
 	reserved := levels[len(levels)-1]
-	key, err := srv.Enroll("lifecycle", emap, reserved)
+	key, err := srv.Enroll(ctx, "lifecycle", emap, reserved)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,28 +44,28 @@ func TestFullLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	ws := authenticache.NewWireServer(srv)
-	go ws.Serve(l)
+	go ws.Serve(ctx, l)
 	defer ws.Close()
-	wc, err := authenticache.Dial(l.Addr().String())
+	wc, err := authenticache.Dial(ctx, l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wc.Close()
 
-	ok, err := wc.Authenticate(device)
+	ok, err := wc.Authenticate(ctx, device)
 	if err != nil || !ok {
 		t.Fatalf("initial TCP auth: ok=%v err=%v", ok, err)
 	}
 
 	// Key update over the wire.
 	oldKey := device.Key()
-	if err := wc.Remap(device); err != nil {
+	if err := wc.Remap(ctx, device); err != nil {
 		t.Fatal(err)
 	}
 	if device.Key() == oldKey {
 		t.Fatal("key unchanged after remap")
 	}
-	ok, err = wc.Authenticate(device)
+	ok, err = wc.Authenticate(ctx, device)
 	if err != nil || !ok {
 		t.Fatalf("post-remap TCP auth: ok=%v err=%v", ok, err)
 	}
@@ -79,7 +79,7 @@ func TestFullLifecycle(t *testing.T) {
 	if err := srv2.LoadState(&state); err != nil {
 		t.Fatal(err)
 	}
-	ch, err := srv2.IssueChallenge("lifecycle")
+	ch, err := srv2.IssueChallenge(ctx, "lifecycle")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,13 +87,13 @@ func TestFullLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := srv2.Verify("lifecycle", ch.ID, resp); !ok {
+	if ok, _ := srv2.Verify(ctx, "lifecycle", ch.ID, resp); !ok {
 		t.Fatal("restored server rejected the rotated-key device")
 	}
 
 	// Multi-Vdd challenge on the restored server, hot silicon.
 	chip.SetEnvironment(variation.Environment{DeltaT: 25})
-	mch, err := srv2.IssueChallengeMulti("lifecycle")
+	mch, err := srv2.IssueChallengeMulti(ctx, "lifecycle")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestFullLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := srv2.Verify("lifecycle", mch.ID, mresp); !ok {
+	if ok, _ := srv2.Verify(ctx, "lifecycle", mch.ID, mresp); !ok {
 		t.Fatal("hot chip rejected on multi-Vdd challenge after restart")
 	}
 }
@@ -131,13 +131,13 @@ func TestStolenKeyAcrossLifecycle(t *testing.T) {
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 64
 	srv := authenticache.NewServer(cfg, 5)
-	key, err := srv.Enroll("target", emap)
+	key, err := srv.Enroll(ctx, "target", emap)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	fake := authenticache.NewResponder("target", thief.Device(), key)
-	ch, err := srv.IssueChallenge("target")
+	ch, err := srv.IssueChallenge(ctx, "target")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestStolenKeyAcrossLifecycle(t *testing.T) {
 		// challenge voltage — a rejection in itself.
 		t.Skipf("thief chip aborted: %v", err)
 	}
-	if ok, _ := srv.Verify("target", ch.ID, resp); ok {
+	if ok, _ := srv.Verify(ctx, "target", ch.ID, resp); ok {
 		t.Fatal("stolen key + wrong silicon accepted")
 	}
 }

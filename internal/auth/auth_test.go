@@ -17,7 +17,7 @@ import (
 func enrolledPair(t *testing.T, cfg Config, enrolled, field *errormap.Map, reserved ...int) (*Server, *Responder) {
 	t.Helper()
 	srv := NewServer(cfg, 42)
-	key, err := srv.Enroll("dev-1", enrolled, reserved...)
+	key, err := srv.Enroll(ctx, "dev-1", enrolled, reserved...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestEnrollAndAuthenticateHonestClient(t *testing.T) {
 	m := testMap(t, 16384, 100, 1, 680)
 	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
 	for i := 0; i < 5; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -48,7 +48,7 @@ func TestEnrollAndAuthenticateHonestClient(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ok, err := srv.Verify("dev-1", ch.ID, answer)
+		ok, err := srv.Verify(ctx, "dev-1", ch.ID, answer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,9 +56,12 @@ func TestEnrollAndAuthenticateHonestClient(t *testing.T) {
 			t.Fatalf("honest client rejected on attempt %d", i)
 		}
 	}
-	issued, accepted, rejected := srv.Stats()
-	if issued != 5 || accepted != 5 || rejected != 0 {
-		t.Fatalf("stats = (%d,%d,%d)", issued, accepted, rejected)
+	st := srv.Stats()
+	if st.Issued != 5 || st.Accepted != 5 || st.Rejected != 0 {
+		t.Fatalf("stats = (%d,%d,%d)", st.Issued, st.Accepted, st.Rejected)
+	}
+	if st.Clients != 1 {
+		t.Fatalf("stats clients = %d, want 1", st.Clients)
 	}
 }
 
@@ -66,7 +69,7 @@ func TestImpostorRejected(t *testing.T) {
 	enrolled := testMap(t, 16384, 100, 2, 680)
 	impostor := testMap(t, 16384, 100, 99, 680) // different chip
 	srv, resp := enrolledPair(t, DefaultConfig(), enrolled, impostor)
-	ch, err := srv.IssueChallenge("dev-1")
+	ch, err := srv.IssueChallenge(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +77,7 @@ func TestImpostorRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := srv.Verify("dev-1", ch.ID, answer)
+	ok, err := srv.Verify(ctx, "dev-1", ch.ID, answer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,12 +95,12 @@ func TestNoisyHonestClientStillAccepted(t *testing.T) {
 	accepted := 0
 	const trials = 10
 	for i := 0; i < trials; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
 		answer, _ := resp.Respond(ch)
-		ok, err := srv.Verify("dev-1", ch.ID, answer)
+		ok, err := srv.Verify(ctx, "dev-1", ch.ID, answer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,13 +115,13 @@ func TestNoisyHonestClientStillAccepted(t *testing.T) {
 
 func TestUnknownClientErrors(t *testing.T) {
 	srv := NewServer(DefaultConfig(), 1)
-	if _, err := srv.IssueChallenge("ghost"); !errors.Is(err, ErrUnknownClient) {
+	if _, err := srv.IssueChallenge(ctx, "ghost"); !errors.Is(err, ErrUnknownClient) {
 		t.Fatalf("IssueChallenge: %v", err)
 	}
-	if _, err := srv.Verify("ghost", 0, crp.NewResponse(8)); !errors.Is(err, ErrUnknownClient) {
+	if _, err := srv.Verify(ctx, "ghost", 0, crp.NewResponse(8)); !errors.Is(err, ErrUnknownClient) {
 		t.Fatalf("Verify: %v", err)
 	}
-	if _, err := srv.BeginRemap("ghost"); !errors.Is(err, ErrUnknownClient) {
+	if _, err := srv.BeginRemap(ctx, "ghost"); !errors.Is(err, ErrUnknownClient) {
 		t.Fatalf("BeginRemap: %v", err)
 	}
 	if _, err := srv.CurrentKey("ghost"); !errors.Is(err, ErrUnknownClient) {
@@ -129,10 +132,10 @@ func TestUnknownClientErrors(t *testing.T) {
 func TestDoubleEnrollRejected(t *testing.T) {
 	m := testMap(t, 4096, 50, 5, 680)
 	srv := NewServer(DefaultConfig(), 1)
-	if _, err := srv.Enroll("dev", m); err != nil {
+	if _, err := srv.Enroll(ctx, "dev", m); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Enroll("dev", m); !errors.Is(err, ErrAlreadyEnrolled) {
+	if _, err := srv.Enroll(ctx, "dev", m); !errors.Is(err, ErrAlreadyEnrolled) {
 		t.Fatalf("double enroll: %v", err)
 	}
 	if !srv.Enrolled("dev") || srv.Enrolled("other") {
@@ -143,13 +146,13 @@ func TestDoubleEnrollRejected(t *testing.T) {
 func TestChallengeNotReplayable(t *testing.T) {
 	m := testMap(t, 16384, 100, 6, 680)
 	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
-	ch, _ := srv.IssueChallenge("dev-1")
+	ch, _ := srv.IssueChallenge(ctx, "dev-1")
 	answer, _ := resp.Respond(ch)
-	if ok, _ := srv.Verify("dev-1", ch.ID, answer); !ok {
+	if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
 		t.Fatal("first verify failed")
 	}
 	// Replaying the same challenge ID must fail: it was consumed.
-	if _, err := srv.Verify("dev-1", ch.ID, answer); !errors.Is(err, ErrUnknownChallenge) {
+	if _, err := srv.Verify(ctx, "dev-1", ch.ID, answer); !errors.Is(err, ErrUnknownChallenge) {
 		t.Fatalf("replay: %v", err)
 	}
 }
@@ -161,7 +164,7 @@ func TestIssuedPairsNeverRepeat(t *testing.T) {
 	srv, _ := enrolledPair(t, cfg, m, m)
 	seen := map[[2]int]bool{}
 	for i := 0; i < 30; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,13 +185,13 @@ func TestIssueChallengeAtRespectsReservation(t *testing.T) {
 	cfg := DefaultConfig()
 	m := testMap(t, 4096, 50, 8, 680, 700)
 	srv, _ := enrolledPair(t, cfg, m, m, 700)
-	if _, err := srv.IssueChallengeAt("dev-1", 700); err == nil {
+	if _, err := srv.IssueChallengeAt(ctx, "dev-1", 700); err == nil {
 		t.Fatal("reserved voltage issued for ordinary auth")
 	}
-	if _, err := srv.IssueChallengeAt("dev-1", 680); err != nil {
+	if _, err := srv.IssueChallengeAt(ctx, "dev-1", 680); err != nil {
 		t.Fatalf("normal voltage rejected: %v", err)
 	}
-	if _, err := srv.IssueChallengeAt("dev-1", 999); !errors.Is(err, ErrBadPlane) {
+	if _, err := srv.IssueChallengeAt(ctx, "dev-1", 999); !errors.Is(err, ErrBadPlane) {
 		t.Fatalf("unknown voltage: %v", err)
 	}
 }
@@ -196,9 +199,9 @@ func TestIssueChallengeAtRespectsReservation(t *testing.T) {
 func TestWrongLengthResponseRejected(t *testing.T) {
 	m := testMap(t, 4096, 50, 9, 680)
 	srv, _ := enrolledPair(t, DefaultConfig(), m, m)
-	ch, _ := srv.IssueChallenge("dev-1")
+	ch, _ := srv.IssueChallenge(ctx, "dev-1")
 	short := crp.NewResponse(8)
-	ok, err := srv.Verify("dev-1", ch.ID, short)
+	ok, err := srv.Verify(ctx, "dev-1", ch.ID, short)
 	if ok || err == nil {
 		t.Fatal("short response accepted")
 	}
@@ -210,9 +213,9 @@ func TestWrongKeyClientRejected(t *testing.T) {
 	m := testMap(t, 16384, 100, 10, 680)
 	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
 	stale := NewResponder("dev-1", NewSimDevice(m), mapkey.KeyFromBytes([]byte("wrong"), "k"))
-	ch, _ := srv.IssueChallenge("dev-1")
+	ch, _ := srv.IssueChallenge(ctx, "dev-1")
 	answer, _ := stale.Respond(ch)
-	if ok, _ := srv.Verify("dev-1", ch.ID, answer); ok {
+	if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); ok {
 		t.Fatal("stale-key client accepted")
 	}
 	_ = resp
@@ -224,7 +227,7 @@ func TestRemapProtocolRotatesKey(t *testing.T) {
 	srv, resp := enrolledPair(t, cfg, m, m, 700)
 	oldKey := resp.Key()
 
-	req, err := srv.BeginRemap("dev-1")
+	req, err := srv.BeginRemap(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +237,7 @@ func TestRemapProtocolRotatesKey(t *testing.T) {
 	if err := resp.HandleRemap(req); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.CompleteRemap("dev-1", true); err != nil {
+	if err := srv.CompleteRemap(ctx, "dev-1", true); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Key() == oldKey {
@@ -245,9 +248,9 @@ func TestRemapProtocolRotatesKey(t *testing.T) {
 		t.Fatal("client and server derived different keys")
 	}
 	// Authentication continues to work under the new key.
-	ch, _ := srv.IssueChallenge("dev-1")
+	ch, _ := srv.IssueChallenge(ctx, "dev-1")
 	answer, _ := resp.Respond(ch)
-	if ok, _ := srv.Verify("dev-1", ch.ID, answer); !ok {
+	if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
 		t.Fatal("post-remap authentication failed")
 	}
 }
@@ -264,14 +267,14 @@ func TestRemapSurvivesResponseNoise(t *testing.T) {
 	field.AddPlane(700, noisyPlane)
 	srv, resp := enrolledPair(t, cfg, enrolled, field, 700)
 
-	req, err := srv.BeginRemap("dev-1")
+	req, err := srv.BeginRemap(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := resp.HandleRemap(req); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.CompleteRemap("dev-1", true); err != nil {
+	if err := srv.CompleteRemap(ctx, "dev-1", true); err != nil {
 		t.Fatal(err)
 	}
 	srvKey, _ := srv.CurrentKey("dev-1")
@@ -283,10 +286,10 @@ func TestRemapSurvivesResponseNoise(t *testing.T) {
 func TestRemapWithoutReservedPlane(t *testing.T) {
 	m := testMap(t, 4096, 50, 14, 680)
 	srv, _ := enrolledPair(t, DefaultConfig(), m, m)
-	if _, err := srv.BeginRemap("dev-1"); err == nil {
+	if _, err := srv.BeginRemap(ctx, "dev-1"); err == nil {
 		t.Fatal("remap without reserved planes accepted")
 	}
-	if err := srv.CompleteRemap("dev-1", true); !errors.Is(err, ErrNoRemapPending) {
+	if err := srv.CompleteRemap(ctx, "dev-1", true); !errors.Is(err, ErrNoRemapPending) {
 		t.Fatalf("CompleteRemap: %v", err)
 	}
 }
@@ -296,10 +299,10 @@ func TestCompleteRemapFailureKeepsOldKey(t *testing.T) {
 	m := testMap(t, 16384, 100, 15, 680, 700)
 	srv, resp := enrolledPair(t, cfg, m, m, 700)
 	oldSrvKey, _ := srv.CurrentKey("dev-1")
-	if _, err := srv.BeginRemap("dev-1"); err != nil {
+	if _, err := srv.BeginRemap(ctx, "dev-1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.CompleteRemap("dev-1", false); err != nil {
+	if err := srv.CompleteRemap(ctx, "dev-1", false); err != nil {
 		t.Fatal(err)
 	}
 	srvKey, _ := srv.CurrentKey("dev-1")
@@ -307,9 +310,9 @@ func TestCompleteRemapFailureKeepsOldKey(t *testing.T) {
 		t.Fatal("failed remap rotated the server key")
 	}
 	// Old key still authenticates.
-	ch, _ := srv.IssueChallenge("dev-1")
+	ch, _ := srv.IssueChallenge(ctx, "dev-1")
 	answer, _ := resp.Respond(ch)
-	if ok, _ := srv.Verify("dev-1", ch.ID, answer); !ok {
+	if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
 		t.Fatal("old key broken after failed remap")
 	}
 }
@@ -325,7 +328,7 @@ func TestChallengeSpaceExhaustion(t *testing.T) {
 	issued := 0
 	var exhausted bool
 	for i := 0; i < 100; i++ {
-		_, err := srv.IssueChallenge("dev-1")
+		_, err := srv.IssueChallenge(ctx, "dev-1")
 		if err == nil {
 			issued++
 			continue
@@ -345,7 +348,7 @@ func TestChallengeSpaceExhaustion(t *testing.T) {
 		t.Fatalf("only %d challenges issued before exhaustion (space holds ~63)", issued)
 	}
 	// Exhaustion is sticky.
-	if _, err := srv.IssueChallenge("dev-1"); !errors.Is(err, ErrExhausted) {
+	if _, err := srv.IssueChallenge(ctx, "dev-1"); !errors.Is(err, ErrExhausted) {
 		t.Fatalf("post-exhaustion issue: %v", err)
 	}
 }

@@ -13,7 +13,7 @@ func TestServerConcurrentOperations(t *testing.T) {
 	cfg.ChallengeBits = 32
 	m := testMap(t, 16384, 100, 61, 680, 700)
 	srv := NewServer(cfg, 9)
-	key, err := srv.Enroll("dev-c", m, 700)
+	key, err := srv.Enroll(ctx, "dev-c", m, 700)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestServerConcurrentOperations(t *testing.T) {
 			for i := 0; i < opsEach; i++ {
 				switch i % 4 {
 				case 0, 1, 2:
-					ch, err := srv.IssueChallenge("dev-c")
+					ch, err := srv.IssueChallenge(ctx, "dev-c")
 					if err != nil {
 						errs <- err
 						continue
@@ -42,7 +42,7 @@ func TestServerConcurrentOperations(t *testing.T) {
 						errs <- err
 						continue
 					}
-					if ok, err := srv.Verify("dev-c", ch.ID, answer); err != nil {
+					if ok, err := srv.Verify(ctx, "dev-c", ch.ID, answer); err != nil {
 						errs <- err
 					} else if !ok {
 						// A rejection is only legal here when the key
@@ -73,7 +73,7 @@ func TestConcurrentIssueNoPairOverlap(t *testing.T) {
 	cfg.ChallengeBits = 16
 	m := testMap(t, 16384, 100, 62, 680)
 	srv := NewServer(cfg, 10)
-	if _, err := srv.Enroll("dev-c", m); err != nil {
+	if _, err := srv.Enroll(ctx, "dev-c", m); err != nil {
 		t.Fatal(err)
 	}
 	const goroutines = 8
@@ -85,7 +85,7 @@ func TestConcurrentIssueNoPairOverlap(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				ch, err := srv.IssueChallenge("dev-c")
+				ch, err := srv.IssueChallenge(ctx, "dev-c")
 				if err != nil {
 					return
 				}

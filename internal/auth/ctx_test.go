@@ -1,0 +1,7 @@
+package auth
+
+import "context"
+
+// ctx is the shared background context for tests; cancellation
+// behaviour gets dedicated contexts in context_test.go.
+var ctx = context.Background()

@@ -1,0 +1,78 @@
+package auth
+
+import (
+	"context"
+
+	"repro/internal/errormap"
+	"repro/internal/mapkey"
+)
+
+// Enroll registers a client from its post-manufacturing error map
+// characterisation and returns the initial remap key that must be
+// provisioned into the device. reservedVdds marks voltage planes of
+// the map held back for key-update transactions (Section 4.5); they
+// are never used for ordinary challenges. Reserved levels are
+// per-client because every chip calibrates its own voltage floor.
+func (s *Server) Enroll(ctx context.Context, id ClientID, physMap *errormap.Map, reservedVdds ...int) (mapkey.Key, error) {
+	if err := ctxErr(ctx, id); err != nil {
+		return mapkey.Key{}, err
+	}
+	// Fast-path duplicate check before burning key material from the
+	// deterministic stream; Create re-checks atomically below.
+	if _, dup := s.store.Get(id); dup {
+		return mapkey.Key{}, authErrf(CodeAlreadyEnrolled, id, "%w: %q", ErrAlreadyEnrolled, id)
+	}
+	if len(physMap.Voltages()) == 0 {
+		return mapkey.Key{}, authErrf(CodeInvalidRequest, id, "auth: enrollment map has no voltage planes")
+	}
+	reserved := make(map[int]bool, len(reservedVdds))
+	for _, v := range reservedVdds {
+		if physMap.Plane(v) == nil {
+			return mapkey.Key{}, authErrf(CodeBadPlane, id, "%w: reserved %d mV", ErrBadPlane, v)
+		}
+		reserved[v] = true
+	}
+	if len(reserved) == len(physMap.Voltages()) {
+		return mapkey.Key{}, authErrf(CodeInvalidRequest, id, "auth: all planes reserved, none left for authentication")
+	}
+	var keyMaterial [40]byte
+	s.randMu.Lock()
+	for i := 0; i < len(keyMaterial); i += 8 {
+		v := s.rand.Uint64()
+		for j := 0; j < 8; j++ {
+			keyMaterial[i+j] = byte(v >> (8 * j))
+		}
+	}
+	s.randMu.Unlock()
+	key := mapkey.KeyFromBytes(keyMaterial[:], "enroll/"+string(id))
+	rec := newClientRecord(physMap.Clone(), key, reserved)
+	if !s.store.Create(id, rec) {
+		return mapkey.Key{}, authErrf(CodeAlreadyEnrolled, id, "%w: %q", ErrAlreadyEnrolled, id)
+	}
+	return key, nil
+}
+
+// ClientIDs lists the enrolled clients in sorted order.
+func (s *Server) ClientIDs() []ClientID {
+	return s.store.IDs()
+}
+
+// Enrolled reports whether the client exists.
+func (s *Server) Enrolled(id ClientID) bool {
+	_, ok := s.store.Get(id)
+	return ok
+}
+
+// CurrentKey exposes the client's current remap key; the enrollment
+// flow uses it to provision the device, and tests use it to verify
+// rotation.
+func (s *Server) CurrentKey(id ClientID) (mapkey.Key, error) {
+	rec, ok := s.store.Get(id)
+	if !ok {
+		return mapkey.Key{}, authErrf(CodeUnknownClient, id, "%w: %q", ErrUnknownClient, id)
+	}
+	rec.mu.Lock()
+	key := rec.key
+	rec.mu.Unlock()
+	return key, nil
+}

@@ -17,7 +17,7 @@ func FuzzLoadState(f *testing.F) {
 	m := errormap.NewMap(g)
 	m.AddPlane(680, errormap.RandomPlane(g, 20, rng.New(77)))
 	srv := NewServer(DefaultConfig(), 1)
-	if _, err := srv.Enroll("seed-dev", m); err != nil {
+	if _, err := srv.Enroll(ctx, "seed-dev", m); err != nil {
 		f.Fatal(err)
 	}
 	var sb strings.Builder
@@ -41,7 +41,7 @@ func FuzzLoadState(f *testing.F) {
 			if _, err := target.CurrentKey(id); err != nil {
 				t.Fatalf("loaded client %q has no key: %v", id, err)
 			}
-			_, _ = target.IssueChallenge(id)
+			_, _ = target.IssueChallenge(ctx, id)
 		}
 	})
 }

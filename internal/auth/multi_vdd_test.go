@@ -10,7 +10,7 @@ func TestMultiVddChallengeSpansPlanes(t *testing.T) {
 	m := testMap(t, 16384, 100, 31, 660, 680, 700)
 	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
 
-	ch, err := srv.IssueChallengeMulti("dev-1")
+	ch, err := srv.IssueChallengeMulti(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func TestMultiVddChallengeSpansPlanes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := srv.Verify("dev-1", ch.ID, answer)
+	ok, err := srv.Verify(ctx, "dev-1", ch.ID, answer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestMultiVddChallengeSpansPlanes(t *testing.T) {
 func TestMultiVddSkipsReservedPlanes(t *testing.T) {
 	m := testMap(t, 16384, 100, 32, 660, 680, 700)
 	srv, _ := enrolledPair(t, DefaultConfig(), m, m, 700)
-	ch, err := srv.IssueChallengeMulti("dev-1")
+	ch, err := srv.IssueChallengeMulti(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestMultiVddImpostorStillRejected(t *testing.T) {
 	key, _ := srv.CurrentKey("dev-1")
 	fake := NewResponder("dev-1", NewSimDevice(impostor), key)
 
-	ch, err := srv.IssueChallengeMulti("dev-1")
+	ch, err := srv.IssueChallengeMulti(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestMultiVddImpostorStillRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := srv.Verify("dev-1", ch.ID, answer); ok {
+	if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); ok {
 		t.Fatal("impostor accepted on multi-Vdd challenge")
 	}
 }
@@ -72,7 +72,7 @@ func TestMultiVddBurnsPairsPerPlane(t *testing.T) {
 	srv, _ := enrolledPair(t, cfg, m, m)
 	seen := map[[3]int]bool{}
 	for round := 0; round < 10; round++ {
-		ch, err := srv.IssueChallengeMulti("dev-1")
+		ch, err := srv.IssueChallengeMulti(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func TestMultiVddBurnsPairsPerPlane(t *testing.T) {
 
 func TestMultiVddUnknownClient(t *testing.T) {
 	srv := NewServer(DefaultConfig(), 1)
-	if _, err := srv.IssueChallengeMulti("ghost"); err == nil {
+	if _, err := srv.IssueChallengeMulti(ctx, "ghost"); err == nil {
 		t.Fatal("unknown client accepted")
 	}
 }

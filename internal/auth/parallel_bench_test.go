@@ -1,0 +1,76 @@
+package auth
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/crp"
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+// benchFleet enrolls n independent clients, each with its own error
+// map, mirroring a server fronting a device fleet.
+func benchFleet(b *testing.B, srv *Server, n int) []ClientID {
+	b.Helper()
+	g := errormap.NewGeometry(16384)
+	r := rng.New(4242)
+	ids := make([]ClientID, n)
+	for i := range ids {
+		m := errormap.NewMap(g)
+		m.AddPlane(680, errormap.RandomPlane(g, 120, r))
+		id := ClientID(fmt.Sprintf("bench-dev-%d", i))
+		if _, err := srv.Enroll(ctx, id, m); err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// BenchmarkVerifyParallel measures issue+verify throughput across many
+// enrolled clients under b.RunParallel. Clients are embarrassingly
+// independent — per-client state never crosses records — so this is the
+// workload that exposes serialization in the server's locking: a global
+// mutex flatlines as goroutines are added, a sharded store scales.
+//
+// The response is not a genuine device answer (building one per
+// iteration would benchmark the simulator, not the server); a
+// wrong-length-safe zero response exercises the identical verify path
+// (pending lookup, consume, Hamming distance, threshold) and ends in a
+// rejection, which costs the same as an acceptance.
+func BenchmarkVerifyParallel(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 64
+	srv := NewServer(cfg, 99)
+	ids := benchFleet(b, srv, 64)
+
+	// Warm the per-client logical-field caches so the steady state is
+	// measured, not the one-time distance transforms.
+	for _, id := range ids {
+		ch, err := srv.IssueChallenge(ctx, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.Verify(ctx, id, ch.ID, crp.NewResponse(len(ch.Bits))); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var ctr int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&ctr, 1)
+			id := ids[int(i)%len(ids)]
+			ch, err := srv.IssueChallenge(ctx, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Verify(ctx, id, ch.ID, crp.NewResponse(len(ch.Bits))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

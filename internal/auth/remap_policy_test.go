@@ -13,12 +13,12 @@ func TestNeedsRemapAfterBudget(t *testing.T) {
 		t.Fatal("fresh client already advised to remap")
 	}
 	for i := 0; i < 4; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
 		answer, _ := resp.Respond(ch)
-		if ok, _ := srv.Verify("dev-1", ch.ID, answer); !ok {
+		if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
 			t.Fatal("genuine client rejected")
 		}
 	}
@@ -27,14 +27,14 @@ func TestNeedsRemapAfterBudget(t *testing.T) {
 	}
 
 	// Rotating the key resets the budget.
-	req, err := srv.BeginRemap("dev-1")
+	req, err := srv.BeginRemap(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := resp.HandleRemap(req); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.CompleteRemap("dev-1", true); err != nil {
+	if err := srv.CompleteRemap(ctx, "dev-1", true); err != nil {
 		t.Fatal(err)
 	}
 	if srv.NeedsRemap("dev-1") {
@@ -49,7 +49,7 @@ func TestNeedsRemapDisabled(t *testing.T) {
 	m := testMap(t, 4096, 50, 52, 680)
 	srv, _ := enrolledPair(t, cfg, m, m)
 	for i := 0; i < 3; i++ {
-		if _, err := srv.IssueChallenge("dev-1"); err != nil {
+		if _, err := srv.IssueChallenge(ctx, "dev-1"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,7 +70,7 @@ func TestWireAutoRemapOnAdvice(t *testing.T) {
 	cfg.ChallengeBits = 64
 	cfg.RemapAfterCRPs = 100
 	srv := NewServer(cfg, 7)
-	key, err := srv.Enroll("tcp-dev", g, 700)
+	key, err := srv.Enroll(ctx, "tcp-dev", g, 700)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestWireAutoRemapOnAdvice(t *testing.T) {
 
 	addr, stop := startWire(t, srv)
 	defer stop()
-	wc, err := Dial(addr)
+	wc, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestWireAutoRemapOnAdvice(t *testing.T) {
 	// First transaction spends 64 of 100; second crosses the budget
 	// and must auto-rotate.
 	for i := 0; i < 2; i++ {
-		ok, err := wc.Authenticate(resp)
+		ok, err := wc.Authenticate(ctx, resp)
 		if err != nil || !ok {
 			t.Fatalf("round %d: ok=%v err=%v", i, ok, err)
 		}
@@ -104,7 +104,7 @@ func TestWireAutoRemapOnAdvice(t *testing.T) {
 		t.Fatal("advice still standing after rotation")
 	}
 	// And the rotated key authenticates.
-	ok, err := wc.Authenticate(resp)
+	ok, err := wc.Authenticate(ctx, resp)
 	if err != nil || !ok {
 		t.Fatalf("post-rotation: ok=%v err=%v", ok, err)
 	}

@@ -10,34 +10,44 @@
 // remap key hides the physical error layout from eavesdroppers and can
 // be rotated in the field through the helper-data key-update protocol
 // (Section 4.5).
+//
+// # Layering
+//
+// The package is split into focused modules:
+//
+//   - server.go      — Server core: config, construction, shared helpers
+//   - clientstore.go — ClientStore interface and the sharded in-memory store
+//   - enroll.go      — enrollment and client lookup
+//   - challenge.go   — challenge generation (single-, fixed-, and multi-Vdd)
+//   - verify.go      — response verification and thresholding
+//   - remap.go       — the Section 4.5 key-update protocol
+//   - stats.go       — race-safe service counters
+//   - session.go     — session-key derivation on top of verification
+//   - errors.go      — the typed *AuthError taxonomy and wire codes
+//   - store.go       — enrollment-database persistence
+//   - wire.go        — TCP/JSON transport (server and client)
+//
+// # Concurrency
+//
+// Clients are embarrassingly independent: per-client state never
+// crosses records. The Server therefore keeps no global mutable lock;
+// records live in a sharded ClientStore and carry their own locks, so
+// challenge issue/verify for different clients proceed in parallel.
+// Every public mutating method takes a context.Context and fails fast
+// with a CodeCanceled *AuthError once the context is done.
 package auth
 
 import (
-	"errors"
-	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/crp"
-	"repro/internal/ecc"
 	"repro/internal/errormap"
 	"repro/internal/mapkey"
 	"repro/internal/rng"
-	"repro/internal/stats"
 )
 
 // ClientID names an enrolled device.
 type ClientID string
-
-// Errors returned by the server.
-var (
-	ErrUnknownClient    = errors.New("auth: unknown client")
-	ErrAlreadyEnrolled  = errors.New("auth: client already enrolled")
-	ErrUnknownChallenge = errors.New("auth: unknown or expired challenge")
-	ErrExhausted        = errors.New("auth: challenge space exhausted for this voltage")
-	ErrNoRemapPending   = errors.New("auth: no remap in progress")
-	ErrBadPlane         = errors.New("auth: voltage plane not enrolled")
-)
 
 // Config tunes the server.
 type Config struct {
@@ -56,6 +66,11 @@ type Config struct {
 	// model-building mitigation ("regenerate the logical map after a
 	// predefined number of CRPs"). 0 disables the advice.
 	RemapAfterCRPs int
+	// StoreShards sets the shard count of the in-memory client store;
+	// 0 uses the default. More shards reduce map-lock collisions for
+	// very large fleets; per-client operations are independent at any
+	// setting.
+	StoreShards int
 }
 
 // DefaultConfig mirrors the paper's operating point: 256-bit CRPs and
@@ -72,44 +87,25 @@ func DefaultConfig() Config {
 	}
 }
 
-// pendingChallenge is an issued, not-yet-verified challenge.
-type pendingChallenge struct {
-	ch       *crp.Challenge
-	expected crp.Response
-}
-
-// remapState tracks an in-flight key update.
-type remapState struct {
-	newKey mapkey.Key
-}
-
-// clientRecord is the per-client enrollment state.
-type clientRecord struct {
-	physMap  *errormap.Map
-	key      mapkey.Key
-	reserved map[int]bool
-	registry *crp.Registry
-	pending  map[uint64]pendingChallenge
-	nextID   uint64
-	remap    *remapState
-	// crpsSinceRemap counts challenge bits issued under the current
-	// key, driving the rotation advice.
-	crpsSinceRemap int
-
-	// logicalFields caches logical-plane distance fields per voltage;
-	// invalidated on key rotation.
-	logicalFields map[int]*errormap.DistanceField
-}
-
-// Server is the authenticating server.
+// Server is the authenticating server: configuration, the client
+// store, and the challenge-generation randomness source. All methods
+// are safe for concurrent use.
 type Server struct {
-	mu      sync.Mutex
-	cfg     Config
-	rand    *rng.Rand
-	clients map[ClientID]*clientRecord
+	cfg   Config
+	store ClientStore
 
-	// stats
-	issued, accepted, rejected int
+	// randMu guards rand: the deterministic stream is shared so that
+	// single-threaded runs reproduce the seed exactly; draws are short
+	// and never held across per-record work.
+	randMu sync.Mutex
+	rand   *rng.Rand
+
+	// thresholds caches EqualErrorRate results per response length
+	// (int → int); the binomial scan is O(n) with Lgamma per step and
+	// would otherwise dominate Verify.
+	thresholds sync.Map
+
+	stats serverCounters
 }
 
 // NewServer creates a server. seed drives challenge generation and
@@ -123,110 +119,26 @@ func NewServer(cfg Config, seed uint64) *Server {
 		cfg.RemapKeyBits = 128
 	}
 	return &Server{
-		cfg:     cfg,
-		rand:    rng.New(seed),
-		clients: make(map[ClientID]*clientRecord),
+		cfg:   cfg,
+		rand:  rng.New(seed),
+		store: newShardedStore(cfg.StoreShards),
 	}
 }
 
-// Enroll registers a client from its post-manufacturing error map
-// characterisation and returns the initial remap key that must be
-// provisioned into the device. reservedVdds marks voltage planes of
-// the map held back for key-update transactions (Section 4.5); they
-// are never used for ordinary challenges. Reserved levels are
-// per-client because every chip calibrates its own voltage floor.
-func (s *Server) Enroll(id ClientID, physMap *errormap.Map, reservedVdds ...int) (mapkey.Key, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.clients[id]; dup {
-		return mapkey.Key{}, fmt.Errorf("%w: %q", ErrAlreadyEnrolled, id)
-	}
-	if len(physMap.Voltages()) == 0 {
-		return mapkey.Key{}, errors.New("auth: enrollment map has no voltage planes")
-	}
-	var keyMaterial [40]byte
-	for i := 0; i < len(keyMaterial); i += 8 {
-		v := s.rand.Uint64()
-		for j := 0; j < 8; j++ {
-			keyMaterial[i+j] = byte(v >> (8 * j))
-		}
-	}
-	reserved := make(map[int]bool, len(reservedVdds))
-	for _, v := range reservedVdds {
-		if physMap.Plane(v) == nil {
-			return mapkey.Key{}, fmt.Errorf("%w: reserved %d mV", ErrBadPlane, v)
-		}
-		reserved[v] = true
-	}
-	if len(reserved) == len(physMap.Voltages()) {
-		return mapkey.Key{}, errors.New("auth: all planes reserved, none left for authentication")
-	}
-	key := mapkey.KeyFromBytes(keyMaterial[:], "enroll/"+string(id))
-	s.clients[id] = &clientRecord{
-		physMap:       physMap.Clone(),
-		key:           key,
-		reserved:      reserved,
-		registry:      crp.NewRegistry(),
-		pending:       make(map[uint64]pendingChallenge),
-		logicalFields: make(map[int]*errormap.DistanceField),
-	}
-	return key, nil
+// randIntn draws from the shared deterministic stream.
+func (s *Server) randIntn(n int) int {
+	s.randMu.Lock()
+	v := s.rand.Intn(n)
+	s.randMu.Unlock()
+	return v
 }
 
-// ClientIDs lists the enrolled clients in sorted order.
-func (s *Server) ClientIDs() []ClientID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]ClientID, 0, len(s.clients))
-	for id := range s.clients {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Enrolled reports whether the client exists.
-func (s *Server) Enrolled(id ClientID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.clients[id]
-	return ok
-}
-
-// Stats reports issue/accept/reject counters.
-func (s *Server) Stats() (issued, accepted, rejected int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.issued, s.accepted, s.rejected
-}
-
-// authVoltages lists the client's planes usable for ordinary
-// challenges.
-func (s *Server) authVoltages(rec *clientRecord) []int {
-	var out []int
-	for _, v := range rec.physMap.Voltages() {
-		if !rec.reserved[v] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// logicalField returns (building and caching as needed) the distance
-// field of the client's logical plane at the voltage under the current
-// key.
-func (s *Server) logicalField(rec *clientRecord, vddMV int) (*errormap.DistanceField, error) {
-	if f, ok := rec.logicalFields[vddMV]; ok {
-		return f, nil
-	}
-	phys := rec.physMap.Plane(vddMV)
-	if phys == nil {
-		return nil, fmt.Errorf("%w: %d mV", ErrBadPlane, vddMV)
-	}
-	logical := LogicalPlane(phys, rec.key, vddMV)
-	f := logical.DistanceTransform()
-	rec.logicalFields[vddMV] = f
-	return f, nil
+// randUint64 draws from the shared deterministic stream.
+func (s *Server) randUint64() uint64 {
+	s.randMu.Lock()
+	v := s.rand.Uint64()
+	s.randMu.Unlock()
+	return v
 }
 
 // LogicalPlane permutes a physical error plane into the keyed logical
@@ -242,160 +154,6 @@ func LogicalPlane(phys *errormap.Plane, key mapkey.Key, vddMV int) *errormap.Pla
 	return logical
 }
 
-// IssueChallenge draws a fresh challenge for the client at a random
-// non-reserved voltage plane, burning the underlying physical pairs in
-// the no-reuse registry. The returned challenge uses logical
-// coordinates and a server-assigned ID the client must echo.
-func (s *Server) IssueChallenge(id ClientID) (*crp.Challenge, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	vs := s.authVoltages(rec)
-	if len(vs) == 0 {
-		return nil, errors.New("auth: no non-reserved voltage planes enrolled")
-	}
-	vdd := vs[s.rand.Intn(len(vs))]
-	return s.issueAt(rec, vdd)
-}
-
-// IssueChallengeAt issues at a specific enrolled, non-reserved
-// voltage.
-func (s *Server) IssueChallengeAt(id ClientID, vddMV int) (*crp.Challenge, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	if rec.reserved[vddMV] {
-		return nil, fmt.Errorf("auth: %d mV is reserved for key updates", vddMV)
-	}
-	return s.issueAt(rec, vddMV)
-}
-
-func (s *Server) issueAt(rec *clientRecord, vddMV int) (*crp.Challenge, error) {
-	vdds := make([]int, s.cfg.ChallengeBits)
-	for i := range vdds {
-		vdds[i] = vddMV
-	}
-	return s.issueWithVdds(rec, vdds)
-}
-
-// issueWithVdds generates one challenge whose bit i runs at vdds[i].
-// Permutations and distance fields are resolved per distinct voltage.
-func (s *Server) issueWithVdds(rec *clientRecord, vdds []int) (*crp.Challenge, error) {
-	g := rec.physMap.Geometry()
-	fields := map[int]*errormap.DistanceField{}
-	perms := map[int]*mapkey.Permutation{}
-	for _, v := range vdds {
-		if _, ok := fields[v]; ok {
-			continue
-		}
-		field, err := s.logicalField(rec, v)
-		if err != nil {
-			return nil, err
-		}
-		fields[v] = field
-		perms[v] = mapkey.NewPermutation(mapkey.PlaneKey(rec.key, v), g.Lines)
-	}
-
-	ch := &crp.Challenge{ID: rec.nextID, Bits: make([]crp.PairBit, len(vdds))}
-	physBits := make([]crp.PairBit, len(vdds))
-	const maxRetries = 64
-	for i := range ch.Bits {
-		vdd := vdds[i]
-		perm := perms[vdd]
-		ok := false
-		for attempt := 0; attempt < maxRetries; attempt++ {
-			a := s.rand.Intn(g.Lines)
-			b := s.rand.Intn(g.Lines)
-			if a == b {
-				continue
-			}
-			// The registry is canonical over *physical* pairs so that
-			// key rotation cannot resurrect consumed challenges.
-			pa, pb := perm.Unmap(a), perm.Unmap(b)
-			phys := crp.PairBit{A: pa, B: pb, VddMV: vdd}
-			if rec.registry.IsUsed(phys) {
-				continue
-			}
-			dup := false
-			for j := 0; j < i; j++ {
-				if samePair(physBits[j], phys) {
-					dup = true
-					break
-				}
-			}
-			if dup {
-				continue
-			}
-			ch.Bits[i] = crp.PairBit{A: a, B: b, VddMV: vdd}
-			physBits[i] = phys
-			ok = true
-			break
-		}
-		if !ok {
-			return nil, ErrExhausted
-		}
-	}
-	if !rec.registry.Consume(&crp.Challenge{Bits: physBits}) {
-		return nil, ErrExhausted
-	}
-
-	// Precompute the expected response on the logical planes.
-	expected := crp.NewResponse(len(ch.Bits))
-	for i, b := range ch.Bits {
-		field := fields[b.VddMV]
-		da, fa := field.DistLine(b.A), field != nil
-		db, fb := field.DistLine(b.B), field != nil
-		expected.SetBit(i, crp.ResponseBit(da, fa, db, fb))
-	}
-	rec.pending[ch.ID] = pendingChallenge{ch: ch, expected: expected}
-	rec.nextID++
-	rec.crpsSinceRemap += len(ch.Bits)
-	s.issued++
-	return cloneChallenge(ch), nil
-}
-
-// NeedsRemap reports whether the client has consumed its CRP budget
-// under the current key and should rotate (Section 6.7 mitigation).
-func (s *Server) NeedsRemap(id ClientID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok || s.cfg.RemapAfterCRPs <= 0 {
-		return false
-	}
-	return rec.crpsSinceRemap >= s.cfg.RemapAfterCRPs
-}
-
-// IssueChallengeMulti issues a challenge whose bits are spread evenly
-// across all of the client's non-reserved voltage planes — the paper's
-// multi-Vdd extension (Section 4.3 leaves the optimisation to future
-// work; the client minimises rail transitions by answering bits in
-// descending-voltage order). More planes per challenge multiply the
-// CRP space and force an attacker to model every plane at once.
-func (s *Server) IssueChallengeMulti(id ClientID) (*crp.Challenge, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	vs := s.authVoltages(rec)
-	if len(vs) == 0 {
-		return nil, errors.New("auth: no non-reserved voltage planes enrolled")
-	}
-	vdds := make([]int, s.cfg.ChallengeBits)
-	for i := range vdds {
-		vdds[i] = vs[i%len(vs)]
-	}
-	return s.issueWithVdds(rec, vdds)
-}
-
 func samePair(a, b crp.PairBit) bool {
 	if a.VddMV != b.VddMV {
 		return false
@@ -409,142 +167,9 @@ func cloneChallenge(c *crp.Challenge) *crp.Challenge {
 	return out
 }
 
-// Threshold returns the acceptance threshold (max tolerated differing
-// bits) for an n-bit response under the configured binomial model.
-func (s *Server) Threshold(n int) int {
-	t, _, _ := stats.EqualErrorRate(n, s.cfg.PIntra, s.cfg.PInter)
-	return t
-}
-
-// Verify checks a client's response against the pending challenge.
-// The challenge is consumed either way — a failed attempt burns it,
-// exactly like a wrong password attempt (and the no-reuse registry
-// already holds its pairs).
-func (s *Server) Verify(id ClientID, challengeID uint64, resp crp.Response) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return false, fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	pend, ok := rec.pending[challengeID]
-	if !ok {
-		return false, ErrUnknownChallenge
-	}
-	delete(rec.pending, challengeID)
-	if resp.N != pend.expected.N {
-		s.rejected++
-		return false, fmt.Errorf("auth: response is %d bits, want %d", resp.N, pend.expected.N)
-	}
-	d := resp.HammingDistance(pend.expected)
-	if d <= s.Threshold(resp.N) {
-		s.accepted++
-		return true, nil
-	}
-	s.rejected++
-	return false, nil
-}
-
-// --- Adaptive error remapping (Section 4.5) -------------------------------
-
-// RemapRequest is the server→client key-update transaction.
-type RemapRequest struct {
-	Challenge *crp.Challenge `json:"challenge"`
-	Helper    ecc.HelperData `json:"helper"`
-}
-
-// BeginRemap starts a key update for the client using a reserved
-// voltage plane. The challenge uses the *default* (identity) mapping,
-// as the new key cannot be derived with a mapping that itself depends
-// on it. The server computes the expected response, draws a fresh
-// secret, and returns helper data that lets the client reproduce the
-// secret despite response noise. The new key is held pending until
-// CompleteRemap.
-func (s *Server) BeginRemap(id ClientID) (*RemapRequest, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	var reserved []int
-	for _, v := range rec.physMap.Voltages() {
-		if rec.reserved[v] {
-			reserved = append(reserved, v)
-		}
-	}
-	if len(reserved) == 0 {
-		return nil, errors.New("auth: client has no reserved voltage planes")
-	}
-	vdd := reserved[s.rand.Intn(len(reserved))]
-	phys := rec.physMap.Plane(vdd)
-	g := rec.physMap.Geometry()
-
-	// Response bits needed: keyBits * repetition factor.
-	respBits := s.cfg.RemapKeyBits * ecc.Repetition
-	ch := crp.Generate(g, respBits, vdd, s.rand)
-	ch.ID = rec.nextID
-	rec.nextID++
-
-	field := phys.DistanceTransform()
-	expected := crp.NewResponse(len(ch.Bits))
-	for i, b := range ch.Bits {
-		da, fa := nearDist(field, b.A)
-		db, fb := nearDist(field, b.B)
-		expected.SetBit(i, crp.ResponseBit(da, fa, db, fb))
-	}
-
-	secret := make([]byte, (s.cfg.RemapKeyBits+7)/8)
-	for i := range secret {
-		secret[i] = byte(s.rand.Uint64())
-	}
-	helper, err := ecc.GenerateHelper(expected.Bits, s.cfg.RemapKeyBits, secret)
-	if err != nil {
-		return nil, err
-	}
-	strengthened := ecc.StrengthenKey(secret, "remap")
-	rec.remap = &remapState{newKey: mapkey.KeyFromBytes(strengthened[:], "remap/"+string(id))}
-	return &RemapRequest{Challenge: ch, Helper: helper}, nil
-}
-
 func nearDist(f *errormap.DistanceField, line int) (int, bool) {
 	if f == nil {
 		return 0, false
 	}
 	return f.DistLine(line), true
-}
-
-// CompleteRemap commits the pending key rotation after the client
-// acknowledges success (the client never discloses the response
-// itself). Logical-plane caches are invalidated.
-func (s *Server) CompleteRemap(id ClientID, success bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	if rec.remap == nil {
-		return ErrNoRemapPending
-	}
-	if success {
-		rec.key = rec.remap.newKey
-		rec.logicalFields = make(map[int]*errormap.DistanceField)
-		rec.crpsSinceRemap = 0
-	}
-	rec.remap = nil
-	return nil
-}
-
-// CurrentKey exposes the client's current remap key; the enrollment
-// flow uses it to provision the device, and tests use it to verify
-// rotation.
-func (s *Server) CurrentKey(id ClientID) (mapkey.Key, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.clients[id]
-	if !ok {
-		return mapkey.Key{}, fmt.Errorf("%w: %q", ErrUnknownClient, id)
-	}
-	return rec.key, nil
 }

@@ -1,10 +1,10 @@
 package auth
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
-	"fmt"
 
 	"repro/internal/crp"
 )
@@ -45,30 +45,34 @@ func SessionKey(key [32]byte, ch *crp.Challenge) [32]byte {
 
 // VerifySession verifies like Verify and, on acceptance, returns the
 // derived session key for the transaction.
-func (s *Server) VerifySession(id ClientID, challengeID uint64, resp crp.Response) (bool, [32]byte, error) {
-	s.mu.Lock()
-	rec, ok := s.clients[id]
-	var pend pendingChallenge
-	if ok {
-		pend, ok = rec.pending[challengeID]
+func (s *Server) VerifySession(ctx context.Context, id ClientID, challengeID uint64, resp crp.Response) (bool, [32]byte, error) {
+	if err := ctxErr(ctx, id); err != nil {
+		return false, [32]byte{}, err
 	}
-	key := [32]byte{}
-	if ok {
-		key = rec.key
-	}
-	s.mu.Unlock()
+	rec, ok := s.store.Get(id)
 	if !ok {
-		// Fall through to Verify for the canonical error.
-		accepted, err := s.Verify(id, challengeID, resp)
-		if err == nil {
-			err = fmt.Errorf("auth: session state lost for challenge %d", challengeID)
-		}
-		return accepted, [32]byte{}, err
+		return false, [32]byte{}, authErrf(CodeUnknownClient, id, "%w: %q", ErrUnknownClient, id)
 	}
-	accepted, err := s.Verify(id, challengeID, resp)
-	if err != nil || !accepted {
-		return accepted, [32]byte{}, err
+	rec.mu.Lock()
+	pend, ok := rec.pending[challengeID]
+	if !ok {
+		rec.mu.Unlock()
+		return false, [32]byte{}, authErr(CodeUnknownChallenge, id, ErrUnknownChallenge)
 	}
+	delete(rec.pending, challengeID)
+	key := rec.key
+	rec.mu.Unlock()
+	if resp.N != pend.expected.N {
+		s.stats.rejected.Add(1)
+		return false, [32]byte{}, authErrf(CodeInvalidRequest, id, "auth: response is %d bits, want %d", resp.N, pend.expected.N)
+	}
+	if resp.HammingDistance(pend.expected) > s.Threshold(resp.N) {
+		s.stats.rejected.Add(1)
+		return false, [32]byte{}, nil
+	}
+	s.stats.accepted.Add(1)
+	// Derive outside the record lock: HMAC over the whole challenge is
+	// the expensive half of the transaction.
 	return true, SessionKey(key, pend.ch), nil
 }
 

@@ -11,7 +11,7 @@ func TestSessionKeyAgreement(t *testing.T) {
 	m := testMap(t, 16384, 100, 41, 680)
 	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
 
-	ch, err := srv.IssueChallenge("dev-1")
+	ch, err := srv.IssueChallenge(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestSessionKeyAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, srvKey, err := srv.VerifySession("dev-1", ch.ID, answer)
+	ok, srvKey, err := srv.VerifySession(ctx, "dev-1", ch.ID, answer)
 	if err != nil || !ok {
 		t.Fatalf("verify: ok=%v err=%v", ok, err)
 	}
@@ -37,12 +37,12 @@ func TestSessionKeysUniquePerTransaction(t *testing.T) {
 	srv, resp := enrolledPair(t, DefaultConfig(), m, m)
 	seen := map[[32]byte]bool{}
 	for i := 0; i < 5; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
 		answer, _ := resp.Respond(ch)
-		ok, key, err := srv.VerifySession("dev-1", ch.ID, answer)
+		ok, key, err := srv.VerifySession(ctx, "dev-1", ch.ID, answer)
 		if err != nil || !ok {
 			t.Fatalf("round %d: ok=%v err=%v", i, ok, err)
 		}
@@ -60,9 +60,9 @@ func TestNoSessionKeyOnRejection(t *testing.T) {
 	key, _ := srv.CurrentKey("dev-1")
 	fake := NewResponder("dev-1", NewSimDevice(impostor), key)
 
-	ch, _ := srv.IssueChallenge("dev-1")
+	ch, _ := srv.IssueChallenge(ctx, "dev-1")
 	answer, _ := fake.Respond(ch)
-	ok, sess, err := srv.VerifySession("dev-1", ch.ID, answer)
+	ok, sess, err := srv.VerifySession(ctx, "dev-1", ch.ID, answer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestSessionKeyNeedsRemapKey(t *testing.T) {
 func TestVerifySessionUnknownChallenge(t *testing.T) {
 	m := testMap(t, 4096, 50, 44, 680)
 	srv, _ := enrolledPair(t, DefaultConfig(), m, m)
-	ok, sess, err := srv.VerifySession("dev-1", 999, crp.NewResponse(256))
+	ok, sess, err := srv.VerifySession(ctx, "dev-1", 999, crp.NewResponse(256))
 	if ok || err == nil || sess != ([32]byte{}) {
 		t.Fatalf("unknown challenge: ok=%v sess=%x err=%v", ok, sess[:4], err)
 	}

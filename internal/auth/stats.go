@@ -1,0 +1,33 @@
+package auth
+
+import "sync/atomic"
+
+// serverCounters are the service counters, updated lock-free on the
+// hot paths so stats never serialise issue/verify traffic.
+type serverCounters struct {
+	issued   atomic.Int64
+	accepted atomic.Int64
+	rejected atomic.Int64
+}
+
+// ServerStats is a point-in-time snapshot of the service counters.
+// Counters are read individually without a global lock, so a snapshot
+// taken during concurrent traffic may be torn by a few in-flight
+// operations; each counter is itself exact.
+type ServerStats struct {
+	Issued   int64 `json:"issued"`
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	Clients  int   `json:"clients"`
+}
+
+// Stats reports issue/accept/reject counters and the enrolled-client
+// count.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Issued:   s.stats.issued.Load(),
+		Accepted: s.stats.accepted.Load(),
+		Rejected: s.stats.rejected.Load(),
+		Clients:  s.store.Len(),
+	}
+}

@@ -19,7 +19,7 @@ import (
 // live shared secrets, and the consumed-pair registry is a security
 // invariant — losing it would let old challenges be reissued and
 // replayed. SaveState/LoadState serialize exactly those three things
-// per client.
+// per client, plus the per-key CRP budget that drives remap advice.
 //
 // Pending (issued-but-unverified) challenges and in-flight key updates
 // are deliberately transient: on restart an interrupted transaction
@@ -27,7 +27,16 @@ import (
 // underlying pairs were burned at issue time.
 
 // storeVersion guards the on-disk format.
-const storeVersion = 1
+//
+// Version history:
+//
+//	1 — initial format
+//	2 — adds crps_since_remap; without it a restart silently reset the
+//	    rotation budget, so a server bounced often enough would never
+//	    advise a remap (the Section 6.7 model-building window reopened
+//	    on every restart). v1 blobs still load, with the counter
+//	    conservatively zeroed.
+const storeVersion = 2
 
 type storedClient struct {
 	ID       string        `json:"id"`
@@ -36,6 +45,8 @@ type storedClient struct {
 	Reserved []int         `json:"reserved,omitempty"`
 	Used     []crp.PairBit `json:"used_pairs,omitempty"`
 	NextID   uint64        `json:"next_challenge_id"`
+	// CRPsSinceRemap persists the rotation budget (v2+).
+	CRPsSinceRemap int `json:"crps_since_remap,omitempty"`
 }
 
 type storedState struct {
@@ -43,21 +54,21 @@ type storedState struct {
 	Clients []storedClient `json:"clients"`
 }
 
-// SaveState writes the full enrollment database to w as JSON.
+// SaveState writes the full enrollment database to w as JSON. The
+// snapshot is per-record consistent: records are locked one at a time,
+// so a save concurrent with traffic captures each client at some point
+// during the save, not one global instant.
 func (s *Server) SaveState(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	st := storedState{Version: storeVersion}
-	ids := make([]string, 0, len(s.clients))
-	for id := range s.clients {
-		ids = append(ids, string(id))
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		rec := s.clients[ClientID(id)]
+	for _, id := range s.store.IDs() {
+		rec, ok := s.store.Get(id)
+		if !ok {
+			continue // deleted mid-save
+		}
+		rec.mu.Lock()
 		mb, err := rec.physMap.MarshalBinary()
 		if err != nil {
+			rec.mu.Unlock()
 			return fmt.Errorf("auth: marshal map for %q: %w", id, err)
 		}
 		var reserved []int
@@ -66,6 +77,16 @@ func (s *Server) SaveState(w io.Writer) error {
 		}
 		sort.Ints(reserved)
 		used := rec.registry.Export()
+		sc := storedClient{
+			ID:             string(id),
+			MapB64:         base64.StdEncoding.EncodeToString(mb),
+			KeyHex:         hex.EncodeToString(rec.key[:]),
+			Reserved:       reserved,
+			Used:           used,
+			NextID:         rec.nextID,
+			CRPsSinceRemap: rec.crpsSinceRemap,
+		}
+		rec.mu.Unlock()
 		sort.Slice(used, func(i, j int) bool {
 			if used[i].VddMV != used[j].VddMV {
 				return used[i].VddMV < used[j].VddMV
@@ -75,14 +96,7 @@ func (s *Server) SaveState(w io.Writer) error {
 			}
 			return used[i].B < used[j].B
 		})
-		st.Clients = append(st.Clients, storedClient{
-			ID:       id,
-			MapB64:   base64.StdEncoding.EncodeToString(mb),
-			KeyHex:   hex.EncodeToString(rec.key[:]),
-			Reserved: reserved,
-			Used:     used,
-			NextID:   rec.nextID,
-		})
+		st.Clients = append(st.Clients, sc)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -90,12 +104,14 @@ func (s *Server) SaveState(w io.Writer) error {
 }
 
 // LoadState replaces the enrollment database with the one read from r.
+// Both the current version and v1 blobs are accepted; v1 predates the
+// persisted rotation budget, which loads as zero.
 func (s *Server) LoadState(r io.Reader) error {
 	var st storedState
 	if err := json.NewDecoder(r).Decode(&st); err != nil {
 		return fmt.Errorf("auth: decode state: %w", err)
 	}
-	if st.Version != storeVersion {
+	if st.Version != storeVersion && st.Version != 1 {
 		return fmt.Errorf("auth: unsupported state version %d", st.Version)
 	}
 	clients := make(map[ClientID]*clientRecord, len(st.Clients))
@@ -127,18 +143,12 @@ func (s *Server) LoadState(r io.Reader) error {
 		if _, dup := clients[ClientID(sc.ID)]; dup {
 			return fmt.Errorf("auth: duplicate client %q in state", sc.ID)
 		}
-		clients[ClientID(sc.ID)] = &clientRecord{
-			physMap:       m,
-			key:           key,
-			reserved:      reserved,
-			registry:      crp.RestoreRegistry(sc.Used),
-			pending:       make(map[uint64]pendingChallenge),
-			nextID:        sc.NextID,
-			logicalFields: make(map[int]*errormap.DistanceField),
-		}
+		rec := newClientRecord(m, key, reserved)
+		rec.registry = crp.RestoreRegistry(sc.Used)
+		rec.nextID = sc.NextID
+		rec.crpsSinceRemap = sc.CRPsSinceRemap
+		clients[ClientID(sc.ID)] = rec
 	}
-	s.mu.Lock()
-	s.clients = clients
-	s.mu.Unlock()
+	s.store.ReplaceAll(clients)
 	return nil
 }

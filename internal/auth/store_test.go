@@ -2,6 +2,7 @@ package auth
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -12,12 +13,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 	// Burn some pairs so the registry has content.
 	for i := 0; i < 3; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
 		answer, _ := resp.Respond(ch)
-		if ok, _ := srv.Verify("dev-1", ch.ID, answer); !ok {
+		if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
 			t.Fatal("setup auth failed")
 		}
 	}
@@ -35,7 +36,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal("client lost across save/load")
 	}
 	// The key survives: the existing responder still authenticates.
-	ch, err := restored.IssueChallenge("dev-1")
+	ch, err := restored.IssueChallenge(ctx, "dev-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +44,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := restored.Verify("dev-1", ch.ID, answer); !ok {
+	if ok, _ := restored.Verify(ctx, "dev-1", ch.ID, answer); !ok {
 		t.Fatal("restored server rejected the genuine client")
 	}
 	// Reserved plane survives.
-	if _, err := restored.IssueChallengeAt("dev-1", 700); err == nil {
+	if _, err := restored.IssueChallengeAt(ctx, "dev-1", 700); err == nil {
 		t.Fatal("restored server forgot the reserved plane")
 	}
 }
@@ -62,7 +63,7 @@ func TestRegistrySurvivesRestart(t *testing.T) {
 
 	burned := map[[2]int]bool{}
 	for i := 0; i < 4; i++ {
-		ch, err := srv.IssueChallenge("dev-1")
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func TestRegistrySurvivesRestart(t *testing.T) {
 	}
 	// Newly issued pairs must avoid everything burned pre-restart.
 	for i := 0; i < 4; i++ {
-		ch, err := restored.IssueChallenge("dev-1")
+		ch, err := restored.IssueChallenge(ctx, "dev-1")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,6 +98,105 @@ func TestRegistrySurvivesRestart(t *testing.T) {
 				t.Fatalf("pair %v reissued after restart", k)
 			}
 		}
+	}
+}
+
+// The rotation budget must survive a restart (v2). Before v2, a
+// bounced server forgot how many CRPs the current key had served and
+// never advised a remap.
+func TestCRPBudgetSurvivesRestart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 32
+	cfg.RemapAfterCRPs = 3
+	m := testMap(t, 1024, 30, 25, 680, 700)
+	srv, resp := enrolledPair(t, cfg, m, m, 700)
+
+	for i := 0; i < cfg.RemapAfterCRPs; i++ {
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answer, _ := resp.Respond(ch)
+		if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
+			t.Fatal("setup auth failed")
+		}
+	}
+	if !srv.NeedsRemap("dev-1") {
+		t.Fatal("remap not advised after burning the budget")
+	}
+
+	var buf bytes.Buffer
+	if err := srv.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"crps_since_remap"`) {
+		t.Fatal("v2 state does not persist crps_since_remap")
+	}
+	restored := NewServer(cfg, 777)
+	if err := restored.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.NeedsRemap("dev-1") {
+		t.Fatal("restart reset the rotation budget")
+	}
+
+	// Rotating the key must clear the persisted counter on both sides
+	// of a save/load.
+	if _, err := restored.BeginRemap(ctx, "dev-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.CompleteRemap(ctx, "dev-1", true); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NeedsRemap("dev-1") {
+		t.Fatal("remap still advised after key rotation")
+	}
+}
+
+// v1 blobs (no crps_since_remap, version: 1) must still load, with the
+// rotation budget conservatively zeroed.
+func TestLoadStateAcceptsV1(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChallengeBits = 32
+	cfg.RemapAfterCRPs = 2
+	m := testMap(t, 1024, 30, 26, 680)
+	srv, resp := enrolledPair(t, cfg, m, m)
+	for i := 0; i < cfg.RemapAfterCRPs; i++ {
+		ch, err := srv.IssueChallenge(ctx, "dev-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		answer, _ := resp.Respond(ch)
+		if ok, _ := srv.Verify(ctx, "dev-1", ch.ID, answer); !ok {
+			t.Fatal("setup auth failed")
+		}
+	}
+	var buf bytes.Buffer
+	if err := srv.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Downgrade the blob to the v1 shape a pre-upgrade server wrote.
+	v1 := strings.Replace(buf.String(), `"version": 2`, `"version": 1`, 1)
+	v1 = regexp.MustCompile(`,?\s*"crps_since_remap": \d+`).ReplaceAllString(v1, "")
+
+	restored := NewServer(cfg, 888)
+	if err := restored.LoadState(strings.NewReader(v1)); err != nil {
+		t.Fatalf("v1 state rejected: %v", err)
+	}
+	if !restored.Enrolled("dev-1") {
+		t.Fatal("client lost loading v1 state")
+	}
+	if restored.NeedsRemap("dev-1") {
+		t.Fatal("v1 load should zero the rotation budget, not invent one")
+	}
+	// The responder still works against the v1-restored server.
+	ch, err := restored.IssueChallenge(ctx, "dev-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	answer, _ := resp.Respond(ch)
+	if ok, _ := restored.Verify(ctx, "dev-1", ch.ID, answer); !ok {
+		t.Fatal("v1-restored server rejected the genuine client")
 	}
 }
 

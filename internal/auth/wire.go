@@ -2,6 +2,7 @@ package auth
 
 import (
 	"bufio"
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/hex"
@@ -44,6 +45,12 @@ const (
 //	               C→S {type:"remap_done", success}
 //	               S→C {type:"remap_ack"}
 //
+// Error messages carry the structured taxonomy alongside the text:
+// error_code is the stable ErrorCode and error_client the client the
+// failure concerned, so WireClient rebuilds the same typed *AuthError
+// an in-process caller would get (errors.Is against the package
+// sentinels holds on both sides of the wire).
+//
 // The paper has the server initiate remaps; over a client-polled TCP
 // transport the client asks on the server's behalf, which changes no
 // security property (the server still controls the reserved-voltage
@@ -65,6 +72,10 @@ type wireMsg struct {
 	// soon (Section 6.7 mitigation policy).
 	RemapAdvised bool   `json:"remap_advised,omitempty"`
 	Error        string `json:"error,omitempty"`
+	// ErrorCode/ErrorClient carry the typed-error taxonomy with an
+	// error message; empty on messages from pre-taxonomy servers.
+	ErrorCode   string `json:"error_code,omitempty"`
+	ErrorClient string `json:"error_client,omitempty"`
 }
 
 // WireServer exposes a Server over TCP.
@@ -83,9 +94,10 @@ func NewWireServer(auth *Server) *WireServer {
 	return &WireServer{auth: auth, conns: make(map[net.Conn]struct{})}
 }
 
-// Serve accepts connections on l until Close is called. It returns
-// after the listener is closed.
-func (ws *WireServer) Serve(l net.Listener) error {
+// Serve accepts connections on l until Close is called or ctx is
+// cancelled, then returns nil. ctx also bounds every authentication
+// operation run on behalf of connected peers.
+func (ws *WireServer) Serve(ctx context.Context, l net.Listener) error {
 	ws.mu.Lock()
 	if ws.closed {
 		ws.mu.Unlock()
@@ -93,13 +105,16 @@ func (ws *WireServer) Serve(l net.Listener) error {
 	}
 	ws.listener = l
 	ws.mu.Unlock()
+	// Cancelling ctx unblocks Accept by closing the listener.
+	stop := context.AfterFunc(ctx, func() { l.Close() })
+	defer stop()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			ws.mu.Lock()
 			closed := ws.closed
 			ws.mu.Unlock()
-			if closed {
+			if closed || ctx.Err() != nil {
 				return nil
 			}
 			return err
@@ -116,7 +131,7 @@ func (ws *WireServer) Serve(l net.Listener) error {
 				delete(ws.conns, conn)
 				ws.mu.Unlock()
 			}()
-			ws.handle(conn)
+			ws.handle(ctx, conn)
 		}()
 	}
 }
@@ -169,7 +184,7 @@ func (mr *msgReader) next(msg *wireMsg) error {
 	return json.Unmarshal(line, msg)
 }
 
-func (ws *WireServer) handle(conn net.Conn) {
+func (ws *WireServer) handle(ctx context.Context, conn net.Conn) {
 	mr := newMsgReader(conn)
 	enc := json.NewEncoder(conn)
 	for tx := 0; tx < maxTransactionsPerConn; tx++ {
@@ -179,22 +194,34 @@ func (ws *WireServer) handle(conn net.Conn) {
 		}
 		switch msg.Type {
 		case "authenticate":
-			ws.handleAuthenticate(mr, enc, msg)
+			ws.handleAuthenticate(ctx, mr, enc, msg)
 		case "remap":
-			ws.handleRemap(mr, enc, msg)
+			ws.handleRemap(ctx, mr, enc, msg)
 		default:
-			enc.Encode(wireMsg{Type: "error", Error: fmt.Sprintf("unknown message type %q", msg.Type)})
+			sendErr(enc, authErrf(CodeInvalidRequest, "", "unknown message type %q", msg.Type))
 			return
 		}
 	}
 }
 
+// sendErr reports a failure to the peer, carrying the typed taxonomy
+// so the remote client reconstructs the same *AuthError.
 func sendErr(enc *json.Encoder, err error) {
-	enc.Encode(wireMsg{Type: "error", Error: err.Error()})
+	m := wireMsg{Type: "error", Error: err.Error(), ErrorCode: string(CodeOf(err))}
+	var ae *AuthError
+	if errors.As(err, &ae) {
+		m.ErrorClient = string(ae.ClientID)
+		if ae.Err != nil {
+			// Send the cause text: the receiving side re-wraps it in an
+			// AuthError, which re-attaches the structured suffix.
+			m.Error = ae.Err.Error()
+		}
+	}
+	enc.Encode(m)
 }
 
-func (ws *WireServer) handleAuthenticate(mr *msgReader, enc *json.Encoder, msg wireMsg) {
-	ch, err := ws.auth.IssueChallenge(ClientID(msg.ClientID))
+func (ws *WireServer) handleAuthenticate(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) {
+	ch, err := ws.auth.IssueChallenge(ctx, ClientID(msg.ClientID))
 	if err != nil {
 		sendErr(enc, err)
 		return
@@ -207,10 +234,10 @@ func (ws *WireServer) handleAuthenticate(mr *msgReader, enc *json.Encoder, msg w
 		return
 	}
 	if respMsg.Type != "response" || respMsg.Response == nil {
-		sendErr(enc, fmt.Errorf("expected response, got %q", respMsg.Type))
+		sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected response, got %q", respMsg.Type))
 		return
 	}
-	ok, sessionKey, err := ws.auth.VerifySession(ClientID(msg.ClientID), respMsg.ChallengeID, *respMsg.Response)
+	ok, sessionKey, err := ws.auth.VerifySession(ctx, ClientID(msg.ClientID), respMsg.ChallengeID, *respMsg.Response)
 	if err != nil {
 		sendErr(enc, err)
 		return
@@ -223,8 +250,8 @@ func (ws *WireServer) handleAuthenticate(mr *msgReader, enc *json.Encoder, msg w
 	enc.Encode(verdict)
 }
 
-func (ws *WireServer) handleRemap(mr *msgReader, enc *json.Encoder, msg wireMsg) {
-	req, err := ws.auth.BeginRemap(ClientID(msg.ClientID))
+func (ws *WireServer) handleRemap(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) {
+	req, err := ws.auth.BeginRemap(ctx, ClientID(msg.ClientID))
 	if err != nil {
 		sendErr(enc, err)
 		return
@@ -237,10 +264,10 @@ func (ws *WireServer) handleRemap(mr *msgReader, enc *json.Encoder, msg wireMsg)
 		return
 	}
 	if done.Type != "remap_done" {
-		sendErr(enc, fmt.Errorf("expected remap_done, got %q", done.Type))
+		sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected remap_done, got %q", done.Type))
 		return
 	}
-	if err := ws.auth.CompleteRemap(ClientID(msg.ClientID), done.Success); err != nil {
+	if err := ws.auth.CompleteRemap(ctx, ClientID(msg.ClientID), done.Success); err != nil {
 		sendErr(enc, err)
 		return
 	}
@@ -254,9 +281,11 @@ type WireClient struct {
 	enc  *json.Encoder
 }
 
-// Dial connects to a WireServer.
-func Dial(addr string) (*WireClient, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a WireServer. ctx bounds the connection attempt
+// only; pass a context to each transaction to bound the transaction.
+func Dial(ctx context.Context, addr string) (*WireClient, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +294,50 @@ func Dial(addr string) (*WireClient, error) {
 
 // Close releases the connection.
 func (wc *WireClient) Close() error { return wc.conn.Close() }
+
+// armCtx attaches ctx to the connection for the duration of one
+// transaction: the context deadline becomes the I/O deadline, and
+// cancellation mid-transaction unblocks any in-flight read or write by
+// forcing the deadline into the past. The returned release must be
+// called when the transaction ends.
+func (wc *WireClient) armCtx(ctx context.Context) (release func(), err error) {
+	if err := ctxErr(ctx, ""); err != nil {
+		return nil, err
+	}
+	deadline := time.Time{}
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if err := wc.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		wc.conn.SetDeadline(time.Unix(1, 0))
+	})
+	return func() { stop() }, nil
+}
+
+// ioErr converts a transport failure during a context-bound
+// transaction into the typed taxonomy when the context caused it.
+func ioErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return &AuthError{Code: CodeCanceled, Err: cerr}
+	}
+	// armCtx mirrors the context deadline onto the connection, so a
+	// transport timeout during an armed transaction is the context
+	// expiring — the net timer can fire a beat before the context's
+	// own timer does.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if _, ok := ctx.Deadline(); ok {
+			return &AuthError{Code: CodeCanceled, Err: context.DeadlineExceeded}
+		}
+	}
+	return err
+}
 
 func (wc *WireClient) recv() (wireMsg, error) {
 	var msg wireMsg
@@ -275,7 +348,7 @@ func (wc *WireClient) recv() (wireMsg, error) {
 		return msg, err
 	}
 	if msg.Type == "error" {
-		return msg, fmt.Errorf("auth: server error: %s", msg.Error)
+		return msg, errorFromWire(ErrorCode(msg.ErrorCode), ClientID(msg.ErrorClient), msg.Error)
 	}
 	return msg, nil
 }
@@ -290,8 +363,8 @@ func confirmTag(sessionKey [32]byte) string {
 
 // Authenticate runs one full authentication transaction for the
 // responder and returns the server's verdict.
-func (wc *WireClient) Authenticate(r *Responder) (bool, error) {
-	ok, _, err := wc.AuthenticateSession(r)
+func (wc *WireClient) Authenticate(ctx context.Context, r *Responder) (bool, error) {
+	ok, _, err := wc.AuthenticateSession(ctx, r)
 	return ok, err
 }
 
@@ -300,14 +373,19 @@ func (wc *WireClient) Authenticate(r *Responder) (bool, error) {
 // carries a key-confirmation tag; a verdict whose tag does not match
 // the locally derived key is treated as a protocol failure (a
 // tampering or desynchronisation signal).
-func (wc *WireClient) AuthenticateSession(r *Responder) (bool, [32]byte, error) {
+func (wc *WireClient) AuthenticateSession(ctx context.Context, r *Responder) (bool, [32]byte, error) {
 	var zero [32]byte
-	if err := wc.enc.Encode(wireMsg{Type: "authenticate", ClientID: string(r.ID)}); err != nil {
+	release, err := wc.armCtx(ctx)
+	if err != nil {
 		return false, zero, err
+	}
+	defer release()
+	if err := wc.enc.Encode(wireMsg{Type: "authenticate", ClientID: string(r.ID)}); err != nil {
+		return false, zero, ioErr(ctx, err)
 	}
 	msg, err := wc.recv()
 	if err != nil {
-		return false, zero, err
+		return false, zero, ioErr(ctx, err)
 	}
 	if msg.Type != "challenge" || msg.Challenge == nil {
 		return false, zero, fmt.Errorf("auth: expected challenge, got %q", msg.Type)
@@ -321,11 +399,11 @@ func (wc *WireClient) AuthenticateSession(r *Responder) (bool, [32]byte, error) 
 		ChallengeID: msg.Challenge.ID,
 		Response:    &resp,
 	}); err != nil {
-		return false, zero, err
+		return false, zero, ioErr(ctx, err)
 	}
 	verdict, err := wc.recv()
 	if err != nil {
-		return false, zero, err
+		return false, zero, ioErr(ctx, err)
 	}
 	if verdict.Type != "verdict" {
 		return false, zero, fmt.Errorf("auth: expected verdict, got %q", verdict.Type)
@@ -341,7 +419,7 @@ func (wc *WireClient) AuthenticateSession(r *Responder) (bool, [32]byte, error) 
 		// The server says the CRP budget under this key is spent; run
 		// the key-update transaction immediately so the next
 		// authentication uses a fresh logical map.
-		if err := wc.Remap(r); err != nil {
+		if err := wc.remapArmed(ctx, r); err != nil {
 			return true, sessionKey, fmt.Errorf("auth: advised remap failed: %w", err)
 		}
 	}
@@ -350,24 +428,35 @@ func (wc *WireClient) AuthenticateSession(r *Responder) (bool, [32]byte, error) 
 
 // Remap runs one key-update transaction, rotating the responder's key
 // on success.
-func (wc *WireClient) Remap(r *Responder) error {
-	if err := wc.enc.Encode(wireMsg{Type: "remap", ClientID: string(r.ID)}); err != nil {
+func (wc *WireClient) Remap(ctx context.Context, r *Responder) error {
+	release, err := wc.armCtx(ctx)
+	if err != nil {
 		return err
+	}
+	defer release()
+	return wc.remapArmed(ctx, r)
+}
+
+// remapArmed runs the remap transaction on a connection whose context
+// is already armed.
+func (wc *WireClient) remapArmed(ctx context.Context, r *Responder) error {
+	if err := wc.enc.Encode(wireMsg{Type: "remap", ClientID: string(r.ID)}); err != nil {
+		return ioErr(ctx, err)
 	}
 	msg, err := wc.recv()
 	if err != nil {
-		return err
+		return ioErr(ctx, err)
 	}
 	if msg.Type != "remap_challenge" || msg.Remap == nil {
 		return fmt.Errorf("auth: expected remap_challenge, got %q", msg.Type)
 	}
 	success := r.HandleRemap(msg.Remap) == nil
 	if err := wc.enc.Encode(wireMsg{Type: "remap_done", Success: success}); err != nil {
-		return err
+		return ioErr(ctx, err)
 	}
 	ack, err := wc.recv()
 	if err != nil {
-		return err
+		return ioErr(ctx, err)
 	}
 	if ack.Type != "remap_ack" {
 		return fmt.Errorf("auth: expected remap_ack, got %q", ack.Type)

@@ -49,12 +49,12 @@ func TestWireSurvivesAbusiveClient(t *testing.T) {
 	bad.Write([]byte("this is not json\n"))
 	bad.Close()
 
-	good, err := Dial(addr)
+	good, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer good.Close()
-	ok, err := good.Authenticate(resp)
+	ok, err := good.Authenticate(ctx, resp)
 	if err != nil || !ok {
 		t.Fatalf("good client failed after abusive peer: ok=%v err=%v", ok, err)
 	}

@@ -12,20 +12,20 @@ func TestWireSessionKeyEstablishment(t *testing.T) {
 	addr, stop := startWire(t, srv)
 	defer stop()
 
-	wc, err := Dial(addr)
+	wc, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wc.Close()
 
-	ok, key1, err := wc.AuthenticateSession(resp)
+	ok, key1, err := wc.AuthenticateSession(ctx, resp)
 	if err != nil || !ok {
 		t.Fatalf("session auth: ok=%v err=%v", ok, err)
 	}
 	if key1 == ([32]byte{}) {
 		t.Fatal("zero session key")
 	}
-	ok, key2, err := wc.AuthenticateSession(resp)
+	ok, key2, err := wc.AuthenticateSession(ctx, resp)
 	if err != nil || !ok {
 		t.Fatalf("second session auth: ok=%v err=%v", ok, err)
 	}
@@ -43,14 +43,14 @@ func TestWireSessionKeyRequiresMatchingRemapKey(t *testing.T) {
 	addr, stop := startWire(t, srv)
 	defer stop()
 
-	wc, err := Dial(addr)
+	wc, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wc.Close()
 
 	stale := NewResponder(resp.ID, NewSimDevice(fixtureMap()), [32]byte{1, 2, 3})
-	ok, key, err := wc.AuthenticateSession(stale)
+	ok, key, err := wc.AuthenticateSession(ctx, stale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func startWire(t *testing.T, srv *Server) (addr string, stop func()) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		ws.Serve(l)
+		ws.Serve(ctx, l)
 	}()
 	return l.Addr().String(), func() {
 		ws.Close()
@@ -45,7 +45,7 @@ func wireFixture(t *testing.T, vdds ...int) (*Server, *Responder) {
 			reserved = append(reserved, 700)
 		}
 	}
-	key, err := srv.Enroll("tcp-dev", m, reserved...)
+	key, err := srv.Enroll(ctx, "tcp-dev", m, reserved...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,13 +57,13 @@ func TestWireAuthenticateEndToEnd(t *testing.T) {
 	addr, stop := startWire(t, srv)
 	defer stop()
 
-	wc, err := Dial(addr)
+	wc, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wc.Close()
 	for i := 0; i < 3; i++ {
-		ok, err := wc.Authenticate(resp)
+		ok, err := wc.Authenticate(ctx, resp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,20 +78,20 @@ func TestWireRemapEndToEnd(t *testing.T) {
 	addr, stop := startWire(t, srv)
 	defer stop()
 
-	wc, err := Dial(addr)
+	wc, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wc.Close()
 	oldKey := resp.Key()
-	if err := wc.Remap(resp); err != nil {
+	if err := wc.Remap(ctx, resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Key() == oldKey {
 		t.Fatal("key not rotated over TCP")
 	}
 	// Authentication still works under the rotated key.
-	ok, err := wc.Authenticate(resp)
+	ok, err := wc.Authenticate(ctx, resp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,13 +105,13 @@ func TestWireUnknownClient(t *testing.T) {
 	addr, stop := startWire(t, srv)
 	defer stop()
 
-	wc, err := Dial(addr)
+	wc, err := Dial(ctx, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer wc.Close()
 	ghost := NewResponder("ghost", NewSimDevice(errormap.NewMap(errormap.NewGeometry(64))), resp0Key())
-	if _, err := wc.Authenticate(ghost); err == nil {
+	if _, err := wc.Authenticate(ctx, ghost); err == nil {
 		t.Fatal("unknown client authenticated")
 	}
 }
@@ -129,13 +129,13 @@ func TestWireConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wc, err := Dial(addr)
+			wc, err := Dial(ctx, addr)
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer wc.Close()
-			ok, err := wc.Authenticate(resp)
+			ok, err := wc.Authenticate(ctx, resp)
 			if err != nil {
 				errs <- err
 				return

@@ -106,14 +106,14 @@ func TestEndToEndFirmwareAuthentication(t *testing.T) {
 	cfg := auth.DefaultConfig()
 	cfg.ChallengeBits = 64
 	srv := auth.NewServer(cfg, 99)
-	key, err := srv.Enroll("chip-6", m)
+	key, err := srv.Enroll(ctx, "chip-6", m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp := auth.NewResponder("chip-6", chip.Device(), key)
 	accepted := 0
 	for i := 0; i < 5; i++ {
-		ch, err := srv.IssueChallenge("chip-6")
+		ch, err := srv.IssueChallenge(ctx, "chip-6")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestEndToEndFirmwareAuthentication(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ok, err := srv.Verify("chip-6", ch.ID, answer)
+		ok, err := srv.Verify(ctx, "chip-6", ch.ID, answer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func TestEndToEndImpostorChip(t *testing.T) {
 	cfg := auth.DefaultConfig()
 	cfg.ChallengeBits = 64
 	srv := auth.NewServer(cfg, 100)
-	key, err := srv.Enroll("victim", m)
+	key, err := srv.Enroll(ctx, "victim", m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestEndToEndImpostorChip(t *testing.T) {
 	// alone is a rejection in the field, so align floors for the worst
 	// case by skipping if the challenge aborts.
 	resp := auth.NewResponder("victim", impostor.Device(), key)
-	ch, err := srv.IssueChallenge("victim")
+	ch, err := srv.IssueChallenge(ctx, "victim")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestEndToEndImpostorChip(t *testing.T) {
 	if err != nil {
 		t.Skipf("impostor chip aborted (floor mismatch): %v", err)
 	}
-	ok, err := srv.Verify("victim", ch.ID, answer)
+	ok, err := srv.Verify(ctx, "victim", ch.ID, answer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestEndToEndTemperatureExcursion(t *testing.T) {
 	cfg := auth.DefaultConfig()
 	cfg.ChallengeBits = 64
 	srv := auth.NewServer(cfg, 101)
-	key, err := srv.Enroll("hot-chip", m)
+	key, err := srv.Enroll(ctx, "hot-chip", m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestEndToEndTemperatureExcursion(t *testing.T) {
 	resp := auth.NewResponder("hot-chip", chip.Device(), key)
 	accepted := 0
 	for i := 0; i < 3; i++ {
-		ch, err := srv.IssueChallenge("hot-chip")
+		ch, err := srv.IssueChallenge(ctx, "hot-chip")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +200,7 @@ func TestEndToEndTemperatureExcursion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ok, _ := srv.Verify("hot-chip", ch.ID, answer); ok {
+		if ok, _ := srv.Verify(ctx, "hot-chip", ch.ID, answer); ok {
 			accepted++
 		}
 	}

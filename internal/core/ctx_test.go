@@ -1,0 +1,6 @@
+package core
+
+import "context"
+
+// ctx is the shared background context for tests.
+var ctx = context.Background()

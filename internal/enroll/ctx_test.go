@@ -1,0 +1,6 @@
+package enroll
+
+import "context"
+
+// ctx is the shared background context for tests.
+var ctx = context.Background()

@@ -13,6 +13,7 @@
 package enroll
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/auth"
@@ -154,9 +155,9 @@ func instability(a, b *errormap.Plane) float64 {
 
 // Provision enrolls an accepted chip into the authentication server
 // and returns the initial remap key to burn into the device.
-func Provision(srv *auth.Server, res *Result) (mapkey.Key, error) {
+func Provision(ctx context.Context, srv *auth.Server, res *Result) (mapkey.Key, error) {
 	if !res.Accepted() {
 		return mapkey.Key{}, fmt.Errorf("enroll: chip %q rejected: %v", res.Record.ID, res.Rejections)
 	}
-	return srv.Enroll(res.Record.ID, res.Record.Map, res.Record.ReservedVdds...)
+	return srv.Enroll(ctx, res.Record.ID, res.Record.Map, res.Record.ReservedVdds...)
 }

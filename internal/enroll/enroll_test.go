@@ -58,12 +58,12 @@ func TestProvisionIntoServerAndAuthenticate(t *testing.T) {
 	cfg := auth.DefaultConfig()
 	cfg.ChallengeBits = 64
 	srv := auth.NewServer(cfg, 7)
-	key, err := Provision(srv, res)
+	key, err := Provision(ctx, srv, res)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dev := auth.NewResponder("unit-2", chip.Device(), key)
-	ch, err := srv.IssueChallenge("unit-2")
+	ch, err := srv.IssueChallenge(ctx, "unit-2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +71,12 @@ func TestProvisionIntoServerAndAuthenticate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := srv.Verify("unit-2", ch.ID, answer); !ok {
+	if ok, _ := srv.Verify(ctx, "unit-2", ch.ID, answer); !ok {
 		t.Fatal("provisioned chip rejected by server")
 	}
 	// Reserved planes really are reserved.
 	for _, v := range res.Record.ReservedVdds {
-		if _, err := srv.IssueChallengeAt("unit-2", v); err == nil {
+		if _, err := srv.IssueChallengeAt(ctx, "unit-2", v); err == nil {
 			t.Fatalf("reserved plane %d usable for auth", v)
 		}
 	}
@@ -104,7 +104,7 @@ func TestSparseMapRejected(t *testing.T) {
 	}
 	// Provision must refuse rejected chips.
 	srv := auth.NewServer(auth.DefaultConfig(), 1)
-	if _, err := Provision(srv, res); err == nil {
+	if _, err := Provision(ctx, srv, res); err == nil {
 		t.Fatal("rejected chip provisioned")
 	}
 }

@@ -40,12 +40,23 @@ func KeyFromBytes(material []byte, label string) Key {
 }
 
 // Permutation is a keyed bijection on [0, n).
+//
+// A Permutation memoizes its Feistel round functions on first use
+// (the round-function domain is only 2^(halfBits) values, a few
+// hundred entries for realistic cache sizes), so Map and Unmap are
+// table lookups after warm-up. The memo makes a Permutation unsafe
+// for unsynchronised concurrent use; callers that share one across
+// goroutines must hold their own lock (the auth server keeps
+// permutations inside per-client records guarded by the record lock).
 type Permutation struct {
 	n         uint64
 	halfBits  uint
 	halfMask  uint64
 	rounds    int
 	roundKeys [][32]byte
+	// memo[r][half] caches roundF(r, half); built lazily per round on
+	// first use. Index r is nil until then.
+	memo [][]uint64
 }
 
 // feistelRounds is fixed at 4: the minimum for a strong pseudo-random
@@ -73,6 +84,7 @@ func NewPermutation(key Key, n int) *Permutation {
 		halfBits: bits / 2,
 		halfMask: (uint64(1) << (bits / 2)) - 1,
 		rounds:   feistelRounds,
+		memo:     make([][]uint64, feistelRounds),
 	}
 	for r := 0; r < p.rounds; r++ {
 		mac := hmac.New(sha256.New, key[:])
@@ -90,10 +102,31 @@ func NewPermutation(key Key, n int) *Permutation {
 // Domain returns n, the size of the permuted index space.
 func (p *Permutation) Domain() int { return int(p.n) }
 
+// maxMemoHalfBits bounds the memoized round-table size (2^halfBits
+// entries per round); beyond it roundF falls back to computing the
+// HMAC per call. 2^16 entries x 4 rounds is 2 MB — far above any
+// realistic cache geometry, present only as an allocation guard.
+const maxMemoHalfBits = 16
+
 // roundF is the Feistel round function: HMAC-SHA256(roundKey, half)
-// truncated to halfBits. HMAC keys are precomputed per round; here we
-// use the round key directly as HMAC key.
+// truncated to halfBits. The per-round table is built on the round's
+// first use; afterwards roundF is a slice index.
 func (p *Permutation) roundF(round int, half uint64) uint64 {
+	if t := p.memo[round]; t != nil {
+		return t[half]
+	}
+	if p.halfBits > maxMemoHalfBits {
+		return p.roundFSlow(round, half)
+	}
+	t := make([]uint64, p.halfMask+1)
+	for h := range t {
+		t[h] = p.roundFSlow(round, uint64(h))
+	}
+	p.memo[round] = t
+	return t[half]
+}
+
+func (p *Permutation) roundFSlow(round int, half uint64) uint64 {
 	mac := hmac.New(sha256.New, p.roundKeys[round][:])
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], half)

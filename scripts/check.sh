@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo-wide gate: vet, build, and race-test everything.
+# Run from the repo root (make check does).
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: all green"
