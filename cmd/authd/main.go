@@ -10,20 +10,45 @@
 //
 // which is exactly what a client (cmd/authcli) needs to authenticate.
 //
+// # Durability
+//
+// Two flags control persistence, and they compose:
+//
+//   - -state <file> is the snapshot-only mode: the enrollment database
+//     is loaded from the file if it exists and written (atomically:
+//     temp file + fsync + rename) right after enrollment. Pairs burned
+//     while serving traffic are NOT persisted — a crash forgets them.
+//   - -wal <dir> is the durable mode: every mutation (enrollment, pair
+//     burn, key rotation, challenge-counter advance, delete) is
+//     journaled to a write-ahead log before the operation returns, the
+//     log is compacted into a snapshot every -compact interval and on
+//     SIGINT drain, and boot recovers snapshot + journal tail —
+//     including after a crash that tore the final record.
+//
+// When both are given, -wal wins for serving-time durability and
+// -state acts only as a seed: if the WAL directory is empty and the
+// state file exists, the database is imported from it (then
+// immediately snapshotted into the WAL directory). A populated WAL
+// directory ignores -state entirely.
+//
 // Usage:
 //
 //	authd [-addr :7430] [-devices 4] [-seed 1] [-bits 256] [-cache 1048576]
+//	      [-state db.json] [-wal waldir] [-compact 1m]
 package main
 
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	authenticache "repro"
 	"repro/internal/enroll"
@@ -35,7 +60,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fleet seed (device i uses seed+i)")
 	bits := flag.Int("bits", 256, "challenge length in bits")
 	cacheBytes := flag.Int("cache", 1<<20, "simulated cache size in bytes")
-	statePath := flag.String("state", "", "enrollment database file (loaded if present, written after enrollment)")
+	statePath := flag.String("state", "", "enrollment database snapshot file (loaded if present, written after enrollment)")
+	walDir := flag.String("wal", "", "write-ahead log directory: journal every mutation, recover on boot (durable mode)")
+	compactEvery := flag.Duration("compact", time.Minute, "WAL compaction interval (with -wal)")
 	flag.Parse()
 
 	// SIGINT drains the daemon: the serve loop and every in-flight
@@ -45,33 +72,125 @@ func main() {
 
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = *bits
-	srv := authenticache.NewServer(cfg, *seed^0xd5e7)
 
+	if *walDir != "" {
+		runDurable(ctx, cfg, *walDir, *statePath, *addr, *devices, *seed, *cacheBytes, *compactEvery)
+		return
+	}
+
+	srv := authenticache.NewServer(cfg, *seed^0xd5e7)
 	if *statePath != "" {
-		if f, err := os.Open(*statePath); err == nil {
+		f, err := os.Open(*statePath)
+		switch {
+		case err == nil:
 			if err := srv.LoadState(f); err != nil {
 				log.Fatalf("authd: load state: %v", err)
 			}
 			f.Close()
-			for _, id := range srv.ClientIDs() {
-				key, err := srv.CurrentKey(id)
-				if err != nil {
-					log.Fatalf("authd: %v", err)
-				}
-				fmt.Printf("PROVISION id=%s key=%s (restored)\n", id, hex.EncodeToString(key[:]))
+			printProvisioned(srv, " (restored)")
+			if err := serve(ctx, srv, *addr); err != nil {
+				log.Fatalf("authd: serve: %v", err)
 			}
-			serve(ctx, srv, *addr)
 			return
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start: fall through to enrollment.
+		default:
+			// Anything else (permissions, I/O) must NOT fall through:
+			// re-enrolling would overwrite the only copy of an
+			// existing enrollment database with a brand-new fleet.
+			log.Fatalf("authd: open state file: %v", err)
 		}
 	}
 
-	log.Printf("authd: manufacturing and enrolling %d devices (%d B caches)...", *devices, *cacheBytes)
-	for i := 0; i < *devices; i++ {
-		chipSeed := *seed + uint64(i)
+	enrollFleet(ctx, srv, *devices, *seed, *cacheBytes)
+	if *statePath != "" {
+		if err := authenticache.AtomicWriteFile(*statePath, srv.SaveState); err != nil {
+			log.Fatalf("authd: save state: %v", err)
+		}
+		log.Printf("authd: enrollment database written to %s", *statePath)
+	}
+	if err := serve(ctx, srv, *addr); err != nil {
+		log.Fatalf("authd: serve: %v", err)
+	}
+}
+
+// runDurable serves with the write-ahead log: recover on boot,
+// journal while serving, compact periodically, snapshot on drain.
+func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, statePath, addr string, devices int, seed uint64, cacheBytes int, compactEvery time.Duration) {
+	ds, err := authenticache.OpenDurableServer(walDir, cfg, seed^0xd5e7, authenticache.WALOptions{})
+	if err != nil {
+		log.Fatalf("authd: open WAL: %v", err)
+	}
+	switch {
+	case len(ds.ClientIDs()) > 0:
+		log.Printf("authd: recovered %d clients from %s", len(ds.ClientIDs()), walDir)
+		printProvisioned(ds.Server, " (restored)")
+	case statePath != "":
+		// Empty WAL: seed it from the snapshot file if one exists.
+		f, err := os.Open(statePath)
+		switch {
+		case err == nil:
+			if err := ds.LoadState(f); err != nil {
+				log.Fatalf("authd: load state: %v", err)
+			}
+			f.Close()
+			// LoadState bypasses the journal; snapshot immediately so
+			// the imported database is durable in the WAL directory.
+			if err := ds.Compact(); err != nil {
+				log.Fatalf("authd: snapshot imported state: %v", err)
+			}
+			log.Printf("authd: imported enrollment database from %s", statePath)
+			printProvisioned(ds.Server, " (restored)")
+		case errors.Is(err, fs.ErrNotExist):
+			enrollFleet(ctx, ds.Server, devices, seed, cacheBytes)
+		default:
+			log.Fatalf("authd: open state file: %v", err)
+		}
+	default:
+		enrollFleet(ctx, ds.Server, devices, seed, cacheBytes)
+	}
+	// The enrollments above are journaled; fold them into a snapshot
+	// so recovery starts from a compact base.
+	if err := ds.Compact(); err != nil {
+		log.Fatalf("authd: initial compaction: %v", err)
+	}
+
+	go func() {
+		t := time.NewTicker(compactEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := ds.Compact(); err != nil {
+					log.Printf("authd: compaction: %v", err)
+				}
+			}
+		}
+	}()
+
+	if err := serve(ctx, ds.Server, addr); err != nil {
+		log.Printf("authd: serve: %v", err)
+	}
+	// Drained: take the final snapshot so the next boot replays an
+	// empty journal tail.
+	if err := ds.Close(); err != nil {
+		log.Fatalf("authd: final snapshot: %v", err)
+	}
+	log.Printf("authd: final snapshot written to %s", walDir)
+}
+
+// enrollFleet manufactures and enrolls the simulated device fleet,
+// printing a PROVISION line per accepted chip.
+func enrollFleet(ctx context.Context, srv *authenticache.Server, devices int, seed uint64, cacheBytes int) {
+	log.Printf("authd: manufacturing and enrolling %d devices (%d B caches)...", devices, cacheBytes)
+	for i := 0; i < devices; i++ {
+		chipSeed := seed + uint64(i)
 		id := authenticache.ClientID(fmt.Sprintf("dev-%d", i))
 		chip, err := authenticache.NewChip(authenticache.ChipConfig{
 			Seed:       chipSeed,
-			CacheBytes: *cacheBytes,
+			CacheBytes: cacheBytes,
 		})
 		if err != nil {
 			log.Fatalf("authd: chip %d: %v", i, err)
@@ -95,28 +214,25 @@ func main() {
 		}
 		fmt.Printf("PROVISION id=%s chipseed=%d key=%s\n", id, chipSeed, hex.EncodeToString(key[:]))
 	}
-	if *statePath != "" {
-		f, err := os.Create(*statePath)
-		if err != nil {
-			log.Fatalf("authd: create state file: %v", err)
-		}
-		if err := srv.SaveState(f); err != nil {
-			log.Fatalf("authd: save state: %v", err)
-		}
-		f.Close()
-		log.Printf("authd: enrollment database written to %s", *statePath)
-	}
-	serve(ctx, srv, *addr)
 }
 
-func serve(ctx context.Context, srv *authenticache.Server, addr string) {
+// printProvisioned prints a PROVISION line per already-enrolled client.
+func printProvisioned(srv *authenticache.Server, suffix string) {
+	for _, id := range srv.ClientIDs() {
+		key, err := srv.CurrentKey(id)
+		if err != nil {
+			log.Fatalf("authd: %v", err)
+		}
+		fmt.Printf("PROVISION id=%s key=%s%s\n", id, hex.EncodeToString(key[:]), suffix)
+	}
+}
+
+func serve(ctx context.Context, srv *authenticache.Server, addr string) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
-		log.Fatalf("authd: listen: %v", err)
+		return err
 	}
 	log.Printf("authd: serving on %s", l.Addr())
 	ws := authenticache.NewWireServer(srv)
-	if err := ws.Serve(ctx, l); err != nil {
-		log.Fatalf("authd: serve: %v", err)
-	}
+	return ws.Serve(ctx, l)
 }

@@ -1,0 +1,76 @@
+package authenticache_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	authenticache "repro"
+	"repro/internal/crp"
+)
+
+// BenchmarkVerifyParallelWAL measures what journaling costs the hot
+// issue→verify path: the no-journal baseline against a group-commit
+// WAL at fsync-per-record (batch 1) and amortised batch sizes 8 and
+// 64. Mirrors internal/auth's BenchmarkVerifyParallel: 64 enrolled
+// clients, parallel traffic, a zero response driving the full verify
+// path to a rejection (same cost as an acceptance).
+func BenchmarkVerifyParallelWAL(b *testing.B) {
+	run := func(b *testing.B, srv *authenticache.Server) {
+		cfgIDs := make([]authenticache.ClientID, 64)
+		for i := range cfgIDs {
+			cfgIDs[i] = authenticache.ClientID(fmt.Sprintf("bench-dev-%d", i))
+			if _, err := srv.Enroll(dctx, cfgIDs[i], durableTestMap(16384, 120, uint64(4242+i), 680)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Warm the per-client logical-field caches so the steady state
+		// is measured, not the one-time distance transforms.
+		for _, id := range cfgIDs {
+			ch, err := srv.IssueChallenge(dctx, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.Verify(dctx, id, ch.ID, crp.NewResponse(len(ch.Bits))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var ctr int64
+		// Eight concurrent appenders regardless of GOMAXPROCS: group
+		// commit amortises fsync across whatever is in flight, and a
+		// single-CPU box would otherwise serialise to one.
+		b.SetParallelism(8)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := atomic.AddInt64(&ctr, 1)
+				id := cfgIDs[int(i)%len(cfgIDs)]
+				ch, err := srv.IssueChallenge(dctx, id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := srv.Verify(dctx, id, ch.ID, crp.NewResponse(len(ch.Bits))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	cfg := authenticache.DefaultServerConfig()
+	cfg.ChallengeBits = 64
+
+	b.Run("nojournal", func(b *testing.B) {
+		run(b, authenticache.NewServer(cfg, 99))
+	})
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("wal-batch%d", batch), func(b *testing.B) {
+			opt := authenticache.WALOptions{FlushBatch: batch}
+			ds, err := authenticache.OpenDurableServer(b.TempDir(), cfg, 99, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ds.Close()
+			run(b, ds.Server)
+		})
+	}
+}

@@ -174,6 +174,17 @@ func (s *Server) issueWithVdds(id ClientID, rec *clientRecord, vdds []int) (*crp
 	if !rec.registry.Consume(&crp.Challenge{Bits: physBits}) {
 		return nil, authErr(CodeExhausted, id, ErrExhausted)
 	}
+	if s.journal != nil {
+		// Journal before the challenge can leave the server; the
+		// append returns once the record is fsynced (group commit
+		// amortises the sync across concurrent issues). On failure the
+		// pairs stay burned in memory — the conservative direction:
+		// no challenge was issued, so nothing replayable exists.
+		err := s.journal.JournalBurn(string(id), physBits, rec.nextID+1, rec.crpsSinceRemap+len(ch.Bits))
+		if err != nil {
+			return nil, authErr(CodeInternal, id, err)
+		}
+	}
 
 	// Precompute the expected response on the logical planes.
 	expected := crp.NewResponse(len(ch.Bits))

@@ -49,6 +49,18 @@ func (s *Server) Enroll(ctx context.Context, id ClientID, physMap *errormap.Map,
 	if !s.store.Create(id, rec) {
 		return mapkey.Key{}, authErrf(CodeAlreadyEnrolled, id, "%w: %q", ErrAlreadyEnrolled, id)
 	}
+	if s.journal != nil {
+		mb, err := physMap.MarshalBinary()
+		if err == nil {
+			err = s.journal.JournalEnroll(string(id), mb, [32]byte(key), journalReserved(reserved))
+		}
+		if err != nil {
+			// An enrollment that isn't durable must not hand out a key:
+			// back the record out so the client can retry cleanly.
+			s.store.Delete(id)
+			return mapkey.Key{}, authErr(CodeInternal, id, err)
+		}
+	}
 	return key, nil
 }
 

@@ -53,6 +53,14 @@ func (s *Server) BeginRemap(ctx context.Context, id ClientID) (*RemapRequest, er
 	s.randMu.Unlock()
 	ch.ID = rec.nextID
 	rec.nextID++
+	if s.journal != nil {
+		// Key-update challenges draw from reserved planes and burn no
+		// registry pairs, but the counter advance must persist so a
+		// recovered server never reissues a live challenge ID.
+		if err := s.journal.JournalCounter(string(id), rec.nextID); err != nil {
+			return nil, authErr(CodeInternal, id, err)
+		}
+	}
 
 	field := phys.DistanceTransform()
 	expected := crp.NewResponse(len(ch.Bits))
@@ -94,6 +102,15 @@ func (s *Server) CompleteRemap(ctx context.Context, id ClientID, success bool) e
 		return authErr(CodeNoRemapPending, id, ErrNoRemapPending)
 	}
 	if success {
+		// The rotation is journaled before it takes effect: a key the
+		// client already derived but the server lost to a crash would
+		// strand the device. On journal failure the remap stays
+		// pending so the client can retry the commit.
+		if s.journal != nil {
+			if err := s.journal.JournalRemap(string(id), [32]byte(rec.remap.newKey)); err != nil {
+				return authErr(CodeInternal, id, err)
+			}
+		}
 		rec.rotateKey(rec.remap.newKey)
 	}
 	rec.remap = nil

@@ -71,6 +71,12 @@ type Config struct {
 	// very large fleets; per-client operations are independent at any
 	// setting.
 	StoreShards int
+	// WAL, when non-nil, receives a durable journal record for every
+	// mutation (enroll, pair burn, key rotation, counter advance,
+	// delete) before the mutating call returns. Recovery flows attach
+	// the journal after replay instead (Server.AttachJournal) so
+	// replayed mutations are not re-journaled.
+	WAL Journal
 }
 
 // DefaultConfig mirrors the paper's operating point: 256-bit CRPs and
@@ -93,6 +99,10 @@ func DefaultConfig() Config {
 type Server struct {
 	cfg   Config
 	store ClientStore
+
+	// journal, when non-nil, is written inside the same per-record
+	// critical section as each mutation (see journal.go).
+	journal Journal
 
 	// randMu guards rand: the deterministic stream is shared so that
 	// single-threaded runs reproduce the seed exactly; draws are short
@@ -119,9 +129,10 @@ func NewServer(cfg Config, seed uint64) *Server {
 		cfg.RemapKeyBits = 128
 	}
 	return &Server{
-		cfg:   cfg,
-		rand:  rng.New(seed),
-		store: newShardedStore(cfg.StoreShards),
+		cfg:     cfg,
+		rand:    rng.New(seed),
+		store:   newShardedStore(cfg.StoreShards),
+		journal: cfg.WAL,
 	}
 }
 

@@ -305,6 +305,18 @@ func (reg *Registry) Consume(c *Challenge) bool {
 	return true
 }
 
+// Mark force-records pairs as consumed without the no-reuse check.
+// Journal replay uses it: a replayed burn may overlap pairs the
+// snapshot already holds, and re-marking a consumed pair is the
+// idempotent direction (a pair can only ever become *more* dead).
+func (reg *Registry) Mark(pairs []PairBit) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, p := range pairs {
+		reg.used[canonical(p)] = struct{}{}
+	}
+}
+
 // IsUsed reports whether the pair of a single bit was consumed before.
 func (reg *Registry) IsUsed(b PairBit) bool {
 	reg.mu.Lock()

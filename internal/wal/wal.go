@@ -1,0 +1,489 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/crp"
+)
+
+// Options tunes the log.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment file once the current
+	// one reaches this size. Default 4 MiB.
+	SegmentBytes int64
+	// FlushInterval caps how long the writer spends accumulating one
+	// batch under sustained fan-in. The writer never idles waiting
+	// for records — a batch commits as soon as the queue empties — so
+	// the interval binds only when enough concurrent appenders keep
+	// the queue non-empty without ever filling FlushBatch. Default
+	// 2 ms.
+	FlushInterval time.Duration
+	// FlushBatch fsyncs early once this many records are queued, so a
+	// burst pays one fsync per batch rather than one per record.
+	// Default 64. 1 degenerates to fsync-per-record.
+	FlushBatch int
+	// NoSync skips fsync entirely (benchmark baselines and tests that
+	// measure the batching machinery alone — never production).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.FlushBatch <= 0 {
+		o.FlushBatch = 64
+	}
+	return o
+}
+
+const (
+	segMagic     = "ACWALv1\n"
+	segHeaderLen = int64(len(segMagic))
+	frameHeader  = 8 // u32 length + u32 CRC32C
+	snapshotName = "snapshot.json"
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// putFrameHeader fills an 8-byte frame header (length + CRC32C) for a
+// payload.
+func putFrameHeader(hdr, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+}
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// request is one unit of work for the writer goroutine: a frame to
+// append, or (frame == nil) a flush-and-rotate barrier.
+type request struct {
+	frame  []byte
+	rotate bool
+	errc   chan error
+}
+
+// WAL is an append-only write-ahead log over a directory of segment
+// files. Appends from any number of goroutines funnel into a single
+// writer goroutine that batches queued records into one write+fsync
+// (group commit); Append returns only once the record is durable, so
+// the caller's fsync cost is amortised across the batch.
+type WAL struct {
+	dir string
+	opt Options
+
+	reqs chan *request
+	done chan struct{}
+
+	// mu guards closed against the Append/Compact send path: senders
+	// hold it shared while pushing onto reqs, Close holds it exclusive
+	// while closing the channel.
+	mu     sync.RWMutex
+	closed bool
+
+	// seg is the index of the segment currently being appended to;
+	// read by Compact to know which segments are sealed.
+	seg atomic.Uint64
+
+	// compactMu serialises Compact calls.
+	compactMu sync.Mutex
+
+	// Writer-goroutine state.
+	f    *os.File
+	bw   bufWriter
+	size int64
+}
+
+// bufWriter is the minimal buffered-writer surface the writer loop
+// needs; a plain wrapper keeps the reset-on-rotate explicit.
+type bufWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func (b *bufWriter) reset(f *os.File) { b.f, b.buf = f, b.buf[:0] }
+
+func (b *bufWriter) write(p []byte) {
+	b.buf = append(b.buf, p...)
+}
+
+func (b *bufWriter) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.f.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// Open opens (creating if needed) the log directory and prepares the
+// last segment for appending. A torn final record left by a crash is
+// truncated away; fully-committed records are never touched. Call
+// Replay before the first Append to rebuild state.
+func Open(dir string, opt Options) (*WAL, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{
+		dir:  dir,
+		opt:  opt,
+		reqs: make(chan *request, 256),
+		done: make(chan struct{}),
+	}
+	if len(segs) == 0 {
+		f, err := createSegment(dir, 1)
+		if err != nil {
+			return nil, err
+		}
+		w.f = f
+		w.seg.Store(1)
+		w.size = segHeaderLen
+	} else {
+		last := segs[len(segs)-1]
+		path := segmentPath(dir, last)
+		// Scan the tail segment and truncate any torn final frame so
+		// appends resume on a clean record boundary.
+		_, ends, scanErr := ScanSegment(path)
+		cleanLen := segHeaderLen
+		if len(ends) > 0 {
+			cleanLen = ends[len(ends)-1]
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: stat segment: %w", err)
+		}
+		if scanErr != nil || st.Size() > cleanLen {
+			if err := f.Truncate(cleanLen); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("wal: sync truncated segment: %w", err)
+			}
+		}
+		if _, err := f.Seek(cleanLen, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek segment end: %w", err)
+		}
+		w.f = f
+		w.seg.Store(last)
+		w.size = cleanLen
+	}
+	w.bw.reset(w.f)
+	go w.run()
+	return w, nil
+}
+
+// Dir returns the log directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Append encodes the record, queues it for the group-commit writer,
+// and blocks until the batch containing it has been written and
+// fsynced. Safe for concurrent use.
+func (w *WAL) Append(rec *Record) error {
+	payload := encodePayload(rec)
+	if len(payload) > maxPayload {
+		return fmt.Errorf("wal: record payload %d bytes exceeds cap", len(payload))
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	putFrameHeader(frame[:frameHeader], payload)
+	copy(frame[frameHeader:], payload)
+	return w.submit(&request{frame: frame, errc: make(chan error, 1)})
+}
+
+func (w *WAL) submit(req *request) error {
+	w.mu.RLock()
+	if w.closed {
+		w.mu.RUnlock()
+		return ErrClosed
+	}
+	w.reqs <- req
+	w.mu.RUnlock()
+	return <-req.errc
+}
+
+// run is the single writer goroutine: it pulls a request, gathers a
+// batch behind it, commits the batch with one fsync, and wakes every
+// waiter with the shared outcome.
+func (w *WAL) run() {
+	defer close(w.done)
+	for req := range w.reqs {
+		batch := w.gather(req)
+		err := w.commit(batch)
+		for _, r := range batch {
+			r.errc <- err
+		}
+	}
+	// Close drained the queue; make whatever the buffer still held
+	// durable and release the file.
+	w.bw.flush()
+	if !w.opt.NoSync {
+		w.f.Sync()
+	}
+	w.f.Close()
+}
+
+// gather accumulates the requests already queued behind first, up to
+// FlushBatch records or FlushInterval of accumulation. It never idles
+// waiting for stragglers: appenders block until their batch commits,
+// so a request that isn't queued yet cannot arrive until this batch
+// finishes — the writer commits the moment the queue empties. Under
+// concurrent load the batch still grows naturally, because new
+// appenders queue while the previous batch's fsync is in flight.
+func (w *WAL) gather(first *request) []*request {
+	batch := []*request{first}
+	if first.rotate || w.opt.FlushBatch <= 1 {
+		return batch
+	}
+	deadline := time.NewTimer(w.opt.FlushInterval)
+	defer deadline.Stop()
+	for len(batch) < w.opt.FlushBatch {
+		select {
+		case req, ok := <-w.reqs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, req)
+			if req.rotate {
+				return batch
+			}
+		case <-deadline.C:
+			return batch
+		default:
+			// Queue empty: commit what we have.
+			return batch
+		}
+	}
+	return batch
+}
+
+// commit writes the batch's frames, flushes, fsyncs once, and rotates
+// the segment if the batch asked for it or the size threshold tripped.
+func (w *WAL) commit(batch []*request) error {
+	rotate := false
+	for _, r := range batch {
+		if r.rotate {
+			rotate = true
+			continue
+		}
+		w.bw.write(r.frame)
+		w.size += int64(len(r.frame))
+	}
+	if err := w.bw.flush(); err != nil {
+		return fmt.Errorf("wal: write segment: %w", err)
+	}
+	if !w.opt.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync segment: %w", err)
+		}
+	}
+	if rotate || w.size >= w.opt.SegmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// rotate seals the current segment and starts the next one.
+func (w *WAL) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: close sealed segment: %w", err)
+	}
+	next := w.seg.Load() + 1
+	f, err := createSegment(w.dir, next)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw.reset(f)
+	w.size = segHeaderLen
+	w.seg.Store(next)
+	return nil
+}
+
+// Close flushes and fsyncs outstanding records and releases the log.
+// Further Appends return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	w.closed = true
+	close(w.reqs)
+	w.mu.Unlock()
+	<-w.done
+	return nil
+}
+
+// Replay feeds every intact record, across all segments in order, to
+// apply. Call it after Open and before the first Append. A torn tail
+// on the final segment has already been truncated by Open; a corrupt
+// frame in any earlier position is real data loss and returns an
+// error without applying further records.
+func (w *WAL) Replay(apply func(*Record) error) error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for i, idx := range segs {
+		recs, _, err := ScanSegment(segmentPath(w.dir, idx))
+		if err != nil && i != len(segs)-1 {
+			return fmt.Errorf("wal: segment %d corrupt mid-log: %w", idx, err)
+		}
+		// On the last segment a scan error can only describe bytes
+		// past the clean prefix Open already discarded.
+		for _, rec := range recs {
+			if err := apply(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LatestSnapshot opens the compaction snapshot, if one exists.
+func (w *WAL) LatestSnapshot() (io.ReadCloser, bool, error) {
+	f, err := os.Open(filepath.Join(w.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: open snapshot: %w", err)
+	}
+	return f, true, nil
+}
+
+// Compact folds the log into a fresh snapshot: it seals the current
+// segment behind a flush barrier, writes the snapshot atomically
+// (temp file, fsync, rename), and deletes the sealed segments the
+// snapshot now covers. save must serialise the *live* server state
+// (auth.Server.SaveState); because every journaled mutation is
+// applied in memory before its Append returns, the snapshot is always
+// at least as new as the sealed segments it replaces. Records that
+// race past the barrier stay in the new segment and replay
+// idempotently on recovery.
+func (w *WAL) Compact(save func(io.Writer) error) error {
+	w.compactMu.Lock()
+	defer w.compactMu.Unlock()
+	req := &request{rotate: true, errc: make(chan error, 1)}
+	if err := w.submit(req); err != nil {
+		return err
+	}
+	sealedBelow := w.seg.Load()
+	if err := AtomicWriteFile(filepath.Join(w.dir, snapshotName), save); err != nil {
+		return fmt.Errorf("wal: write snapshot: %w", err)
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if idx >= sealedBelow {
+			continue
+		}
+		if err := os.Remove(segmentPath(w.dir, idx)); err != nil {
+			return fmt.Errorf("wal: drop sealed segment %d: %w", idx, err)
+		}
+	}
+	return syncDir(w.dir)
+}
+
+// JournalEnroll, JournalBurn, JournalRemap, JournalCounter and
+// JournalDelete implement the auth layer's Journal interface, mapping
+// each mutation onto its record type.
+
+func (w *WAL) JournalEnroll(id string, mapBytes []byte, key [32]byte, reserved []int) error {
+	return w.Append(&Record{Type: TypeEnroll, ClientID: id, MapBytes: mapBytes, Key: key, Reserved: reserved})
+}
+
+func (w *WAL) JournalBurn(id string, pairs []crp.PairBit, nextID uint64, crpsSinceRemap int) error {
+	return w.Append(&Record{Type: TypeBurn, ClientID: id, Pairs: pairs, NextID: nextID, CRPsSinceRemap: crpsSinceRemap})
+}
+
+func (w *WAL) JournalRemap(id string, newKey [32]byte) error {
+	return w.Append(&Record{Type: TypeRemap, ClientID: id, Key: newKey})
+}
+
+func (w *WAL) JournalCounter(id string, nextID uint64) error {
+	return w.Append(&Record{Type: TypeCounter, ClientID: id, NextID: nextID})
+}
+
+func (w *WAL) JournalDelete(id string) error {
+	return w.Append(&Record{Type: TypeDelete, ClientID: id})
+}
+// segmentPath names segment idx inside dir.
+func segmentPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix))
+}
+
+// listSegments returns the segment indexes present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || len(name) != len(segPrefix)+8+len(segSuffix) ||
+			name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+			continue
+		}
+		var idx uint64
+		if _, err := fmt.Sscanf(name[len(segPrefix):len(name)-len(segSuffix)], "%d", &idx); err != nil {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// createSegment creates segment idx with its magic header, durably.
+func createSegment(dir string, idx uint64) (*os.File, error) {
+	path := segmentPath(dir, idx)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync new segment: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}

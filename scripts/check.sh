@@ -12,4 +12,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== wal recovery tests =="
+go test -count=1 -run 'TestKillMidWriteEveryTruncation|TestCorruptCRC|TestReplayIdempotence' ./internal/wal/
+go test -count=1 -run 'TestDurableCrashRecoveryTruncationSweep|TestDurableCompactionUnderVerifyTraffic' .
+
+echo "== wal replay fuzz smoke (5s) =="
+go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s ./internal/wal/
+
 echo "check: all green"
