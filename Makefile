@@ -1,4 +1,4 @@
-.PHONY: check test bench build
+.PHONY: check test bench build lint
 
 check:
 	sh scripts/check.sh
@@ -8,6 +8,9 @@ test:
 
 build:
 	go build ./...
+
+lint:
+	go run ./cmd/authlint ./...
 
 bench:
 	go test -bench . -benchtime 2s -run '^$$' ./...

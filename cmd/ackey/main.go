@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -66,16 +67,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("ackey: provision: %v", err)
 		}
-		f, err := os.Create(*bundlePath)
+		err = authenticache.AtomicWriteFile(*bundlePath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			return enc.Encode(bundle)
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", " ")
-		if err := enc.Encode(bundle); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 		fmt.Printf("bundle written to %s (%s, %d response bits)\n",
 			*bundlePath, params.Scheme, bundle.Challenge.Len())
 		fmt.Printf("key: %s\n", hex.EncodeToString(key[:]))

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetHandshake covers the cmd/go tool-identification protocol
+// without spawning processes.
+func TestVetHandshake(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errOut); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, errOut.String())
+	}
+	fields := strings.Fields(out.String())
+	// cmd/go requires: name, "version", and for devel versions a
+	// trailing buildID= field.
+	if len(fields) < 3 || fields[0] != "authlint" || fields[1] != "version" ||
+		(fields[2] == "devel" && !strings.HasPrefix(fields[len(fields)-1], "buildID=")) {
+		t.Fatalf("-V=full output %q does not satisfy cmd/go's toolID parser", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &errOut); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags printed %q, want an empty JSON array", out.String())
+	}
+}
+
+// buildDriver compiles authlint once into the test's temp dir.
+func buildDriver(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "authlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building authlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestStandaloneFindsSeededViolations runs the built driver against
+// the fixture module, which seeds exactly one violation per analyzer,
+// and requires a non-zero exit naming each analyzer.
+func TestStandaloneFindsSeededViolations(t *testing.T) {
+	bin := buildDriver(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "testdata/fixture"
+	out, err := cmd.CombinedOutput()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("driver err = %v (output %s), want an exit error", err, out)
+	}
+	if code := exitErr.ExitCode(); code != 1 {
+		t.Fatalf("driver exited %d, want 1 (findings)\n%s", code, out)
+	}
+	for _, analyzer := range []string{"lockcheck", "ctxcheck", "errtaxonomy", "atomicwrite"} {
+		if !strings.Contains(string(out), "("+analyzer+")") {
+			t.Errorf("driver output lacks a %s finding:\n%s", analyzer, out)
+		}
+	}
+}
+
+// TestVettoolFindsSeededViolations drives the full `go vet -vettool`
+// unitchecker protocol over the fixture module.
+func TestVettoolFindsSeededViolations(t *testing.T) {
+	bin := buildDriver(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "testdata/fixture"
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded, want failure\n%s", out)
+	}
+	for _, analyzer := range []string{"lockcheck", "ctxcheck", "errtaxonomy", "atomicwrite"} {
+		if !strings.Contains(string(out), "("+analyzer+")") {
+			t.Errorf("vettool output lacks a %s finding:\n%s", analyzer, out)
+		}
+	}
+}
+
+// TestStandaloneCleanModuleExitsZero lints the lint framework's own
+// module subtree — which must stay clean — through the driver.
+func TestStandaloneCleanModuleExitsZero(t *testing.T) {
+	bin := buildDriver(t)
+	cmd := exec.Command(bin, "-dir", "../..", "./internal/lint/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("driver on a clean subtree: %v\n%s", err, out)
+	}
+	if len(bytes.TrimSpace(out)) != 0 {
+		t.Fatalf("driver printed diagnostics on a clean subtree:\n%s", out)
+	}
+}

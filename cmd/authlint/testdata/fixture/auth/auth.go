@@ -1,0 +1,9 @@
+// Package auth seeds one errtaxonomy violation: an API-boundary
+// package returning a bare error.
+package auth
+
+import "errors"
+
+func Verify() error {
+	return errors.New("auth: bare error escaping the taxonomy")
+}

@@ -1,0 +1,9 @@
+// Package lib seeds one ctxcheck violation: library code minting a
+// root context.
+package lib
+
+import "context"
+
+func Fetch() context.Context {
+	return context.Background()
+}

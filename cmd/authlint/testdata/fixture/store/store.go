@@ -1,0 +1,9 @@
+// Package store seeds one atomicwrite violation: an in-place
+// os.WriteFile outside the blessed site.
+package store
+
+import "os"
+
+func Save(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

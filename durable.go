@@ -83,7 +83,10 @@ func applyRecord(srv *auth.Server, rec *wal.Record) error {
 	case wal.TypeDelete:
 		return srv.ReplayDelete(id)
 	}
-	return fmt.Errorf("authenticache: unknown WAL record type %d", rec.Type)
+	return &auth.AuthError{
+		Code: auth.CodeInvalidRequest,
+		Err:  fmt.Errorf("authenticache: unknown WAL record type %d", rec.Type),
+	}
 }
 
 // Compact folds the journal into a fresh snapshot and deletes the

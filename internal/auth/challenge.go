@@ -8,9 +8,9 @@ import (
 	"repro/internal/mapkey"
 )
 
-// authVoltages lists the client's planes usable for ordinary
+// authVoltagesLocked lists the client's planes usable for ordinary
 // challenges. Callers hold rec.mu.
-func authVoltages(rec *clientRecord) []int {
+func authVoltagesLocked(rec *clientRecord) []int {
 	var out []int
 	for _, v := range rec.physMap.Voltages() {
 		if !rec.reserved[v] {
@@ -20,10 +20,10 @@ func authVoltages(rec *clientRecord) []int {
 	return out
 }
 
-// logicalField returns (building and caching as needed) the distance
+// logicalFieldLocked returns (building and caching as needed) the distance
 // field of the client's logical plane at the voltage under the current
 // key. Callers hold rec.mu.
-func logicalField(id ClientID, rec *clientRecord, vddMV int) (*errormap.DistanceField, error) {
+func logicalFieldLocked(id ClientID, rec *clientRecord, vddMV int) (*errormap.DistanceField, error) {
 	if f, ok := rec.logicalFields[vddMV]; ok {
 		return f, nil
 	}
@@ -51,12 +51,12 @@ func (s *Server) IssueChallenge(ctx context.Context, id ClientID) (*crp.Challeng
 	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	vs := authVoltages(rec)
+	vs := authVoltagesLocked(rec)
 	if len(vs) == 0 {
 		return nil, authErrf(CodeInvalidRequest, id, "auth: no non-reserved voltage planes enrolled")
 	}
 	vdd := vs[s.randIntn(len(vs))]
-	return s.issueAt(id, rec, vdd)
+	return s.issueAtLocked(id, rec, vdd)
 }
 
 // IssueChallengeAt issues at a specific enrolled, non-reserved
@@ -74,7 +74,7 @@ func (s *Server) IssueChallengeAt(ctx context.Context, id ClientID, vddMV int) (
 	if rec.reserved[vddMV] {
 		return nil, authErrf(CodeInvalidRequest, id, "auth: %d mV is reserved for key updates", vddMV)
 	}
-	return s.issueAt(id, rec, vddMV)
+	return s.issueAtLocked(id, rec, vddMV)
 }
 
 // IssueChallengeMulti issues a challenge whose bits are spread evenly
@@ -93,7 +93,7 @@ func (s *Server) IssueChallengeMulti(ctx context.Context, id ClientID) (*crp.Cha
 	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	vs := authVoltages(rec)
+	vs := authVoltagesLocked(rec)
 	if len(vs) == 0 {
 		return nil, authErrf(CodeInvalidRequest, id, "auth: no non-reserved voltage planes enrolled")
 	}
@@ -101,22 +101,22 @@ func (s *Server) IssueChallengeMulti(ctx context.Context, id ClientID) (*crp.Cha
 	for i := range vdds {
 		vdds[i] = vs[i%len(vs)]
 	}
-	return s.issueWithVdds(id, rec, vdds)
+	return s.issueWithVddsLocked(id, rec, vdds)
 }
 
-// issueAt issues a single-voltage challenge. Callers hold rec.mu.
-func (s *Server) issueAt(id ClientID, rec *clientRecord, vddMV int) (*crp.Challenge, error) {
+// issueAtLocked issues a single-voltage challenge. Callers hold rec.mu.
+func (s *Server) issueAtLocked(id ClientID, rec *clientRecord, vddMV int) (*crp.Challenge, error) {
 	vdds := make([]int, s.cfg.ChallengeBits)
 	for i := range vdds {
 		vdds[i] = vddMV
 	}
-	return s.issueWithVdds(id, rec, vdds)
+	return s.issueWithVddsLocked(id, rec, vdds)
 }
 
-// issueWithVdds generates one challenge whose bit i runs at vdds[i].
+// issueWithVddsLocked generates one challenge whose bit i runs at vdds[i].
 // Permutations and distance fields are resolved per distinct voltage
 // from the record's key-scoped caches. Callers hold rec.mu.
-func (s *Server) issueWithVdds(id ClientID, rec *clientRecord, vdds []int) (*crp.Challenge, error) {
+func (s *Server) issueWithVddsLocked(id ClientID, rec *clientRecord, vdds []int) (*crp.Challenge, error) {
 	g := rec.physMap.Geometry()
 	fields := map[int]*errormap.DistanceField{}
 	perms := map[int]*mapkey.Permutation{}
@@ -124,12 +124,12 @@ func (s *Server) issueWithVdds(id ClientID, rec *clientRecord, vdds []int) (*crp
 		if _, ok := fields[v]; ok {
 			continue
 		}
-		field, err := logicalField(id, rec, v)
+		field, err := logicalFieldLocked(id, rec, v)
 		if err != nil {
 			return nil, err
 		}
 		fields[v] = field
-		perms[v] = rec.perm(v)
+		perms[v] = rec.permLocked(v)
 	}
 
 	ch := &crp.Challenge{ID: rec.nextID, Bits: make([]crp.PairBit, len(vdds))}

@@ -63,9 +63,9 @@ func newClientRecord(physMap *errormap.Map, key mapkey.Key, reserved map[int]boo
 	}
 }
 
-// perm returns (building and caching) the keyed permutation for the
+// permLocked returns (building and caching) the keyed permutation for the
 // voltage under the current key. Callers hold rec.mu.
-func (rec *clientRecord) perm(vddMV int) *mapkey.Permutation {
+func (rec *clientRecord) permLocked(vddMV int) *mapkey.Permutation {
 	if p, ok := rec.perms[vddMV]; ok {
 		return p
 	}
@@ -74,9 +74,9 @@ func (rec *clientRecord) perm(vddMV int) *mapkey.Permutation {
 	return p
 }
 
-// rotateKey installs a new key and invalidates every key-derived
+// rotateKeyLocked installs a new key and invalidates every key-derived
 // cache. Callers hold rec.mu.
-func (rec *clientRecord) rotateKey(key mapkey.Key) {
+func (rec *clientRecord) rotateKeyLocked(key mapkey.Key) {
 	rec.key = key
 	rec.logicalFields = make(map[int]*errormap.DistanceField)
 	rec.perms = make(map[int]*mapkey.Permutation)

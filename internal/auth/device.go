@@ -104,7 +104,7 @@ func (d *SimDevice) logicalField(key mapkey.Key, vdd int) (*errormap.DistanceFie
 	}
 	phys := d.fieldMap.Plane(vdd)
 	if phys == nil {
-		return nil, fmt.Errorf("auth: device has no plane at %d mV", vdd)
+		return nil, authErrf(CodeBadPlane, "", "%w: device has no plane at %d mV", ErrBadPlane, vdd)
 	}
 	f := LogicalPlane(phys, key, vdd).DistanceTransform()
 	d.fieldCache[ck] = f
@@ -134,7 +134,7 @@ func (d *SimDevice) RespondDefault(ch *crp.Challenge) (crp.Response, error) {
 		if !ok {
 			phys := d.fieldMap.Plane(b.VddMV)
 			if phys == nil {
-				return crp.Response{}, fmt.Errorf("auth: device has no plane at %d mV", b.VddMV)
+				return crp.Response{}, authErrf(CodeBadPlane, "", "%w: device has no plane at %d mV", ErrBadPlane, b.VddMV)
 			}
 			f = phys.DistanceTransform()
 			d.defaultCache[b.VddMV] = f

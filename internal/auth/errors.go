@@ -152,6 +152,7 @@ func (r *remoteCause) Unwrap() error { return r.sentinel }
 // an untyped error carrying the text.
 func errorFromWire(code ErrorCode, clientID ClientID, msg string) error {
 	if code == "" {
+		//lint:ignore errtaxonomy pre-taxonomy peers send no code; there is nothing typed to rebuild
 		return fmt.Errorf("auth: server error: %s", msg)
 	}
 	cause := error(errors.New(msg))

@@ -1,0 +1,103 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+)
+
+// allErrorCodes enumerates every declared ErrorCode. A code added to
+// errors.go without being added here fails TestAllCodesEnumerated via
+// the codeSentinels/CodeOf cross-checks below (and the errtaxonomy
+// analyzer flags the declaration gaps statically).
+var allErrorCodes = []ErrorCode{
+	CodeUnknownClient,
+	CodeAlreadyEnrolled,
+	CodeUnknownChallenge,
+	CodeExhausted,
+	CodeNoRemapPending,
+	CodeBadPlane,
+	CodeInvalidRequest,
+	CodeCanceled,
+	CodeInternal,
+}
+
+// allSentinels enumerates every package sentinel.
+var allSentinels = []error{
+	ErrUnknownClient,
+	ErrAlreadyEnrolled,
+	ErrUnknownChallenge,
+	ErrExhausted,
+	ErrNoRemapPending,
+	ErrBadPlane,
+}
+
+// TestSentinelTablesMutuallyExhaustive pins the static contract the
+// errtaxonomy analyzer enforces: every sentinel is decodable through
+// codeSentinels, and the decode table agrees with CodeOf's encode
+// switch.
+func TestSentinelTablesMutuallyExhaustive(t *testing.T) {
+	if got, want := len(codeSentinels), len(allSentinels); got != want {
+		t.Errorf("codeSentinels has %d entries, want %d (one per sentinel)", got, want)
+	}
+	seen := make(map[ErrorCode]bool)
+	for _, sentinel := range allSentinels {
+		code := CodeOf(sentinel)
+		if code == CodeInternal {
+			t.Errorf("CodeOf(%v) degrades to internal: missing encode case", sentinel)
+			continue
+		}
+		seen[code] = true
+		mapped, ok := codeSentinels[code]
+		if !ok {
+			t.Errorf("code %q (sentinel %v) missing from codeSentinels", code, sentinel)
+			continue
+		}
+		if !errors.Is(mapped, sentinel) {
+			t.Errorf("codeSentinels[%q] = %v, want %v: encode and decode disagree", code, mapped, sentinel)
+		}
+	}
+	for code := range codeSentinels {
+		if !seen[code] {
+			t.Errorf("codeSentinels key %q has no matching sentinel in the declared set", code)
+		}
+	}
+}
+
+// TestErrorCodeWireRoundTrip drives every code through the wire path:
+// encode with CodeOf (what sendErr transmits), rebuild with
+// errorFromWire (what the client reconstructs), and require both the
+// code and errors.Is parity to survive.
+func TestErrorCodeWireRoundTrip(t *testing.T) {
+	for _, code := range allErrorCodes {
+		local := authErrf(code, "c1", "auth: synthetic %s failure", code)
+		wireCode := CodeOf(local)
+		if wireCode != code {
+			t.Errorf("CodeOf(authErrf(%q, ...)) = %q, want the same code", code, wireCode)
+		}
+		remote := errorFromWire(wireCode, "c1", local.Error())
+		if got := CodeOf(remote); got != code {
+			t.Errorf("code %q round-trips over the wire as %q", code, got)
+		}
+		if sentinel, ok := codeSentinels[code]; ok && !errors.Is(remote, sentinel) {
+			t.Errorf("remote error for %q does not satisfy errors.Is against its sentinel %v", code, sentinel)
+		}
+	}
+}
+
+// TestPreTaxonomyWireErrorDegrades pins the documented fallback: a
+// message with no code (pre-taxonomy server) rebuilds as an untyped
+// error that CodeOf classifies as internal.
+func TestPreTaxonomyWireErrorDegrades(t *testing.T) {
+	err := errorFromWire("", "c1", "something opaque")
+	if err == nil {
+		t.Fatal("errorFromWire(\"\", ...) returned nil")
+	}
+	if got := CodeOf(err); got != CodeInternal {
+		t.Errorf("pre-taxonomy error classifies as %q, want %q", got, CodeInternal)
+	}
+	for _, sentinel := range allSentinels {
+		if errors.Is(err, sentinel) {
+			t.Errorf("pre-taxonomy error unexpectedly satisfies errors.Is(%v)", sentinel)
+		}
+	}
+}

@@ -140,7 +140,7 @@ func (s *Server) ReplayRemap(id ClientID, key mapkey.Key) error {
 	}
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	rec.rotateKey(key)
+	rec.rotateKeyLocked(key)
 	return nil
 }
 

@@ -99,10 +99,13 @@ func TestSaveLoadRoundTripUnderVerifyTraffic(t *testing.T) {
 		if !ok {
 			t.Fatalf("client %s missing after load", id)
 		}
+		rec.mu.Lock()
 		for _, p := range pairs {
 			if !rec.registry.IsUsed(p) {
+				rec.mu.Unlock()
 				t.Fatalf("client %s: pair %+v burned before the save is reusable after the load", id, p)
 			}
 		}
+		rec.mu.Unlock()
 	}
 }

@@ -111,7 +111,7 @@ func (s *Server) CompleteRemap(ctx context.Context, id ClientID, success bool) e
 				return authErr(CodeInternal, id, err)
 			}
 		}
-		rec.rotateKey(rec.remap.newKey)
+		rec.rotateKeyLocked(rec.remap.newKey)
 	}
 	rec.remap = nil
 	return nil

@@ -112,12 +112,12 @@ func (s *Server) LoadState(r io.Reader) error {
 		return fmt.Errorf("auth: decode state: %w", err)
 	}
 	if st.Version != storeVersion && st.Version != 1 {
-		return fmt.Errorf("auth: unsupported state version %d", st.Version)
+		return authErrf(CodeInvalidRequest, "", "auth: unsupported state version %d", st.Version)
 	}
 	clients := make(map[ClientID]*clientRecord, len(st.Clients))
 	for _, sc := range st.Clients {
 		if sc.ID == "" {
-			return fmt.Errorf("auth: state has a client with empty id")
+			return authErrf(CodeInvalidRequest, "", "auth: state has a client with empty id")
 		}
 		mb, err := base64.StdEncoding.DecodeString(sc.MapB64)
 		if err != nil {
@@ -129,19 +129,19 @@ func (s *Server) LoadState(r io.Reader) error {
 		}
 		kb, err := hex.DecodeString(sc.KeyHex)
 		if err != nil || len(kb) != 32 {
-			return fmt.Errorf("auth: client %q has a malformed key", sc.ID)
+			return authErrf(CodeInvalidRequest, ClientID(sc.ID), "auth: client %q has a malformed key", sc.ID)
 		}
 		var key mapkey.Key
 		copy(key[:], kb)
 		reserved := make(map[int]bool, len(sc.Reserved))
 		for _, v := range sc.Reserved {
 			if m.Plane(v) == nil {
-				return fmt.Errorf("auth: client %q reserves unenrolled plane %d mV", sc.ID, v)
+				return authErrf(CodeInvalidRequest, ClientID(sc.ID), "auth: client %q reserves unenrolled plane %d mV", sc.ID, v)
 			}
 			reserved[v] = true
 		}
 		if _, dup := clients[ClientID(sc.ID)]; dup {
-			return fmt.Errorf("auth: duplicate client %q in state", sc.ID)
+			return authErrf(CodeInvalidRequest, ClientID(sc.ID), "auth: duplicate client %q in state", sc.ID)
 		}
 		rec := newClientRecord(m, key, reserved)
 		rec.registry = crp.RestoreRegistry(sc.Used)

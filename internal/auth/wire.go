@@ -101,7 +101,7 @@ func (ws *WireServer) Serve(ctx context.Context, l net.Listener) error {
 	ws.mu.Lock()
 	if ws.closed {
 		ws.mu.Unlock()
-		return errors.New("auth: server closed")
+		return authErrf(CodeInvalidRequest, "", "auth: server closed")
 	}
 	ws.listener = l
 	ws.mu.Unlock()
@@ -171,7 +171,7 @@ func (mr *msgReader) next(msg *wireMsg) error {
 		chunk, err := mr.buf.ReadSlice('\n')
 		line = append(line, chunk...)
 		if len(line) > maxWireMessageBytes {
-			return fmt.Errorf("auth: wire message exceeds %d bytes", maxWireMessageBytes)
+			return authErrf(CodeInvalidRequest, "", "auth: wire message exceeds %d bytes", maxWireMessageBytes)
 		}
 		if err == nil {
 			break
@@ -343,7 +343,7 @@ func (wc *WireClient) recv() (wireMsg, error) {
 	var msg wireMsg
 	if err := wc.dec.Decode(&msg); err != nil {
 		if errors.Is(err, io.EOF) {
-			return msg, errors.New("auth: server closed connection")
+			return msg, authErrf(CodeInternal, "", "auth: server closed connection")
 		}
 		return msg, err
 	}
@@ -388,7 +388,7 @@ func (wc *WireClient) AuthenticateSession(ctx context.Context, r *Responder) (bo
 		return false, zero, ioErr(ctx, err)
 	}
 	if msg.Type != "challenge" || msg.Challenge == nil {
-		return false, zero, fmt.Errorf("auth: expected challenge, got %q", msg.Type)
+		return false, zero, authErrf(CodeInvalidRequest, "", "auth: expected challenge, got %q", msg.Type)
 	}
 	resp, err := r.Respond(msg.Challenge)
 	if err != nil {
@@ -406,14 +406,14 @@ func (wc *WireClient) AuthenticateSession(ctx context.Context, r *Responder) (bo
 		return false, zero, ioErr(ctx, err)
 	}
 	if verdict.Type != "verdict" {
-		return false, zero, fmt.Errorf("auth: expected verdict, got %q", verdict.Type)
+		return false, zero, authErrf(CodeInvalidRequest, "", "auth: expected verdict, got %q", verdict.Type)
 	}
 	if !verdict.Accepted {
 		return false, zero, nil
 	}
 	sessionKey := r.SessionKey(msg.Challenge)
 	if verdict.Confirm != confirmTag(sessionKey) {
-		return false, zero, fmt.Errorf("auth: session key confirmation mismatch")
+		return false, zero, authErrf(CodeInvalidRequest, "", "auth: session key confirmation mismatch")
 	}
 	if verdict.RemapAdvised {
 		// The server says the CRP budget under this key is spent; run
@@ -448,7 +448,7 @@ func (wc *WireClient) remapArmed(ctx context.Context, r *Responder) error {
 		return ioErr(ctx, err)
 	}
 	if msg.Type != "remap_challenge" || msg.Remap == nil {
-		return fmt.Errorf("auth: expected remap_challenge, got %q", msg.Type)
+		return authErrf(CodeInvalidRequest, "", "auth: expected remap_challenge, got %q", msg.Type)
 	}
 	success := r.HandleRemap(msg.Remap) == nil
 	if err := wc.enc.Encode(wireMsg{Type: "remap_done", Success: success}); err != nil {
@@ -459,10 +459,10 @@ func (wc *WireClient) remapArmed(ctx context.Context, r *Responder) error {
 		return ioErr(ctx, err)
 	}
 	if ack.Type != "remap_ack" {
-		return fmt.Errorf("auth: expected remap_ack, got %q", ack.Type)
+		return authErrf(CodeInvalidRequest, "", "auth: expected remap_ack, got %q", ack.Type)
 	}
 	if !success {
-		return errors.New("auth: client failed to derive the new key")
+		return authErrf(CodeInternal, "", "auth: client failed to derive the new key")
 	}
 	return nil
 }

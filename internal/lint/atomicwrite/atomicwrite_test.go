@@ -1,0 +1,16 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/linttest"
+)
+
+func TestForbiddenCalls(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/src/storepkg")
+}
+
+func TestBlessedSiteExempt(t *testing.T) {
+	linttest.Run(t, atomicwrite.Analyzer, "testdata/src/wal")
+}

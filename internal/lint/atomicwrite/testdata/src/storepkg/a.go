@@ -1,0 +1,37 @@
+// Fixture for atomicwrite: in-place file clobbering is forbidden
+// outside internal/wal/atomic.go.
+package storepkg
+
+import "os"
+
+func saveBad(path string, b []byte) error {
+	if err := os.WriteFile(path, b, 0o644); err != nil { // want "direct os.WriteFile"
+		return err
+	}
+	f, err := os.Create(path + ".tmp") // want "direct os.Create"
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want "direct os.Rename"
+}
+
+func appendGood(path string, b []byte) error {
+	// The append path owns its file and fsyncs explicitly; OpenFile is
+	// not in the forbidden set.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,25 @@
+// Fixture: internal/wal/atomic.go is the blessed implementation site
+// for the temp+fsync+rename sequence; nothing here is reported.
+package wal
+
+import "os"
+
+func atomicWriteFile(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

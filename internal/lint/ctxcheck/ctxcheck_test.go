@@ -1,0 +1,16 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxcheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestLibrary(t *testing.T) {
+	linttest.Run(t, ctxcheck.Analyzer, "testdata/src/lib")
+}
+
+func TestEdgePackage(t *testing.T) {
+	linttest.Run(t, ctxcheck.Analyzer, "testdata/src/cmd/tool")
+}

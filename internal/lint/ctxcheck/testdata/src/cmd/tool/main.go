@@ -1,0 +1,17 @@
+// Fixture for ctxcheck: cmd/ packages are program edges and may mint
+// root contexts — but a function that already has one must pass it on.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // edge package: allowed
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	use(context.TODO()) // want "pass ctx"
+	use(ctx)
+}
+
+func use(ctx context.Context) { _ = ctx }

@@ -1,0 +1,36 @@
+// Fixture for ctxcheck: library code must thread the caller's context.
+package lib
+
+import (
+	"context"
+	"time"
+)
+
+func mintBad() context.Context {
+	return context.Background() // want "forbidden in library code"
+}
+
+func todoBad() {
+	ctx := context.TODO() // want "forbidden in library code"
+	_ = ctx
+}
+
+func dropBad(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want "pass ctx"
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}
+
+func closureBad(ctx context.Context) func() context.Context {
+	return func() context.Context {
+		return context.TODO() // want "pass ctx"
+	}
+}
+
+func passGood(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}

@@ -1,0 +1,298 @@
+// Package errtaxonomy enforces the typed-error contract on the API
+// boundary packages (internal/auth and the root facade): every error
+// those packages return must wrap the *AuthError taxonomy so that
+// errors.Is holds identically in-process and across the TCP wire.
+//
+// Two rule groups:
+//
+//  1. Constructor discipline — inside a taxonomy package, a return
+//     statement must not hand back a bare errors.New(...) or a
+//     fmt.Errorf(...) without a %w verb. Those escape the taxonomy:
+//     CodeOf degrades them to CodeInternal and errors.Is parity is
+//     lost on the far side of the wire. Build errors with
+//     authErr/authErrf/ctxErr (or &AuthError{...}); propagate causes
+//     with %w.
+//
+//  2. Exhaustiveness — when the package declares the taxonomy anchors
+//     (type ErrorCode, var codeSentinels, func CodeOf), the ErrorCode
+//     const set, the codeSentinels decode table and CodeOf's
+//     errors.Is switch (the wire encode side) must stay mutually
+//     consistent: every package sentinel appears in codeSentinels,
+//     every codeSentinels entry has a CodeOf case returning the same
+//     code, and every CodeOf sentinel case is in codeSentinels.
+//     (errorFromWire's decode is driven directly by codeSentinels, so
+//     map consistency is wire round-trip consistency.)
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the errtaxonomy entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "API-boundary errors must wrap *AuthError; ErrorCode consts, codeSentinels and CodeOf must be mutually exhaustive",
+	Run:  run,
+}
+
+// taxonomyPackages are the package names the constructor discipline
+// applies to.
+var taxonomyPackages = map[string]bool{
+	"auth":          true,
+	"authenticache": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !taxonomyPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	checkReturns(pass)
+	checkExhaustive(pass)
+	return nil
+}
+
+// checkReturns flags bare errors.New / non-wrapping fmt.Errorf results
+// in return statements.
+func checkReturns(pass *lint.Pass) {
+	for _, scope := range lint.FuncScopes(pass.Files) {
+		scope.InspectShallow(func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				obj := lint.CalleeObject(pass.TypesInfo, call)
+				switch {
+				case lint.IsPkgFunc(obj, "errors", "New"):
+					pass.Reportf(call.Pos(),
+						"returned error is a bare errors.New and escapes the *AuthError taxonomy; use authErr/authErrf (or &AuthError{...})")
+				case lint.IsPkgFunc(obj, "fmt", "Errorf") && !wrapsCause(pass, call):
+					pass.Reportf(call.Pos(),
+						"returned fmt.Errorf has no %%w and escapes the *AuthError taxonomy; use authErrf, or wrap a typed cause with %%w")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wrapsCause reports whether a fmt.Errorf call's (constant) format
+// string contains a %w verb. Non-constant formats are given the
+// benefit of the doubt.
+func wrapsCause(pass *lint.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}
+
+// --- Exhaustiveness ---------------------------------------------------------
+
+// checkExhaustive cross-checks the taxonomy anchors when the package
+// declares all of them.
+func checkExhaustive(pass *lint.Pass) {
+	anchors := collectAnchors(pass)
+	if anchors == nil {
+		return
+	}
+	// Every package sentinel must be decodable: present in
+	// codeSentinels.
+	for name, pos := range anchors.sentinels {
+		if _, ok := anchors.mapCodeBySentinel[name]; !ok {
+			pass.Reportf(pos,
+				"sentinel %s is missing from codeSentinels: a remote *AuthError carrying its code will not satisfy errors.Is(err, %s)", name, name)
+		}
+	}
+	// Every codeSentinels entry must have a matching CodeOf case with
+	// the same code (the encode side of the wire).
+	for sent, code := range anchors.mapCodeBySentinel {
+		got, ok := anchors.codeOfBySentinel[sent]
+		if !ok {
+			pass.Reportf(anchors.mapEntryPos[sent],
+				"codeSentinels maps %s to %s but CodeOf has no errors.Is case for %s: the sentinel will encode as internal on the wire", code, sent, sent)
+			continue
+		}
+		if got != code {
+			pass.Reportf(anchors.mapEntryPos[sent],
+				"codeSentinels maps %s to %s but CodeOf returns %s for it: encode and decode disagree", code, sent, got)
+		}
+	}
+	// Every CodeOf sentinel case must be decodable too.
+	for sent, pos := range anchors.codeOfCasePos {
+		if _, ok := anchors.mapCodeBySentinel[sent]; !ok {
+			pass.Reportf(pos,
+				"CodeOf has an errors.Is case for %s but codeSentinels lacks it: the code round-trips to a bare AuthError instead of the sentinel", sent)
+		}
+	}
+	// Map keys must be declared ErrorCode constants.
+	for code, pos := range anchors.mapKeyPos {
+		if !anchors.codes[code] {
+			pass.Reportf(pos, "codeSentinels key %s is not a declared ErrorCode constant", code)
+		}
+	}
+}
+
+type anchors struct {
+	codes             map[string]bool      // ErrorCode const names
+	sentinels         map[string]token.Pos // package-level Err* error vars
+	mapCodeBySentinel map[string]string    // sentinel name → code name (codeSentinels)
+	mapEntryPos       map[string]token.Pos // sentinel name → entry pos
+	mapKeyPos         map[string]token.Pos // code name → key pos
+	codeOfBySentinel  map[string]string    // sentinel name → returned code (CodeOf)
+	codeOfCasePos     map[string]token.Pos
+}
+
+// collectAnchors finds the ErrorCode consts, the sentinel vars, the
+// codeSentinels literal and CodeOf's switch. Returns nil unless the
+// type, the map and the function all exist in this package.
+func collectAnchors(pass *lint.Pass) *anchors {
+	a := &anchors{
+		codes:             make(map[string]bool),
+		sentinels:         make(map[string]token.Pos),
+		mapCodeBySentinel: make(map[string]string),
+		mapEntryPos:       make(map[string]token.Pos),
+		mapKeyPos:         make(map[string]token.Pos),
+		codeOfBySentinel:  make(map[string]string),
+		codeOfCasePos:     make(map[string]token.Pos),
+	}
+	haveType, haveMap, haveCodeOf := false, false, false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.Name == "ErrorCode" {
+							haveType = true
+						}
+					case *ast.ValueSpec:
+						collectValueSpec(pass, a, d.Tok, sp, &haveMap)
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "CodeOf" && d.Recv == nil {
+					haveCodeOf = true
+					collectCodeOf(a, d)
+				}
+			}
+		}
+	}
+	if !haveType || !haveMap || !haveCodeOf {
+		return nil
+	}
+	return a
+}
+
+// collectValueSpec gathers ErrorCode constants, Err* sentinel vars and
+// the codeSentinels map literal.
+func collectValueSpec(pass *lint.Pass, a *anchors, tok token.Token, sp *ast.ValueSpec, haveMap *bool) {
+	if tok == token.CONST {
+		// Resolve through the type checker so iota-continued specs
+		// (which carry no Type node) are still recognised.
+		for _, name := range sp.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isErrorCode(obj.Type()) {
+				a.codes[name.Name] = true
+			}
+		}
+		return
+	}
+	for i, name := range sp.Names {
+		if strings.HasPrefix(name.Name, "Err") && i < len(sp.Values) {
+			if call, ok := sp.Values[i].(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "New" {
+					a.sentinels[name.Name] = name.Pos()
+				}
+			}
+		}
+		if name.Name == "codeSentinels" && i < len(sp.Values) {
+			lit, ok := sp.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			*haveMap = true
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, kok := kv.Key.(*ast.Ident)
+				val, vok := kv.Value.(*ast.Ident)
+				if !kok || !vok {
+					continue
+				}
+				a.mapCodeBySentinel[val.Name] = key.Name
+				a.mapEntryPos[val.Name] = kv.Pos()
+				a.mapKeyPos[key.Name] = kv.Pos()
+			}
+		}
+	}
+}
+
+// isErrorCode matches a named type called ErrorCode.
+func isErrorCode(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "ErrorCode"
+}
+
+// collectCodeOf reads CodeOf's switch: case errors.Is(err, Sentinel)
+// clauses returning a code constant. Sentinels selected from other
+// packages (context.Canceled) are outside the package taxonomy and
+// skipped.
+func collectCodeOf(a *anchors, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		code := caseReturnCode(cc)
+		if code == "" {
+			return true
+		}
+		for _, expr := range cc.List {
+			call, ok := expr.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Is" || len(call.Args) != 2 {
+				continue
+			}
+			sentinel, ok := call.Args[1].(*ast.Ident)
+			if !ok {
+				continue // cross-package sentinel, e.g. context.Canceled
+			}
+			a.codeOfBySentinel[sentinel.Name] = code
+			a.codeOfCasePos[sentinel.Name] = expr.Pos()
+		}
+		return true
+	})
+}
+
+// caseReturnCode extracts the code constant a case clause returns.
+func caseReturnCode(cc *ast.CaseClause) string {
+	for _, st := range cc.Body {
+		ret, ok := st.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		if id, ok := ret.Results[0].(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errtaxonomy"
+	"repro/internal/lint/linttest"
+)
+
+func TestTaxonomy(t *testing.T) {
+	linttest.Run(t, errtaxonomy.Analyzer, "testdata/src/auth")
+}
+
+func TestNonTaxonomyPackageExempt(t *testing.T) {
+	linttest.Run(t, errtaxonomy.Analyzer, "testdata/src/other")
+}

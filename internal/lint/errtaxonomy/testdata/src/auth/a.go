@@ -1,0 +1,70 @@
+// Fixture for errtaxonomy. The package is named auth so both rule
+// groups apply: constructor discipline on returns, and exhaustiveness
+// across the ErrorCode consts, the codeSentinels decode table and
+// CodeOf's encode switch.
+package auth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+type ErrorCode int
+
+const (
+	CodeUnknown ErrorCode = iota
+	CodeExpired
+	CodeMismatch
+	CodeInternal
+)
+
+// CodeBogus is a var, not a declared ErrorCode constant.
+var CodeBogus ErrorCode = 99
+
+var (
+	ErrUnknown  = errors.New("auth: unknown")
+	ErrExpired  = errors.New("auth: expired")
+	ErrMismatch = errors.New("auth: mismatch")
+	ErrMissing  = errors.New("auth: missing") // want "sentinel ErrMissing is missing from codeSentinels"
+	ErrGhost    = errors.New("auth: ghost")   // want "sentinel ErrGhost is missing from codeSentinels"
+	ErrOrphan   = errors.New("auth: orphan")
+)
+
+var codeSentinels = map[ErrorCode]error{
+	CodeUnknown:  ErrUnknown,
+	CodeExpired:  ErrExpired,  // want "encode and decode disagree"
+	CodeMismatch: ErrMismatch, // want "CodeOf has no errors.Is case for ErrMismatch"
+	CodeBogus:    ErrOrphan,   // want "key CodeBogus is not a declared ErrorCode constant" "CodeOf has no errors.Is case for ErrOrphan"
+}
+
+func CodeOf(err error) ErrorCode {
+	switch {
+	case errors.Is(err, ErrUnknown):
+		return CodeUnknown
+	case errors.Is(err, ErrExpired):
+		return CodeMismatch
+	case errors.Is(err, ErrGhost): // want "codeSentinels lacks it"
+		return CodeInternal
+	case errors.Is(err, context.Canceled): // cross-package sentinel: out of scope
+		return CodeInternal
+	}
+	return CodeInternal
+}
+
+func bareNew() error {
+	return errors.New("boom") // want "bare errors.New"
+}
+
+func noWrap(err error) error {
+	return fmt.Errorf("lookup failed: %v", err) // want "has no %w"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("lookup failed: %w", err)
+}
+
+func degradeFromWire(msg string) error {
+	//lint:ignore errtaxonomy pre-taxonomy peers send opaque strings; nothing typed to rebuild
+	return errors.New(msg)
+}

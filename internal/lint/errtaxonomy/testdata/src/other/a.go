@@ -1,0 +1,9 @@
+// Fixture: a package outside the taxonomy boundary may return bare
+// errors freely.
+package other
+
+import "errors"
+
+func plain() error {
+	return errors.New("not an API-boundary package")
+}

@@ -1,0 +1,107 @@
+// Package linttest runs an analyzer over a fixture directory and
+// checks its diagnostics against golden `// want` comments — a
+// dependency-free analogue of golang.org/x/tools/go/analysis/
+// analysistest.
+//
+// A fixture line that should trigger a diagnostic carries a trailing
+// comment of the form
+//
+//	code() // want "regexp"  ("second regexp" ...)
+//
+// Every want must be matched by a diagnostic on its line (message
+// matched as an unanchored regexp) and every diagnostic must be
+// wanted; anything else fails the test. Because an analyzer weakened
+// to a no-op matches zero wants, the golden files double as liveness
+// tests for the analyzers themselves.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir, applies the analyzer, and
+// compares diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("parse wants in %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant marks and reports the first unmatched want covering d.
+func matchWant(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE captures each quoted pattern after a `// want` marker.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants extracts want comments from the fixture files.
+func parseWants(pkg *lint.Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					unquoted := strings.ReplaceAll(m[1], `\"`, `"`)
+					re, err := regexp.Compile(unquoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, m[1], err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,463 @@
+// Package lockcheck enforces the repo's mutex-guard convention on
+// every struct that carries one:
+//
+//   - a field named "mu" (sync.Mutex or sync.RWMutex) guards every
+//     field declared after it, except other mutexes and types that
+//     synchronise themselves (sync.Map, sync.WaitGroup, sync/atomic
+//     values, channels);
+//   - a field named "<prefix>Mu" guards exactly the fields whose
+//     names start with <prefix> (e.g. Server.randMu guards rand);
+//   - a mutex with no matching fields (wal.WAL.compactMu) guards a
+//     critical section, not data, and imposes nothing.
+//
+// A guarded field may only be accessed in a function that (a) is
+// named *Locked — the caller owns the critical section, as with the
+// clientRecord helpers — (b) locks the corresponding mutex on the
+// same receiver somewhere in the same function, or (c) constructed
+// the value locally via a new*/New* constructor or composite literal,
+// i.e. the value is not yet published.
+//
+// The analyzer also pins the durability ordering from internal/auth's
+// journal contract: JournalBurn, JournalRemap and JournalCounter — the
+// per-record mutations — must be invoked lexically inside the record's
+// critical section (after a .mu.Lock() with no intervening explicit
+// .mu.Unlock()), or from a *Locked function whose caller holds the
+// lock. JournalEnroll and JournalDelete are record-lifecycle events
+// journaled outside any record lock by design and are exempt.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the lockcheck entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc:  "mu-guarded struct fields accessed only under their mutex, with journal appends inside the critical section",
+	Run:  run,
+}
+
+// recordJournalMethods are the journal appends that must sit inside a
+// record critical section.
+var recordJournalMethods = map[string]bool{
+	"JournalBurn":    true,
+	"JournalRemap":   true,
+	"JournalCounter": true,
+}
+
+func run(pass *lint.Pass) error {
+	g := &guards{cache: make(map[*types.Struct]map[int]string)}
+	for _, scope := range lint.FuncScopes(pass.Files) {
+		checkScope(pass, g, scope)
+	}
+	return nil
+}
+
+// guards caches the field→mutex map per struct type.
+type guards struct {
+	cache map[*types.Struct]map[int]string
+}
+
+// of returns the guard map for st: field index → name of the mutex
+// field guarding it.
+func (g *guards) of(st *types.Struct) map[int]string {
+	if m, ok := g.cache[st]; ok {
+		return m
+	}
+	m := make(map[int]string)
+	g.cache[st] = m
+
+	type mutexField struct {
+		index int
+		name  string
+	}
+	var muxes []mutexField
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutex(f.Type()) {
+			muxes = append(muxes, mutexField{index: i, name: f.Name()})
+		}
+	}
+	// Prefix-named mutexes claim their fields first.
+	claimed := make(map[int]bool)
+	for _, mx := range muxes {
+		prefix, ok := strings.CutSuffix(mx.name, "Mu")
+		if !ok || prefix == "" {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if i == mx.index || isMutex(f.Type()) || selfSynced(f.Type()) {
+				continue
+			}
+			if strings.HasPrefix(f.Name(), prefix) {
+				m[i] = mx.name
+				claimed[i] = true
+			}
+		}
+	}
+	// A bare "mu" guards everything declared below it that is still
+	// unclaimed.
+	for _, mx := range muxes {
+		if mx.name != "mu" {
+			continue
+		}
+		for i := mx.index + 1; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if claimed[i] || isMutex(f.Type()) || selfSynced(f.Type()) {
+				continue
+			}
+			m[i] = mx.name
+		}
+	}
+	return m
+}
+
+// isMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isSyncType(t, "Mutex") || isSyncType(t, "RWMutex")
+}
+
+// selfSynced reports whether t carries its own synchronisation and
+// needs no external lock: the sync containers, atomics, and channels.
+func selfSynced(t types.Type) bool {
+	if _, ok := t.(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSyncType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// lockEvent is one mutex operation or journal call, in lexical order.
+type lockEvent struct {
+	pos      token.Pos
+	kind     string // "lock", "unlock", "journal"
+	key      string // lock identity: root object pointer + mutex name
+	deferred bool
+	call     *ast.CallExpr
+	method   string
+}
+
+// checkScope verifies every guarded-field access and journal call in
+// one function body.
+func checkScope(pass *lint.Pass, g *guards, scope *lint.FuncScope) {
+	info := pass.TypesInfo
+
+	// Pass 1: find the locks this scope (or an enclosing literal
+	// chain) takes, the fresh locals it constructs, and the ordered
+	// lock/unlock/journal event list.
+	locked := make(map[string]bool)
+	var events []lockEvent
+	fresh := freshLocals(info, scope)
+	collect := func(s *lint.FuncScope, record bool) {
+		s.InspectShallow(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if key, ok := mutexKey(info, sel.X); ok {
+					locked[key] = true
+					if record {
+						events = append(events, lockEvent{pos: call.Pos(), kind: "lock", key: key})
+					}
+				}
+			case "Unlock", "RUnlock":
+				if key, ok := mutexKey(info, sel.X); ok && record {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "unlock", key: key})
+				}
+			default:
+				if record && recordJournalMethods[sel.Sel.Name] {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "journal", call: call, method: sel.Sel.Name})
+				}
+			}
+			return true
+		})
+	}
+	collect(scope, true)
+	// A function literal may rely on a lock its enclosing function
+	// holds (the common defer-unlock and with-lock-held callback
+	// shapes), so enclosing locks count as held.
+	for p := scope.Parent; p != nil; p = p.Parent {
+		collect(p, false)
+	}
+	markDeferredUnlocks(scope, events)
+
+	inLocked := lockedName(scope)
+
+	// Pass 2: guarded field accesses.
+	scope.InspectShallow(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		owner, index := fieldOwner(selection)
+		if owner == nil {
+			return true
+		}
+		muName := g.of(owner)[index]
+		if muName == "" {
+			return true
+		}
+		if inLocked {
+			return true
+		}
+		root := lint.RootIdent(sel.X)
+		if root == nil {
+			return true // chained call results etc.: out of scope
+		}
+		rootObj := info.Uses[root]
+		if rootObj == nil {
+			rootObj = info.Defs[root]
+		}
+		if rootObj == nil {
+			return true
+		}
+		if fresh[rootObj] {
+			return true
+		}
+		if locked[lockKey(rootObj, muName)] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s.%s is guarded by %s; access it under %s.%s.Lock, from a *Locked function, or on a freshly constructed record",
+			owner.Field(index).Pkg().Name()+"."+structName(selection), sel.Sel.Name, muName, root.Name, muName)
+		return true
+	})
+
+	// Pass 3: journal calls must sit lexically inside a record
+	// critical section.
+	if !inLocked {
+		for _, ev := range events {
+			if ev.kind != "journal" {
+				continue
+			}
+			if !insideCriticalSection(events, ev) {
+				pass.Reportf(ev.call.Pos(),
+					"%s must be called inside the record critical section (after .mu.Lock with no intervening .mu.Unlock) or from a *Locked function",
+					ev.method)
+			}
+		}
+	}
+}
+
+// lockedName reports whether the scope (or, for a literal, any
+// enclosing declaration) is named *Locked.
+func lockedName(scope *lint.FuncScope) bool {
+	for s := scope; s != nil; s = s.Parent {
+		if strings.HasSuffix(s.Name, "Locked") && s.Name != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// insideCriticalSection reports whether a journal event has a "mu"
+// lock before it with no explicit unlock of the same mutex between.
+func insideCriticalSection(events []lockEvent, j lockEvent) bool {
+	var last *lockEvent
+	for i := range events {
+		ev := &events[i]
+		if ev.pos >= j.pos {
+			break
+		}
+		if !strings.HasSuffix(ev.key, ".mu") {
+			continue
+		}
+		switch ev.kind {
+		case "lock":
+			last = ev
+		case "unlock":
+			if !ev.deferred && last != nil && ev.key == last.key {
+				last = nil
+			}
+		}
+	}
+	return last != nil
+}
+
+// markDeferredUnlocks flags unlock events that run at function exit
+// (defer), which never end the lexical critical section.
+func markDeferredUnlocks(scope *lint.FuncScope, events []lockEvent) {
+	scope.InspectShallow(func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		for i := range events {
+			if events[i].pos == def.Call.Pos() {
+				events[i].deferred = true
+			}
+		}
+		return true
+	})
+}
+
+// mutexKey resolves the expression before ".Lock" — e.g. rec.mu or
+// s.shards[i].mu — to "rootObject.mutexName". A bare local mutex
+// (ident) guards no struct fields and yields no key.
+func mutexKey(info *types.Info, x ast.Expr) (string, bool) {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal || !isMutex(selection.Obj().Type()) {
+		return "", false
+	}
+	root := lint.RootIdent(sel.X)
+	if root == nil {
+		return "", false
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	if obj == nil {
+		return "", false
+	}
+	return lockKey(obj, sel.Sel.Name), true
+}
+
+func lockKey(obj types.Object, mutexName string) string {
+	return fmt.Sprintf("%s@%d.%s", obj.Id(), obj.Pos(), mutexName)
+}
+
+// fieldOwner walks a selection's index path to the struct that
+// declares the selected field, returning it and the field's index.
+func fieldOwner(sel *types.Selection) (*types.Struct, int) {
+	t := sel.Recv()
+	index := sel.Index()
+	for depth, i := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return nil, 0
+		}
+		if depth == len(index)-1 {
+			return st, i
+		}
+		t = st.Field(i).Type()
+	}
+	return nil, 0
+}
+
+// structName renders the receiver struct's type name for diagnostics.
+func structName(sel *types.Selection) string {
+	t := sel.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		if named, ok := p.Elem().(*types.Named); ok {
+			return named.Obj().Name()
+		}
+	}
+	return t.String()
+}
+
+// freshLocals finds local variables initialised from a constructor
+// (new*/New* call) or composite literal in this scope: values not yet
+// published, whose guarded fields may be set lock-free.
+func freshLocals(info *types.Info, scope *lint.FuncScope) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if isFreshExpr(rhs) {
+			fresh[obj] = true
+		}
+	}
+	scope.InspectShallow(func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					mark(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					mark(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: a
+// composite literal, &literal, or a call to a new*/New* constructor.
+func isFreshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := x.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		var name string
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		return strings.HasPrefix(name, "new") || strings.HasPrefix(name, "New")
+	}
+	return false
+}

@@ -91,11 +91,12 @@ type WAL struct {
 	reqs chan *request
 	done chan struct{}
 
-	// mu guards closed against the Append/Compact send path: senders
-	// hold it shared while pushing onto reqs, Close holds it exclusive
-	// while closing the channel.
-	mu     sync.RWMutex
-	closed bool
+	// closedMu guards closed against the Append/Compact send path:
+	// senders hold it shared while pushing onto reqs, Close holds it
+	// exclusive while closing the channel. (The writer-goroutine fields
+	// below are confined to the writer loop and need no lock.)
+	closedMu sync.RWMutex
+	closed   bool
 
 	// seg is the index of the segment currently being appended to;
 	// read by Compact to know which segments are sealed.
@@ -219,13 +220,13 @@ func (w *WAL) Append(rec *Record) error {
 }
 
 func (w *WAL) submit(req *request) error {
-	w.mu.RLock()
+	w.closedMu.RLock()
 	if w.closed {
-		w.mu.RUnlock()
+		w.closedMu.RUnlock()
 		return ErrClosed
 	}
 	w.reqs <- req
-	w.mu.RUnlock()
+	w.closedMu.RUnlock()
 	return <-req.errc
 }
 
@@ -330,14 +331,14 @@ func (w *WAL) rotate() error {
 // Close flushes and fsyncs outstanding records and releases the log.
 // Further Appends return ErrClosed.
 func (w *WAL) Close() error {
-	w.mu.Lock()
+	w.closedMu.Lock()
 	if w.closed {
-		w.mu.Unlock()
+		w.closedMu.Unlock()
 		return ErrClosed
 	}
 	w.closed = true
 	close(w.reqs)
-	w.mu.Unlock()
+	w.closedMu.Unlock()
 	<-w.done
 	return nil
 }
@@ -438,6 +439,7 @@ func (w *WAL) JournalCounter(id string, nextID uint64) error {
 func (w *WAL) JournalDelete(id string) error {
 	return w.Append(&Record{Type: TypeDelete, ClientID: id})
 }
+
 // segmentPath names segment idx inside dir.
 func segmentPath(dir string, idx uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix))

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Repo-wide gate: vet, build, and race-test everything.
+# Repo-wide gate: vet, lint (authlint + optional staticcheck/
+# govulncheck), build, and race-test everything.
 # Run from the repo root (make check does).
 set -eu
 
@@ -8,6 +9,23 @@ go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== authlint (invariant analyzers) =="
+go run ./cmd/authlint ./...
+
+echo "== staticcheck (if installed) =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping"
+fi
+
+echo "== govulncheck (if installed) =="
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping"
+fi
 
 echo "== go test -race =="
 go test -race ./...
