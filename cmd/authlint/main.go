@@ -1,14 +1,18 @@
-// Command authlint runs the repo's four invariant analyzers —
-// lockcheck, ctxcheck, errtaxonomy and atomicwrite — over Go
-// packages.
+// Command authlint runs the repo's invariant analyzers over Go
+// packages. The suite comes from the internal/lint/analyzers
+// registry; run authlint -h for the current list.
 //
 // Standalone:
 //
 //	authlint ./...            # lint the current module
 //	authlint -dir /path ./... # lint another module
+//	authlint -json ./...      # one JSON object per diagnostic
 //
-// Diagnostics print as file:line:col: message (analyzer); the exit
-// status is 1 when anything is reported, 2 when loading fails.
+// Diagnostics print as file:line:col: message (analyzer) — or, with
+// -json, as one machine-readable object per line ({"file", "line",
+// "col", "analyzer", "message"}), the format CI turns into source
+// annotations. The exit status is 1 when anything is reported, 2 when
+// loading fails.
 //
 // As a vet tool:
 //
@@ -32,18 +36,12 @@ import (
 	"strings"
 
 	"repro/internal/lint"
-	"repro/internal/lint/atomicwrite"
-	"repro/internal/lint/ctxcheck"
-	"repro/internal/lint/errtaxonomy"
-	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/analyzers"
 )
 
-var analyzers = []*lint.Analyzer{
-	lockcheck.Analyzer,
-	ctxcheck.Analyzer,
-	errtaxonomy.Analyzer,
-	atomicwrite.Analyzer,
-}
+// suite is the analyzer set both driver modes run; the registry is
+// the only wiring point (enforced by TestDriverUsesRegistry).
+var suite = analyzers.All()
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -70,9 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("authlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "module directory to lint")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: authlint [-dir module] [packages]\n\nAnalyzers:\n")
-		for _, a := range analyzers {
+		fmt.Fprintf(stderr, "usage: authlint [-dir module] [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range suite {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
@@ -93,13 +92,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			loadBroken = true
 		}
 	}
-	diags, err := lint.Run(pkgs, analyzers)
+	diags, err := lint.Run(pkgs, suite)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	switch {
 	case loadBroken:
@@ -108,6 +123,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -json wire shape: one object per line, stable field
+// names (CI's annotation step depends on them).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // vetConfig is the subset of cmd/go's vet configuration file the
@@ -169,7 +194,7 @@ func runVet(cfgPath string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "authlint: typecheck %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	diags, err := lint.RunPackage(pkg, analyzers)
+	diags, err := lint.RunPackage(pkg, suite)
 	if err != nil {
 		fmt.Fprintf(stderr, "authlint: %v\n", err)
 		return 2

@@ -1,12 +1,27 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/lint/analyzers"
 )
+
+// allAnalyzerNames is the registered suite by name; the fixture
+// module seeds exactly one violation per analyzer, so every e2e mode
+// must surface every name.
+func allAnalyzerNames() []string {
+	var names []string
+	for _, a := range analyzers.All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
 
 // TestVetHandshake covers the cmd/go tool-identification protocol
 // without spawning processes.
@@ -58,9 +73,44 @@ func TestStandaloneFindsSeededViolations(t *testing.T) {
 	if code := exitErr.ExitCode(); code != 1 {
 		t.Fatalf("driver exited %d, want 1 (findings)\n%s", code, out)
 	}
-	for _, analyzer := range []string{"lockcheck", "ctxcheck", "errtaxonomy", "atomicwrite"} {
+	for _, analyzer := range allAnalyzerNames() {
 		if !strings.Contains(string(out), "("+analyzer+")") {
 			t.Errorf("driver output lacks a %s finding:\n%s", analyzer, out)
+		}
+	}
+}
+
+// TestJSONOutput runs the driver in-process with -json over the
+// fixture module and checks the machine-readable contract: one JSON
+// object per line, stable field names, one finding per analyzer.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", "testdata/fixture", "-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (findings)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	got := make(map[string]int)
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatalf("line %q is not a JSON diagnostic: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic %q has empty fields", line)
+		}
+		got[d.Analyzer]++
+	}
+	for _, analyzer := range allAnalyzerNames() {
+		if got[analyzer] != 1 {
+			t.Errorf("-json emitted %d %s findings, want exactly 1", got[analyzer], analyzer)
 		}
 	}
 }
@@ -75,7 +125,7 @@ func TestVettoolFindsSeededViolations(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool succeeded, want failure\n%s", out)
 	}
-	for _, analyzer := range []string{"lockcheck", "ctxcheck", "errtaxonomy", "atomicwrite"} {
+	for _, analyzer := range allAnalyzerNames() {
 		if !strings.Contains(string(out), "("+analyzer+")") {
 			t.Errorf("vettool output lacks a %s finding:\n%s", analyzer, out)
 		}

@@ -1,0 +1,9 @@
+// Package leak seeds one goroleak violation: a goroutine receiving
+// from a channel nobody closes, with no select escape.
+package leak
+
+func Wait(done chan struct{}) {
+	go func() {
+		<-done // parks forever if the closer never comes
+	}()
+}

@@ -1,0 +1,32 @@
+// Package analyzers is the single registry of authlint's analyzers.
+// Both driver modes (the standalone loader and the go vet -vettool
+// unitchecker) take the suite from All, so an analyzer registered
+// here is wired everywhere — and TestRegistryExhaustive fails the
+// build of any analyzer package that exists on disk but is missing
+// from this list.
+package analyzers
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/ctxcheck"
+	"repro/internal/lint/errtaxonomy"
+	"repro/internal/lint/goroleak"
+	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/lockorder"
+	"repro/internal/lint/waldrift"
+)
+
+// All returns every registered analyzer, ordered by name. Callers may
+// reslice but must not mutate the entries.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		atomicwrite.Analyzer,
+		ctxcheck.Analyzer,
+		errtaxonomy.Analyzer,
+		goroleak.Analyzer,
+		lockcheck.Analyzer,
+		lockorder.Analyzer,
+		waldrift.Analyzer,
+	}
+}

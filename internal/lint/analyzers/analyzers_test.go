@@ -1,0 +1,108 @@
+package analyzers_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analyzers"
+)
+
+// analyzerDeclRE matches the package-level Analyzer registration every
+// analyzer package carries.
+var analyzerDeclRE = regexp.MustCompile(`(?m)^var Analyzer = &lint\.Analyzer\{`)
+
+// analyzerDirs returns the internal/lint subdirectories that declare
+// an Analyzer — the on-disk ground truth the registry must cover.
+func analyzerDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatalf("read internal/lint: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "testdata" {
+			continue
+		}
+		files, err := filepath.Glob(filepath.Join("..", e.Name(), "*.go"))
+		if err != nil {
+			t.Fatalf("glob %s: %v", e.Name(), err)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatalf("read %s: %v", f, err)
+			}
+			if analyzerDeclRE.Match(data) {
+				dirs = append(dirs, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// TestRegistryExhaustive requires one registry entry per analyzer
+// package on disk, named after its directory, with no duplicates or
+// strays. A new analyzer package that is not added to All() fails
+// here before it can silently miss both driver modes.
+func TestRegistryExhaustive(t *testing.T) {
+	dirs := analyzerDirs(t)
+	if len(dirs) == 0 {
+		t.Fatal("found no analyzer packages under internal/lint")
+	}
+	var names []string
+	for _, a := range analyzers.All() {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v has an empty Name or Doc", a)
+		}
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	if strings.Join(names, ",") != strings.Join(dirs, ",") {
+		t.Errorf("registry/disk mismatch:\n  registered: %v\n  on disk:    %v", names, dirs)
+	}
+}
+
+// TestDriverUsesRegistry pins both cmd/authlint code paths to the
+// registry: the driver must import this package and must not import
+// any analyzer package directly (which is how a stray hand-wired list
+// would reappear).
+func TestDriverUsesRegistry(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "cmd", "authlint", "main.go"))
+	if err != nil {
+		t.Fatalf("read cmd/authlint/main.go: %v", err)
+	}
+	src := string(data)
+	if !strings.Contains(src, `"repro/internal/lint/analyzers"`) {
+		t.Error("cmd/authlint does not import the analyzer registry")
+	}
+	if !strings.Contains(src, "analyzers.All()") {
+		t.Error("cmd/authlint does not take its suite from analyzers.All()")
+	}
+	for _, a := range analyzers.All() {
+		if strings.Contains(src, `"repro/internal/lint/`+a.Name+`"`) {
+			t.Errorf("cmd/authlint imports %s directly; analyzers must only be wired through the registry", a.Name)
+		}
+	}
+}
+
+// TestDesignDocCoverage requires DESIGN.md's static-analysis section
+// to document every registered analyzer by name.
+func TestDesignDocCoverage(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(data)
+	for _, a := range analyzers.All() {
+		if !strings.Contains(doc, "**"+a.Name+"**") && !strings.Contains(doc, "`"+a.Name+"`") {
+			t.Errorf("DESIGN.md does not document analyzer %s", a.Name)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+// BenchmarkAuthlint times the full analyzer suite over the entire
+// repository module (load cost excluded), then each analyzer alone —
+// the per-analyzer breakdown recorded in EXPERIMENTS.md. Loading
+// (parse + type-check) happens once per benchmark; the measured
+// region is pure analysis.
+func BenchmarkAuthlint(b *testing.B) {
+	pkgs, err := lint.Load("../../..", "./...")
+	if err != nil {
+		b.Fatalf("load repo module: %v", err)
+	}
+	b.Run("suite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lint.Run(pkgs, analyzers.All()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, a := range analyzers.All() {
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lint.Run(pkgs, []*lint.Analyzer{a}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+// Package leakpkg exercises goroleak: blocking sends and receives
+// without escapes, the escapes that silence them (buffered creation
+// sites, package-wide close, select default/ctx.Done()/timer arms),
+// WaitGroup.Done discipline, unstopped tickers, and the call-graph
+// chase into named functions.
+package leakpkg
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type worker struct {
+	reqs    chan int // closed in Shut: receives and ranges escape
+	results chan int // only unbuffered creation sites: sends park
+	errc    chan error
+}
+
+func newWorker() *worker {
+	return &worker{
+		reqs:    make(chan int, 8),
+		results: make(chan int),
+		errc:    make(chan error, 1),
+	}
+}
+
+// Shut closes reqs: every range/receive on worker.reqs terminates.
+func (w *worker) Shut() { close(w.reqs) }
+
+// RangeClosed ranges over the closed channel; silent.
+func (w *worker) RangeClosed() {
+	go func() {
+		for v := range w.reqs {
+			_ = v
+		}
+	}()
+}
+
+// SendNoEscape sends on a channel with only unbuffered creation
+// sites and no select escape.
+func (w *worker) SendNoEscape(v int) {
+	go func() {
+		w.results <- v // want "block forever on this channel send"
+	}()
+}
+
+// SendBuffered sends on the one-shot buffered error channel; silent.
+func (w *worker) SendBuffered(err error) {
+	go func() {
+		w.errc <- err
+	}()
+}
+
+// RecvNoClose receives from a channel nobody ever closes.
+func RecvNoClose(done chan struct{}) {
+	go func() {
+		<-done // want "block forever on this channel receive"
+	}()
+}
+
+// SelectNoEscape has two arms, neither guaranteed to fire.
+func SelectNoEscape(a, b chan int) {
+	go func() {
+		select { // want "select has no default"
+		case v := <-a:
+			_ = v
+		case b <- 1:
+		}
+	}()
+}
+
+// SelectCtx escapes through ctx.Done(); silent.
+func SelectCtx(ctx context.Context, a chan int) {
+	go func() {
+		select {
+		case v := <-a:
+			_ = v
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// SelectDefault never parks; silent.
+func SelectDefault(a chan int) {
+	go func() {
+		select {
+		case v := <-a:
+			_ = v
+		default:
+		}
+	}()
+}
+
+// SelectTimer escapes through time.After; silent.
+func SelectTimer(a chan int) {
+	go func() {
+		select {
+		case v := <-a:
+			_ = v
+		case <-time.After(time.Second):
+		}
+	}()
+}
+
+// DoneNotDeferred calls Done at the end of the body: an early return
+// or panic between Add and this call parks Wait forever.
+func DoneNotDeferred(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want "WaitGroup.Done must be deferred"
+	}()
+}
+
+// DoneDeferred is the correct shape; silent.
+func DoneDeferred(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func work() {}
+
+// drain is a named function launched below: the receive inside is
+// only visible through the call graph.
+func drain(ch chan int) {
+	<-ch // want "block forever on this channel receive"
+}
+
+// SpawnNamed launches a declared function; the finding lands inside
+// drain, chased through the graph.
+func SpawnNamed(ch chan int) {
+	go drain(ch)
+}
+
+// TickerLeaked never stops its ticker.
+func TickerLeaked() {
+	t := time.NewTicker(time.Second) // want "never Stop"
+	go func() {
+		for range t.C {
+		}
+	}()
+}
+
+// TickerStopped defers the stop; silent.
+func TickerStopped(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}

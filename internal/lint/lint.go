@@ -62,6 +62,10 @@ type Pass struct {
 	// packages loaded from a bare directory).
 	PkgPath string
 
+	// pkg is the loaded package this pass runs over; it caches
+	// cross-analyzer state (the call graph).
+	pkg *Package
+
 	diags *[]Diagnostic
 }
 
@@ -159,14 +163,19 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			PkgPath:   pkg.PkgPath,
+			pkg:       pkg,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	ignores := parseIgnores(pkg.Fset, pkg.Files)
-	diags = applyIgnores(diags, ignores)
+	diags = applyIgnores(diags, ignores, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -184,14 +193,21 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 }
 
 // applyIgnores drops diagnostics matched by a directive and adds a
-// diagnostic for malformed (reason-less) directives.
-func applyIgnores(diags []Diagnostic, ignores []ignoreDirective) []Diagnostic {
+// diagnostic for malformed (reason-less) directives and for unused
+// ones: an ignore that suppresses nothing is stale armor — either the
+// finding it excused is gone and the directive should go with it, or
+// it never matched anything and is silently excusing nothing. Unused
+// is only decidable for analyzers that actually ran (ran holds their
+// names), so a partial run never flags directives it cannot judge.
+func applyIgnores(diags []Diagnostic, ignores []ignoreDirective, ran map[string]bool) []Diagnostic {
+	used := make([]bool, len(ignores))
 	var out []Diagnostic
 	for _, d := range diags {
 		suppressed := false
-		for _, ig := range ignores {
+		for i, ig := range ignores {
 			if ig.hasWhy && ig.analyzer == d.Analyzer && ig.file == d.Pos.Filename && ig.line == d.Pos.Line {
 				suppressed = true
+				used[i] = true
 				break
 			}
 		}
@@ -199,12 +215,19 @@ func applyIgnores(diags []Diagnostic, ignores []ignoreDirective) []Diagnostic {
 			out = append(out, d)
 		}
 	}
-	for _, ig := range ignores {
-		if !ig.hasWhy {
+	for i, ig := range ignores {
+		switch {
+		case !ig.hasWhy:
 			out = append(out, Diagnostic{
 				Analyzer: "lint",
 				Pos:      ig.position,
 				Message:  "lint:ignore directive needs a reason: //lint:ignore <analyzer> <why this exception is sound>",
+			})
+		case !used[i] && ran[ig.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: "lint",
+				Pos:      ig.position,
+				Message:  fmt.Sprintf("unused lint:ignore directive: %s reports nothing on the suppressed line; delete the directive", ig.analyzer),
 			})
 		}
 	}
@@ -272,6 +295,88 @@ func RootIdent(e ast.Expr) *ast.Ident {
 			return nil
 		}
 	}
+}
+
+// IsMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func IsMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// MutexSel resolves the receiver of a .Lock()/.Unlock() call — e.g.
+// rec.mu or s.shards[i].closedMu — to the named type declaring the
+// mutex field, the field name, and the chain's root object (for lock
+// identity). ok is false for non-field mutexes (locals, unresolvable
+// chains).
+func MutexSel(info *types.Info, x ast.Expr) (owner, field string, root types.Object, ok bool) {
+	sel, isSel := ast.Unparen(x).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", nil, false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal || !IsMutex(selection.Obj().Type()) {
+		return "", "", nil, false
+	}
+	recv := selection.Recv()
+	if p, isPtr := recv.Underlying().(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	// Walk the selection's index path to the struct actually declaring
+	// the field (embedded chains), naming the outermost named type on
+	// the way when the direct receiver is unnamed.
+	name := namedName(recv)
+	idx := selection.Index()
+	t := recv
+	for depth := 0; depth < len(idx)-1; depth++ {
+		st, isStruct := t.Underlying().(*types.Struct)
+		if !isStruct {
+			break
+		}
+		t = st.Field(idx[depth]).Type()
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n := namedName(t); n != "" {
+			name = n
+		}
+	}
+	if name == "" {
+		return "", "", nil, false
+	}
+	rootID := RootIdent(sel.X)
+	if rootID == nil {
+		return "", "", nil, false
+	}
+	root = info.Uses[rootID]
+	if root == nil {
+		root = info.Defs[rootID]
+	}
+	if root == nil {
+		return "", "", nil, false
+	}
+	return name, sel.Sel.Name, root, true
+}
+
+// namedName returns t's type name, or "" for unnamed types.
+func namedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
 }
 
 // FuncScope is one lexical function body: a declaration or a literal.

@@ -30,6 +30,10 @@ type Package struct {
 	// driver surfaces them so a broken tree isn't silently half-
 	// checked.
 	TypeErrors []error
+
+	// cg is the lazily built call graph, shared by every analyzer of
+	// this package via Pass.CallGraph().
+	cg *CallGraph
 }
 
 // listedPackage is the subset of `go list -json` output the loader

@@ -1,0 +1,429 @@
+// Package lockorder checks lock acquisitions — including those
+// reached through calls — against the repo's declared lock hierarchy:
+//
+//	storeShard.mu  <  clientRecord.mu  <  WAL.closedMu
+//
+// (shard map lock before per-record lock before the WAL's close
+// guard; see DESIGN.md §7 for the written contract). Two bug shapes
+// are reported:
+//
+//   - inversion: acquiring a class that sits *before* one already
+//     held — directly, or by calling a function whose transitive
+//     acquisition set (propagated over the package call graph)
+//     contains such a class. Two goroutines running the two orders
+//     concurrently deadlock.
+//   - re-entry: acquiring a class already held. Same lock value is a
+//     guaranteed self-deadlock (sync.Mutex does not re-enter);
+//     another instance of the same class (two records, two shards) is
+//     unordered within the hierarchy and deadlocks against the
+//     opposite interleaving.
+//
+// The analysis is lexical per function body (an explicit Unlock ends
+// the critical section; a deferred one does not) and interprocedural
+// through the package call graph: direct calls, method calls through
+// the static type, and interface calls devirtualised to in-package
+// implementations (which is how store mutations behind
+// auth.ClientStore stay visible). `go` edges are not followed — a
+// spawned goroutine runs on its own stack, so its acquisitions do not
+// nest inside the caller's. Two cross-package boundaries the graph
+// cannot see are pinned by name instead: the auth.Journal methods and
+// wal.WAL's Append/Compact/Close all acquire WAL.closedMu.
+//
+// Packages may extend the hierarchy for their own locks with a
+// directive anywhere in the package:
+//
+//	//lint:lockorder first.mu < second.mu < third.mu
+//
+// Classes are named TypeName.fieldName; classes not in the hierarchy
+// are unordered and never reported.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the lockorder entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisitions (direct and via calls) must follow the declared hierarchy storeShard.mu < clientRecord.mu < WAL.closedMu; no re-entry of a held class",
+	Run:  run,
+}
+
+// defaultHierarchy is the repo's declared acquisition order, lowest
+// (outermost) first. DESIGN.md §7 is the prose version; keep them in
+// step.
+var defaultHierarchy = []string{"storeShard.mu", "clientRecord.mu", "WAL.closedMu"}
+
+// externalAcquires pins the lock classes acquired behind call
+// boundaries the package-level graph cannot see: the durability
+// funnel. Keyed by receiver type name, then method name.
+var externalAcquires = map[string]map[string]string{
+	"Journal": {
+		"JournalEnroll": "WAL.closedMu", "JournalBurn": "WAL.closedMu",
+		"JournalRemap": "WAL.closedMu", "JournalCounter": "WAL.closedMu",
+		"JournalDelete": "WAL.closedMu",
+	},
+	"WAL": {
+		"Append": "WAL.closedMu", "Compact": "WAL.closedMu", "Close": "WAL.closedMu",
+		"JournalEnroll": "WAL.closedMu", "JournalBurn": "WAL.closedMu",
+		"JournalRemap": "WAL.closedMu", "JournalCounter": "WAL.closedMu",
+		"JournalDelete": "WAL.closedMu",
+	},
+}
+
+func run(pass *lint.Pass) error {
+	levels := hierarchy(pass.Files)
+	c := &checker{
+		pass:   pass,
+		levels: levels,
+		order:  orderString(levels),
+		trans:  transitiveAcquires(pass, levels),
+	}
+	for _, scope := range lint.FuncScopes(pass.Files) {
+		c.checkScope(scope)
+	}
+	return nil
+}
+
+// hierarchy builds the class→level map: the default chain, extended
+// by every //lint:lockorder directive in the package (new classes
+// append after the defaults, keeping each directive chain's relative
+// order).
+func hierarchy(files []*ast.File) map[string]int {
+	order := append([]string(nil), defaultHierarchy...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(cm.Text, "//"))
+				if !strings.HasPrefix(text, "lint:lockorder") {
+					continue
+				}
+				for _, cls := range strings.Split(strings.TrimPrefix(text, "lint:lockorder"), "<") {
+					cls = strings.TrimSpace(cls)
+					if cls != "" && !contains(order, cls) {
+						order = append(order, cls)
+					}
+				}
+			}
+		}
+	}
+	levels := make(map[string]int, len(order))
+	for i, cls := range order {
+		levels[cls] = i
+	}
+	return levels
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// orderString renders the hierarchy for diagnostics, level order.
+func orderString(levels map[string]int) string {
+	out := make([]string, len(levels))
+	for cls, lv := range levels {
+		out[lv] = cls
+	}
+	return strings.Join(out, " < ")
+}
+
+// transitiveAcquires computes, for every function declared in the
+// package, the set of hierarchy classes it may acquire — locally or
+// through any chain of resolvable calls. Go edges are excluded (a
+// goroutine's acquisitions happen on its own stack); defer edges are
+// included (deferred calls run on the caller's stack).
+func transitiveAcquires(pass *lint.Pass, levels map[string]int) map[*types.Func]map[string]bool {
+	graph := pass.CallGraph()
+	acq := make(map[*types.Func]map[string]bool, len(graph.All()))
+	for _, node := range graph.All() {
+		set := make(map[string]bool)
+		// Local acquisitions, including nested literals (a literal the
+		// function builds may run on its stack) but not go-launched
+		// bodies.
+		collectLocalAcquires(pass.TypesInfo, node.Decl.Body, levels, false, set)
+		acq[node.Func] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range graph.All() {
+			set := acq[node.Func]
+			for _, site := range node.Sites {
+				if site.Go {
+					continue
+				}
+				for _, cls := range calleeClasses(site, acq) {
+					if !set[cls] {
+						set[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
+// calleeClasses returns the classes a call site may acquire: the
+// union of its in-package targets' sets plus any pinned external
+// boundary.
+func calleeClasses(site lint.CallSite, acq map[*types.Func]map[string]bool) []string {
+	var out []string
+	for _, t := range site.Targets {
+		for cls := range acq[t] {
+			out = append(out, cls)
+		}
+	}
+	if cls := externalClass(site.Callee); cls != "" {
+		out = append(out, cls)
+	}
+	return out
+}
+
+// externalClass resolves a callee against the pinned cross-package
+// boundary table.
+func externalClass(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if methods, ok := externalAcquires[named.Obj().Name()]; ok {
+		return methods[fn.Name()]
+	}
+	return ""
+}
+
+// collectLocalAcquires adds every hierarchy-class Lock/RLock under n
+// to set, skipping go-launched literal bodies.
+func collectLocalAcquires(info *types.Info, n ast.Node, levels map[string]int, inGo bool, set map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				_ = lit // the goroutine body acquires on its own stack
+				for _, a := range x.Call.Args {
+					collectLocalAcquires(info, a, levels, inGo, set)
+				}
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if cls, _, ok := lockOp(info, x); ok {
+				if _, ranked := levels[cls.class]; ranked && cls.kind == opLock {
+					set[cls.class] = true
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// opKind discriminates mutex operations.
+type opKind int
+
+const (
+	opLock opKind = iota
+	opUnlock
+)
+
+// lockClass is one resolved mutex operation.
+type lockClass struct {
+	kind  opKind
+	class string // TypeName.fieldName
+	key   string // instance identity: root object + field
+}
+
+// lockOp resolves call as a Lock/RLock/Unlock/RUnlock on a struct
+// mutex field.
+func lockOp(info *types.Info, call *ast.CallExpr) (lockClass, token.Pos, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockClass{}, 0, false
+	}
+	var kind opKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return lockClass{}, 0, false
+	}
+	owner, field, root, ok := lint.MutexSel(info, sel.X)
+	if !ok {
+		return lockClass{}, 0, false
+	}
+	return lockClass{
+		kind:  kind,
+		class: owner + "." + field,
+		key:   fmt.Sprintf("%s@%d.%s", root.Id(), root.Pos(), field),
+	}, call.Pos(), true
+}
+
+// checker carries the per-package state through every scope.
+type checker struct {
+	pass   *lint.Pass
+	levels map[string]int
+	order  string
+	trans  map[*types.Func]map[string]bool
+}
+
+// event is one lexically ordered lock/unlock/call in a scope.
+type event struct {
+	pos      token.Pos
+	op       *lockClass // nil for calls
+	site     *lint.CallSite
+	deferred bool
+}
+
+// checkScope replays one function body's events against the
+// hierarchy. Each scope (declaration or literal) starts with an empty
+// held set: literals run on unknown stacks, so only locks taken in
+// the same body count as held — an under-approximation that never
+// reports a lock the body did not itself take.
+func (c *checker) checkScope(scope *lint.FuncScope) {
+	events := c.scopeEvents(scope)
+	type held struct {
+		class string
+		key   string
+	}
+	var stack []held
+	for _, ev := range events {
+		if ev.op != nil {
+			switch ev.op.kind {
+			case opLock:
+				lv, ranked := c.levels[ev.op.class]
+				if !ranked {
+					continue
+				}
+				for _, h := range stack {
+					hl := c.levels[h.class]
+					switch {
+					case h.class == ev.op.class:
+						c.pass.Reportf(ev.pos,
+							"acquires %s while already holding %s (lock re-entry: same lock self-deadlocks, sibling instances are unordered)",
+							ev.op.class, h.class)
+					case hl > lv:
+						c.pass.Reportf(ev.pos,
+							"acquires %s while holding %s, against the declared lock order %s",
+							ev.op.class, h.class, c.order)
+					}
+				}
+				stack = append(stack, held{class: ev.op.class, key: ev.op.key})
+			case opUnlock:
+				if ev.deferred {
+					continue // runs at exit; never ends the lexical section
+				}
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].key == ev.op.key || stack[i].class == ev.op.class {
+						stack = append(stack[:i], stack[i+1:]...)
+						break
+					}
+				}
+			}
+			continue
+		}
+		// Call event: what the callee may acquire must order above
+		// everything held here.
+		if len(stack) == 0 || ev.deferred || ev.site.Go {
+			continue
+		}
+		calleeName := ev.site.Callee.Name()
+		for _, cls := range calleeClasses(*ev.site, c.trans) {
+			lv, ranked := c.levels[cls]
+			if !ranked {
+				continue
+			}
+			for _, h := range stack {
+				hl := c.levels[h.class]
+				switch {
+				case cls == h.class:
+					c.pass.Reportf(ev.pos,
+						"call to %s may acquire %s, which is already held (lock re-entry through the call graph)",
+						calleeName, cls)
+				case hl > lv:
+					c.pass.Reportf(ev.pos,
+						"call to %s may acquire %s while %s is held, against the declared lock order %s",
+						calleeName, cls, h.class, c.order)
+				}
+			}
+		}
+	}
+}
+
+// scopeEvents collects the scope's lock operations and resolved calls
+// in lexical order, with deferred ones marked.
+func (c *checker) scopeEvents(scope *lint.FuncScope) []event {
+	info := c.pass.TypesInfo
+	graph := c.pass.CallGraph()
+	var events []event
+	scope.InspectShallow(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if cls, pos, isLock := lockOp(info, call); isLock {
+			op := cls
+			events = append(events, event{pos: pos, op: &op})
+			return true
+		}
+		if site := findSite(graph, scope, call); site != nil {
+			events = append(events, event{pos: call.Pos(), site: site})
+		}
+		return true
+	})
+	// Mark deferred events (defer mu.Unlock(), defer f()).
+	scope.InspectShallow(func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		for i := range events {
+			if events[i].pos == def.Call.Pos() {
+				events[i].deferred = true
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// findSite locates the call-graph site for a call expression. Sites
+// live on the node of the enclosing declaration; for literals, walk
+// to the declaring scope.
+func findSite(graph *lint.CallGraph, scope *lint.FuncScope, call *ast.CallExpr) *lint.CallSite {
+	for _, node := range graph.All() {
+		if node.Decl.Body.Pos() > call.Pos() || node.Decl.Body.End() < call.End() {
+			continue
+		}
+		for i := range node.Sites {
+			if node.Sites[i].Call == call {
+				return &node.Sites[i]
+			}
+		}
+	}
+	return nil
+}

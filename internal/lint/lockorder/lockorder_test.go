@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/src/orderpkg")
+}
+
+func TestBuiltinHierarchy(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "testdata/src/walpkg")
+}

@@ -1,0 +1,19 @@
+// Package auth (fixture) exercises the ignore-directive lifecycle:
+// one directive that suppresses a real errtaxonomy finding, and one
+// stale directive with nothing to suppress.
+package auth
+
+import "errors"
+
+// Bad returns a bare error; the directive suppresses the finding.
+func Bad() error {
+	//lint:ignore errtaxonomy fixture exception with a reason
+	return errors.New("bare")
+}
+
+// Good returns nil; the directive below it suppresses nothing and
+// must be reported as unused.
+func Good() error {
+	//lint:ignore errtaxonomy stale excuse for a finding that no longer exists
+	return nil
+}

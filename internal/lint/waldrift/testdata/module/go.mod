@@ -1,0 +1,3 @@
+module waldriftfix
+
+go 1.22

@@ -1,0 +1,13 @@
+// Package srv (module fixture) is the replay target: a Server with
+// appliers for alpha and beta, but nobody wrote ReplayGamma when the
+// gamma record type was added.
+package srv
+
+// Server replays journal records.
+type Server struct{ n int }
+
+// ReplayAlpha applies an alpha record.
+func (s *Server) ReplayAlpha(id string) error { s.n++; return nil }
+
+// ReplayBeta applies a beta record.
+func (s *Server) ReplayBeta(id string) error { s.n++; return nil }

@@ -1,0 +1,20 @@
+// Package wal (module fixture) owns the record schema.
+package wal
+
+// Type discriminates fixture records.
+type Type uint8
+
+const (
+	TypeAlpha Type = 1
+	TypeBeta  Type = 2
+	TypeGamma Type = 3
+)
+
+// Valid covers every constant; the schema package itself is clean.
+func Valid(t Type) bool {
+	switch t {
+	case TypeAlpha, TypeBeta, TypeGamma:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+// Package wal (fixture) carries a recordtable directive whose table
+// has drifted in all three ways: a missing row, a stale value, and a
+// row for a deleted record type. The expected diagnostic is asserted
+// programmatically (a want comment cannot share the directive's
+// line), see TestRecordTableDrift.
+package wal
+
+// Type discriminates fixture records.
+type Type uint8
+
+const (
+	TypeAlpha Type = 1
+	TypeBeta  Type = 2
+	TypeGamma Type = 3
+)
+
+//lint:recordtable stale.md
+var _ = TypeAlpha

@@ -1,0 +1,312 @@
+// Package waldrift cross-checks every consumer of the WAL record
+// schema against the one source of truth: the `Type` constants in the
+// package named "wal". A record type added to the log without
+// updating every consumer is silent data loss — the encoder writes
+// frames the decoder rejects, or recovery drops mutations it has no
+// applier for, and the no-reuse registry forgets burned pairs.
+//
+// Three checks:
+//
+//   - Switch exhaustiveness: every switch on wal.Type (local or
+//     imported, test files excluded) must list every Type constant. A
+//     default arm is not an excuse — the encode/decode switches and
+//     the replay dispatcher each need an explicit case per record
+//     type, because "handled by default" is exactly how drift hides.
+//
+//   - Applier coverage: a package that dispatches on an imported
+//     wal.Type and imports a package whose Server has Replay*
+//     methods (the auth layer) must have an applier per record type:
+//     constant TypeX requires method ReplayX. Reported once per
+//     package, at the first dispatch switch.
+//
+//   - Record table: a file in the wal package may carry
+//     `//lint:recordtable <relpath>` pointing at a markdown table of
+//     `| name | value |` rows (the docs/PROTOCOL.md record table).
+//     The table must list exactly the declared constants — names as
+//     Type.String() spells them, values as encoded on disk.
+package waldrift
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the waldrift entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "waldrift",
+	Doc:  "WAL record consumers must track the wal.Type schema: exhaustive switches, a Replay applier per record type, and an accurate docs record table",
+	Run:  run,
+}
+
+// directivePrefix introduces a record-table cross-check.
+const directivePrefix = "//lint:recordtable "
+
+func run(pass *lint.Pass) error {
+	checkSwitches(pass)
+	checkRecordTables(pass)
+	return nil
+}
+
+// walType reports whether t is the schema discriminator: a named
+// integer type called Type declared in a package named wal.
+func walType(t types.Type) (*types.Named, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Type" || obj.Pkg() == nil || obj.Pkg().Name() != "wal" {
+		return nil, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	return named, true
+}
+
+// schemaConstants returns the Type* constants of the discriminator,
+// ordered by encoded value.
+func schemaConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Type") || len(name) == len("Type") {
+			continue
+		}
+		if !types.Identical(c.Type(), named) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Int64Val(out[i].Val())
+		vj, _ := constant.Int64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}
+
+// checkSwitches enforces exhaustiveness on every switch over wal.Type
+// and, for packages dispatching on an imported discriminator, applier
+// coverage on the imported Server.
+func checkSwitches(pass *lint.Pass) {
+	info := pass.TypesInfo
+	appliersChecked := false
+	for _, f := range pass.Files {
+		if testFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := walType(tv.Type)
+			if !ok {
+				return true
+			}
+			consts := schemaConstants(named)
+			if len(consts) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			for _, clause := range sw.Body.List {
+				cc, isCC := clause.(*ast.CaseClause)
+				if !isCC {
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := exprObject(info, e); obj != nil {
+						covered[obj.Name()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Name()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch on wal.Type misses %s: every record type needs an explicit case (schema drift)",
+					strings.Join(missing, ", "))
+			}
+			// Applier coverage: only where the discriminator is imported
+			// (the dispatch side), once per package.
+			if !appliersChecked && named.Obj().Pkg() != pass.Pkg {
+				appliersChecked = true
+				checkAppliers(pass, sw, consts)
+			}
+			return true
+		})
+	}
+}
+
+// checkAppliers requires a ReplayX method per TypeX constant on an
+// imported Server type that does replay (has at least one Replay*
+// method).
+func checkAppliers(pass *lint.Pass, sw *ast.SwitchStmt, consts []*types.Const) {
+	for _, imp := range pass.Pkg.Imports() {
+		obj, ok := imp.Scope().Lookup("Server").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		srv := obj.Type()
+		if !hasReplayMethod(srv) {
+			continue
+		}
+		for _, c := range consts {
+			want := "Replay" + strings.TrimPrefix(c.Name(), "Type")
+			m, _, _ := types.LookupFieldOrMethod(types.NewPointer(srv), true, imp, want)
+			if _, isFunc := m.(*types.Func); !isFunc {
+				pass.Reportf(sw.Pos(),
+					"record type %s has no applier: expected method %s on %s.Server (recovery would drop these records)",
+					c.Name(), want, imp.Name())
+			}
+		}
+	}
+}
+
+// hasReplayMethod reports whether the type declares any Replay*
+// method — the marker that it is the replay target.
+func hasReplayMethod(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if strings.HasPrefix(named.Method(i).Name(), "Replay") {
+			return true
+		}
+	}
+	return false
+}
+
+// exprObject resolves a case expression to its constant object.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// tableRowRE matches one record-table row: a name cell (optionally
+// backticked) followed by an integer value cell. The integer
+// requirement keeps prose tables (e.g. error-code tables with text
+// columns) from matching.
+var tableRowRE = regexp.MustCompile("^\\|\\s*`?([a-z][a-z0-9_-]*)`?\\s*\\|\\s*(\\d+)\\s*\\|")
+
+// checkRecordTables validates each //lint:recordtable directive in
+// the wal package against the local Type constants.
+func checkRecordTables(pass *lint.Pass) {
+	if pass.Pkg == nil || pass.Pkg.Name() != "wal" {
+		return
+	}
+	tn, ok := pass.Pkg.Scope().Lookup("Type").(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := walType(tn.Type())
+	if !ok {
+		return
+	}
+	consts := schemaConstants(named)
+	if len(consts) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if testFile(pass, f) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					pass.Reportf(c.Pos(), "malformed recordtable directive: expected //lint:recordtable <path>")
+					continue
+				}
+				rel := fields[0]
+				dir := filepath.Dir(pass.Fset.Position(c.Pos()).Filename)
+				checkOneTable(pass, c.Pos(), filepath.Join(dir, rel), rel, consts)
+			}
+		}
+	}
+}
+
+// checkOneTable diffs one markdown table against the constants and
+// reports all drift in a single diagnostic at the directive.
+func checkOneTable(pass *lint.Pass, pos token.Pos, path, rel string, consts []*types.Const) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		pass.Reportf(pos, "recordtable target %s is unreadable: %v", rel, err)
+		return
+	}
+	rows := make(map[string]int64)
+	var rowOrder []string
+	for _, line := range strings.Split(string(data), "\n") {
+		m := tableRowRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		v, convErr := strconv.ParseInt(m[2], 10, 64)
+		if convErr != nil {
+			continue
+		}
+		if _, dup := rows[m[1]]; !dup {
+			rowOrder = append(rowOrder, m[1])
+		}
+		rows[m[1]] = v
+	}
+	var drift []string
+	seen := make(map[string]bool)
+	for _, c := range consts {
+		name := strings.ToLower(strings.TrimPrefix(c.Name(), "Type"))
+		seen[name] = true
+		val, _ := constant.Int64Val(c.Val())
+		got, ok := rows[name]
+		switch {
+		case !ok:
+			drift = append(drift, fmt.Sprintf("no row for %s (%s = %d)", name, c.Name(), val))
+		case got != val:
+			drift = append(drift, fmt.Sprintf("%s listed as %d but %s encodes as %d", name, got, c.Name(), val))
+		}
+	}
+	for _, name := range rowOrder {
+		if !seen[name] {
+			drift = append(drift, fmt.Sprintf("unknown record name %s (no Type constant)", name))
+		}
+	}
+	if len(drift) > 0 {
+		pass.Reportf(pos, "record table %s drifts from the wal.Type schema: %s",
+			rel, strings.Join(drift, "; "))
+	}
+}
+
+func testFile(pass *lint.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,85 @@
+package waldrift_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/waldrift"
+)
+
+func TestWaldrift(t *testing.T) {
+	linttest.Run(t, waldrift.Analyzer, "testdata/src/walfix")
+}
+
+// TestRecordTableDrift asserts the combined drift diagnostic
+// programmatically: the report anchors on the directive comment, and
+// a want comment cannot share a //-comment's line.
+func TestRecordTableDrift(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/waldrifted")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{waldrift.Analyzer})
+	if err != nil {
+		t.Fatalf("run waldrift: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if filepath.Base(d.Pos.Filename) != "a.go" {
+		t.Errorf("diagnostic anchored at %s, want a.go", d.Pos.Filename)
+	}
+	for _, frag := range []string{
+		"record table stale.md drifts from the wal.Type schema",
+		"no row for gamma (TypeGamma = 3)",
+		"beta listed as 9 but TypeBeta encodes as 2",
+		"unknown record name delta (no Type constant)",
+	} {
+		if !strings.Contains(d.Message, frag) {
+			t.Errorf("diagnostic %q missing fragment %q", d.Message, frag)
+		}
+	}
+}
+
+// TestImportedSchema drives the module fixture through the real
+// loader: the discriminator and the Server live in different
+// packages, so both the imported-switch exhaustiveness check and the
+// applier cross-check must resolve through package imports.
+func TestImportedSchema(t *testing.T) {
+	pkgs, err := lint.Load("testdata/module", "./...")
+	if err != nil {
+		t.Fatalf("load module fixture: %v", err)
+	}
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture does not type-check: %v", terr)
+		}
+		ds, err := lint.RunPackage(pkg, []*lint.Analyzer{waldrift.Analyzer})
+		if err != nil {
+			t.Fatalf("run waldrift on %s: %v", pkg.PkgPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, want := range []string{
+		"record type TypeGamma has no applier: expected method ReplayGamma on srv.Server",
+		"switch on wal.Type misses TypeBeta, TypeGamma",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) && filepath.Base(d.Pos.Filename) == "consumer.go" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no consumer.go diagnostic matching %q in %v", want, diags)
+		}
+	}
+}

@@ -47,6 +47,10 @@ import (
 type Type uint8
 
 // Record types. The values are the on-disk encoding — never renumber.
+// The record table in docs/PROTOCOL.md is the public contract for
+// these values; waldrift diffs it against the constants below.
+//
+//lint:recordtable ../../docs/PROTOCOL.md
 const (
 	// TypeEnroll captures a full new client: error map, initial remap
 	// key, reserved voltage planes.
