@@ -132,8 +132,47 @@ type WireClient = auth.WireClient
 // NewWireServer wraps a Server for TCP serving.
 func NewWireServer(s *Server) *WireServer { return auth.NewWireServer(s) }
 
+// WireConfig tunes the wire server's hardening limits and overload
+// shedding (message size cap, per-conn transaction cap, idle timeout,
+// in-flight transaction cap, connection cap). The zero value keeps
+// the defaults with shedding disabled.
+type WireConfig = auth.WireConfig
+
+// NewWireServerConfig wraps a Server for TCP serving with explicit
+// wire limits and overload behaviour.
+func NewWireServerConfig(s *Server, cfg WireConfig) (*WireServer, error) {
+	return auth.NewWireServerConfig(s, cfg)
+}
+
 // Dial connects to a WireServer; ctx bounds the connection attempt.
 func Dial(ctx context.Context, addr string) (*WireClient, error) { return auth.Dial(ctx, addr) }
+
+// ResilientClient is a WireClient that survives a hostile wire:
+// dropped connections redial, transient failures retry with capped
+// exponential backoff and jitter, and protocol verdicts (a burned
+// challenge, a rejection) surface immediately without a retry. Not
+// safe for concurrent use; give each goroutine its own client.
+type ResilientClient = auth.ResilientClient
+
+// RetryPolicy tunes a ResilientClient's retry loop; the zero value
+// means 10 attempts from 10 ms backoff doubling to a 2 s cap with 50%
+// jitter.
+type RetryPolicy = auth.RetryPolicy
+
+// RetryStats counts a ResilientClient's attempts, retries,
+// reconnects, and shed responses.
+type RetryStats = auth.RetryStats
+
+// DialResilient connects to a WireServer with retry behaviour.
+func DialResilient(ctx context.Context, addr string, policy RetryPolicy) (*ResilientClient, error) {
+	return auth.DialResilient(ctx, addr, policy)
+}
+
+// Retryable reports whether an error is safe to retry as a fresh
+// transaction: true for transport loss and server overload
+// (unavailable), false for every protocol verdict — most critically a
+// burned challenge, whose response must never be replayed.
+func Retryable(err error) bool { return auth.Retryable(err) }
 
 // ServerStats is a snapshot of the server's service counters.
 type ServerStats = auth.ServerStats
@@ -155,6 +194,7 @@ var (
 	ErrExhausted        = auth.ErrExhausted
 	ErrNoRemapPending   = auth.ErrNoRemapPending
 	ErrBadPlane         = auth.ErrBadPlane
+	ErrUnavailable      = auth.ErrUnavailable
 )
 
 // ErrorCodeOf extracts the stable ErrorCode from any error produced by

@@ -34,7 +34,11 @@
 // Usage:
 //
 //	authd [-addr :7430] [-devices 4] [-seed 1] [-bits 256] [-cache 1048576]
-//	      [-state db.json] [-wal waldir] [-compact 1m]
+//	      [-state db.json] [-wal waldir] [-compact 1m] [-max-inflight 0]
+//
+// -max-inflight caps concurrent transactions: beyond it the server
+// sheds with a retryable "unavailable" verdict instead of queueing
+// unboundedly (resilient clients back off and retry).
 package main
 
 import (
@@ -48,6 +52,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	authenticache "repro"
@@ -63,18 +68,20 @@ func main() {
 	statePath := flag.String("state", "", "enrollment database snapshot file (loaded if present, written after enrollment)")
 	walDir := flag.String("wal", "", "write-ahead log directory: journal every mutation, recover on boot (durable mode)")
 	compactEvery := flag.Duration("compact", time.Minute, "WAL compaction interval (with -wal)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent transactions before shedding with 'unavailable' (0 = unlimited)")
 	flag.Parse()
 
-	// SIGINT drains the daemon: the serve loop and every in-flight
-	// transaction observe the cancellation.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT or SIGTERM (what init systems and container runtimes send)
+	// drains the daemon: the serve loop and every in-flight transaction
+	// observe the cancellation.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = *bits
 
 	if *walDir != "" {
-		runDurable(ctx, cfg, *walDir, *statePath, *addr, *devices, *seed, *cacheBytes, *compactEvery)
+		runDurable(ctx, cfg, *walDir, *statePath, *addr, *devices, *seed, *cacheBytes, *compactEvery, *maxInflight)
 		return
 	}
 
@@ -88,7 +95,7 @@ func main() {
 			}
 			f.Close()
 			printProvisioned(srv, " (restored)")
-			if err := serve(ctx, srv, *addr); err != nil {
+			if err := serve(ctx, srv, *addr, *maxInflight); err != nil {
 				log.Fatalf("authd: serve: %v", err)
 			}
 			return
@@ -109,14 +116,14 @@ func main() {
 		}
 		log.Printf("authd: enrollment database written to %s", *statePath)
 	}
-	if err := serve(ctx, srv, *addr); err != nil {
+	if err := serve(ctx, srv, *addr, *maxInflight); err != nil {
 		log.Fatalf("authd: serve: %v", err)
 	}
 }
 
 // runDurable serves with the write-ahead log: recover on boot,
 // journal while serving, compact periodically, snapshot on drain.
-func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, statePath, addr string, devices int, seed uint64, cacheBytes int, compactEvery time.Duration) {
+func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, statePath, addr string, devices int, seed uint64, cacheBytes int, compactEvery time.Duration, maxInflight int) {
 	ds, err := authenticache.OpenDurableServer(walDir, cfg, seed^0xd5e7, authenticache.WALOptions{})
 	if err != nil {
 		log.Fatalf("authd: open WAL: %v", err)
@@ -170,7 +177,7 @@ func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, sta
 		}
 	}()
 
-	if err := serve(ctx, ds.Server, addr); err != nil {
+	if err := serve(ctx, ds.Server, addr, maxInflight); err != nil {
 		log.Printf("authd: serve: %v", err)
 	}
 	// Drained: take the final snapshot so the next boot replays an
@@ -227,12 +234,15 @@ func printProvisioned(srv *authenticache.Server, suffix string) {
 	}
 }
 
-func serve(ctx context.Context, srv *authenticache.Server, addr string) error {
+func serve(ctx context.Context, srv *authenticache.Server, addr string, maxInflight int) error {
+	ws, err := authenticache.NewWireServerConfig(srv, authenticache.WireConfig{MaxInFlight: maxInflight})
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("authd: serving on %s", l.Addr())
-	ws := authenticache.NewWireServer(srv)
 	return ws.Serve(ctx, l)
 }

@@ -1,9 +1,43 @@
-// Package auth seeds one errtaxonomy violation: an API-boundary
-// package returning a bare error.
+// Package auth seeds two errtaxonomy violations: an API-boundary
+// package returning a bare error, and a Retryable switch that fails
+// to classify a declared ErrorCode.
 package auth
 
 import "errors"
 
 func Verify() error {
 	return errors.New("auth: bare error escaping the taxonomy")
+}
+
+// The taxonomy anchors below are mutually consistent, so the only
+// exhaustiveness finding is Retryable's missing CodeOK case.
+
+type ErrorCode int
+
+const (
+	CodeOK ErrorCode = iota
+	CodeStale
+)
+
+var ErrStale = errors.New("auth: stale")
+
+var codeSentinels = map[ErrorCode]error{
+	CodeStale: ErrStale,
+}
+
+func CodeOf(err error) ErrorCode {
+	switch {
+	case errors.Is(err, ErrStale):
+		return CodeStale
+	}
+	return CodeOK
+}
+
+func Retryable(err error) bool {
+	var code ErrorCode
+	switch code {
+	case CodeStale:
+		return true
+	}
+	return false
 }

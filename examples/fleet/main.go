@@ -14,9 +14,12 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	authenticache "repro"
 	"repro/internal/errormap"
+	"repro/internal/fault"
 	"repro/internal/noise"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -143,6 +146,45 @@ func main() {
 	}
 	fmt.Printf("reliability at 10%% noise: %.1f%% (ideal 100%%)\n",
 		stats.ReliabilityPercent(ref, noisy, crpBits))
+
+	// Hostile-wire traffic: the same fleet authenticating over TCP
+	// through a fault injector that drops ~15% of I/O operations.
+	// Resilient clients redial and retry with backoff; every
+	// transaction still lands.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	chaosL := fault.NewListener(l, fault.ConnPlan{DropProb: 0.15, Seed: 2026})
+	ws := authenticache.NewWireServer(srv)
+	go ws.Serve(ctx, chaosL)
+	defer ws.Close()
+
+	wireOK, wireTotal := 0, 0
+	var retries, reconnects uint64
+	policy := authenticache.RetryPolicy{BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	for _, d := range devices[:8] {
+		rc, err := authenticache.DialResilient(ctx, l.Addr().String(), policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k := 0; k < 3; k++ {
+			ok, err := rc.Authenticate(ctx, d.responder)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				wireOK++
+			}
+			wireTotal++
+		}
+		st := rc.Stats()
+		retries += st.Retries
+		reconnects += st.Reconnects
+		rc.Close()
+	}
+	fmt.Printf("chaos wire (15%% drop rate): %d/%d accepted, %d retries, %d reconnects\n",
+		wireOK, wireTotal, retries, reconnects)
 }
 
 func fieldMapOf(g errormap.Geometry, p *errormap.Plane) *errormap.Map {

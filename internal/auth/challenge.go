@@ -182,7 +182,7 @@ func (s *Server) issueWithVddsLocked(id ClientID, rec *clientRecord, vdds []int)
 		// no challenge was issued, so nothing replayable exists.
 		err := s.journal.JournalBurn(string(id), physBits, rec.nextID+1, rec.crpsSinceRemap+len(ch.Bits))
 		if err != nil {
-			return nil, authErr(CodeInternal, id, err)
+			return nil, unavailableErr(id, err)
 		}
 	}
 

@@ -56,9 +56,11 @@ func (s *Server) Enroll(ctx context.Context, id ClientID, physMap *errormap.Map,
 		}
 		if err != nil {
 			// An enrollment that isn't durable must not hand out a key:
-			// back the record out so the client can retry cleanly.
+			// back the record out so the client can retry cleanly. The
+			// failure is transient (journal pressure), so it surfaces
+			// as unavailable — Retryable — rather than internal.
 			s.store.Delete(id)
-			return mapkey.Key{}, authErr(CodeInternal, id, err)
+			return mapkey.Key{}, unavailableErr(id, err)
 		}
 	}
 	return key, nil

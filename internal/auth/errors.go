@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"syscall"
 )
 
 // Sentinel errors returned by the server. Every error the server
@@ -17,6 +20,7 @@ var (
 	ErrExhausted        = errors.New("auth: challenge space exhausted for this voltage")
 	ErrNoRemapPending   = errors.New("auth: no remap in progress")
 	ErrBadPlane         = errors.New("auth: voltage plane not enrolled")
+	ErrUnavailable      = errors.New("auth: server temporarily unavailable")
 )
 
 // ErrorCode classifies an authentication-layer failure. Codes are
@@ -46,6 +50,11 @@ const (
 	// CodeCanceled: the caller's context was cancelled or its deadline
 	// expired before the operation completed.
 	CodeCanceled ErrorCode = "canceled"
+	// CodeUnavailable: the server is transiently unable to serve the
+	// request — it is shedding load (in-flight transaction cap,
+	// connection cap) or its durability journal briefly failed. The
+	// request itself was well-formed; back off and retry.
+	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal: an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )
@@ -61,6 +70,7 @@ var codeSentinels = map[ErrorCode]error{
 	CodeExhausted:        ErrExhausted,
 	CodeNoRemapPending:   ErrNoRemapPending,
 	CodeBadPlane:         ErrBadPlane,
+	CodeUnavailable:      ErrUnavailable,
 }
 
 // AuthError is the typed error every auth-layer operation returns on
@@ -130,6 +140,8 @@ func CodeOf(err error) ErrorCode {
 		return CodeNoRemapPending
 	case errors.Is(err, ErrBadPlane):
 		return CodeBadPlane
+	case errors.Is(err, ErrUnavailable):
+		return CodeUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return CodeCanceled
 	}
@@ -146,6 +158,61 @@ type remoteCause struct {
 
 func (r *remoteCause) Error() string { return r.msg }
 func (r *remoteCause) Unwrap() error { return r.sentinel }
+
+// unavailableErr wraps a transient server-side failure (journal
+// append failure, load shed) so that errors.Is(err, ErrUnavailable)
+// holds locally exactly as it does after a wire round-trip, and
+// Retryable classifies the error as worth retrying.
+func unavailableErr(id ClientID, cause error) *AuthError {
+	return &AuthError{Code: CodeUnavailable, ClientID: id, Err: fmt.Errorf("%w: %w", ErrUnavailable, cause)}
+}
+
+// Retryable reports whether a failed transaction is safe and useful
+// to retry from scratch. The classification is over the ErrorCode
+// taxonomy plus transport-level failures:
+//
+//   - unavailable is the server explicitly asking for a backed-off
+//     retry (load shedding, transient journal failure);
+//   - every other typed code is a protocol-level verdict that a
+//     retry cannot change — in particular unknown_challenge (a burned
+//     or replayed challenge MUST NOT be retried: its pairs are dead)
+//     and canceled (the caller's own context ended the attempt);
+//   - untyped transport failures (resets, dropped connections, torn
+//     reads) are retryable on a fresh connection: the transaction
+//     never completed, and every retry starts a whole new transaction
+//     with a fresh challenge, never re-sending a response.
+//
+// A retry must always be a full new transaction; WireClient never
+// resumes a half-finished exchange.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *AuthError
+	if errors.As(err, &ae) {
+		switch ae.Code {
+		case CodeUnavailable:
+			return true
+		case CodeUnknownClient, CodeAlreadyEnrolled, CodeUnknownChallenge,
+			CodeExhausted, CodeNoRemapPending, CodeBadPlane,
+			CodeInvalidRequest, CodeCanceled, CodeInternal:
+			return false
+		}
+		// A code this build does not know (newer peer): the
+		// conservative direction is no retry.
+		return false
+	}
+	// Untyped errors: transport failures only. Anything else (device
+	// faults, encoding bugs) is not fixed by resending.
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 // errorFromWire rebuilds the typed error a server sent over the TCP
 // transport. Messages from pre-taxonomy servers (no code) degrade to

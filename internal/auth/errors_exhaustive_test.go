@@ -19,6 +19,7 @@ var allErrorCodes = []ErrorCode{
 	CodeInvalidRequest,
 	CodeCanceled,
 	CodeInternal,
+	CodeUnavailable,
 }
 
 // allSentinels enumerates every package sentinel.
@@ -29,6 +30,7 @@ var allSentinels = []error{
 	ErrExhausted,
 	ErrNoRemapPending,
 	ErrBadPlane,
+	ErrUnavailable,
 }
 
 // TestSentinelTablesMutuallyExhaustive pins the static contract the

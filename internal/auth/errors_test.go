@@ -27,6 +27,7 @@ var codeTable = []struct {
 	{CodeInvalidRequest, nil},
 	{CodeCanceled, nil},
 	{CodeInternal, nil},
+	{CodeUnavailable, ErrUnavailable},
 }
 
 func TestAuthErrorUnwrapsToSentinel(t *testing.T) {

@@ -70,7 +70,7 @@ func (s *Server) DeleteClient(ctx context.Context, id ClientID) error {
 	}
 	if s.journal != nil {
 		if err := s.journal.JournalDelete(string(id)); err != nil {
-			return authErr(CodeInternal, id, err)
+			return unavailableErr(id, err)
 		}
 	}
 	if !s.store.Delete(id) {
@@ -85,15 +85,18 @@ func (s *Server) DeleteClient(ctx context.Context, id ClientID) error {
 // log records, so a record can describe a mutation the snapshot
 // already contains — and none of them re-journal.
 
-// ReplayEnroll reinstates a journaled enrollment. A client that
-// already exists (the snapshot was taken after the enrollment) is
-// left untouched.
+// ReplayEnroll reinstates a journaled enrollment, last-wins. An
+// enroll record for an existing client replaces it: a journal append
+// can fail transiently while its frame still reaches the disk (fsync
+// reported an error after the write), in which case the server backs
+// the enrollment out and the caller re-enrolls — leaving two enroll
+// records with different keys, of which only the later one was ever
+// handed to a device. Overwriting is safe against snapshots too,
+// because the journal's per-client order means every mutation newer
+// than a replayed enroll record replays after it.
 func (s *Server) ReplayEnroll(id ClientID, mapBytes []byte, key mapkey.Key, reserved []int) error {
 	if id == "" {
 		return authErrf(CodeInvalidRequest, id, "auth: replay enroll with empty id")
-	}
-	if _, ok := s.store.Get(id); ok {
-		return nil
 	}
 	m, err := errormap.UnmarshalMap(mapBytes)
 	if err != nil {
@@ -106,6 +109,7 @@ func (s *Server) ReplayEnroll(id ClientID, mapBytes []byte, key mapkey.Key, rese
 		}
 		res[v] = true
 	}
+	s.store.Delete(id)
 	s.store.Create(id, newClientRecord(m, key, res))
 	return nil
 }

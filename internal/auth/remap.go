@@ -58,7 +58,7 @@ func (s *Server) BeginRemap(ctx context.Context, id ClientID) (*RemapRequest, er
 		// registry pairs, but the counter advance must persist so a
 		// recovered server never reissues a live challenge ID.
 		if err := s.journal.JournalCounter(string(id), rec.nextID); err != nil {
-			return nil, authErr(CodeInternal, id, err)
+			return nil, unavailableErr(id, err)
 		}
 	}
 
@@ -108,7 +108,7 @@ func (s *Server) CompleteRemap(ctx context.Context, id ClientID, success bool) e
 		// pending so the client can retry the commit.
 		if s.journal != nil {
 			if err := s.journal.JournalRemap(string(id), [32]byte(rec.remap.newKey)); err != nil {
-				return authErr(CodeInternal, id, err)
+				return unavailableErr(id, err)
 			}
 		}
 		rec.rotateKeyLocked(rec.remap.newKey)

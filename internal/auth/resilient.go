@@ -1,0 +1,266 @@
+package auth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Self-healing wire client: per-transaction retries with capped
+// exponential backoff and jitter on top of WireClient. Every retry is
+// a complete fresh transaction — the underlying client never resumes
+// a half-finished exchange, so a challenge whose response has been
+// revealed (burned) is never replayed; retries are gated on
+// Retryable's classification of the failure.
+
+// RetryPolicy tunes the retry loop. The zero value gets the
+// documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per transaction (first try
+	// included). 0 means 10.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt. 0 means
+	// 10 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff. 0 means 2 s.
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt. 0 means 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomised
+	// (full-jitter style over [1-Jitter, 1] of the delay), decorrelating
+	// a fleet that got shed at the same instant. 0 means 0.5; negative
+	// disables jitter.
+	Jitter float64
+	// Seed drives the jitter stream, making a client's retry timing
+	// reproducible. 0 means a fixed default seed.
+	Seed uint64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 10
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x5e11f5ed
+	}
+	return p
+}
+
+// delay computes the backoff before attempt n (n >= 1 is the first
+// retry): capped exponential growth with jitter drawn from r.
+func (p RetryPolicy) delay(n int, r *rng.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		frac := 1 - p.Jitter*r.Float64()
+		d *= frac
+	}
+	return time.Duration(d)
+}
+
+// RetryStats counts what the retry loop did; read it after traffic to
+// see how hard the wire fought back.
+type RetryStats struct {
+	// Attempts is the total number of transaction attempts.
+	Attempts uint64
+	// Retries is how many attempts were repeats after a retryable
+	// failure.
+	Retries uint64
+	// Reconnects is how many attempts had to redial first.
+	Reconnects uint64
+	// Unavailable counts attempts rejected by server load shedding or
+	// transient journal failure (CodeUnavailable).
+	Unavailable uint64
+}
+
+// ResilientClient is a WireClient that survives a hostile wire: it
+// redials dropped connections and retries failed transactions with
+// capped exponential backoff, but only when Retryable says the
+// failure is transient — a protocol verdict (burned challenge,
+// unknown client, rejection) is returned immediately and never
+// retried. It is NOT safe for concurrent use; give each goroutine its
+// own client, as with WireClient.
+type ResilientClient struct {
+	addr   string
+	policy RetryPolicy
+	dial   func(ctx context.Context, addr string) (*WireClient, error)
+	rand   *rng.Rand
+	wc     *WireClient // live connection, nil between failures
+	stats  RetryStats
+}
+
+// DialResilient connects to a WireServer with retry behaviour. The
+// initial dial itself is retried under the same policy, so a server
+// that is briefly unreachable does not fail the constructor.
+func DialResilient(ctx context.Context, addr string, policy RetryPolicy) (*ResilientClient, error) {
+	rc := NewResilientClient(addr, policy, Dial)
+	if _, err := rc.conn(ctx); err != nil && !Retryable(err) {
+		return nil, err
+	}
+	// A retryable dial failure is tolerated here: the first
+	// transaction will keep trying under the policy.
+	return rc, nil
+}
+
+// NewResilientClient builds a client around an explicit dial function
+// without connecting; tests inject fault-wrapped dialers here.
+func NewResilientClient(addr string, policy RetryPolicy, dial func(ctx context.Context, addr string) (*WireClient, error)) *ResilientClient {
+	policy = policy.withDefaults()
+	return &ResilientClient{
+		addr:   addr,
+		policy: policy,
+		dial:   dial,
+		rand:   rng.New(policy.Seed),
+	}
+}
+
+// Stats returns the retry counters so far.
+func (rc *ResilientClient) Stats() RetryStats { return rc.stats }
+
+// Close releases the current connection, if any.
+func (rc *ResilientClient) Close() error {
+	if rc.wc == nil {
+		return nil
+	}
+	err := rc.wc.Close()
+	rc.wc = nil
+	return err
+}
+
+// conn returns the live connection, redialling if the last attempt
+// tore it down.
+func (rc *ResilientClient) conn(ctx context.Context) (*WireClient, error) {
+	if rc.wc != nil {
+		return rc.wc, nil
+	}
+	rc.stats.Reconnects++
+	wc, err := rc.dial(ctx, rc.addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.wc = wc
+	return wc, nil
+}
+
+// drop discards the current connection after a transport fault.
+func (rc *ResilientClient) drop() {
+	if rc.wc != nil {
+		rc.wc.Close()
+		rc.wc = nil
+	}
+}
+
+// do runs op as a fresh transaction per attempt until it succeeds,
+// fails terminally, or the policy is exhausted.
+func (rc *ResilientClient) do(ctx context.Context, op func(*WireClient) error) error {
+	var last error
+	for attempt := 1; attempt <= rc.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			rc.stats.Retries++
+			if err := sleepCtx(ctx, rc.policy.delay(attempt-1, rc.rand)); err != nil {
+				return err
+			}
+		}
+		rc.stats.Attempts++
+		wc, err := rc.conn(ctx)
+		if err == nil {
+			err = op(wc)
+		}
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !Retryable(err) {
+			return err
+		}
+		if CodeOf(err) == CodeUnavailable {
+			rc.stats.Unavailable++
+			if !errors.Is(err, io.EOF) {
+				// The server answered a shed response, so the
+				// connection is healthy: keep it instead of redialling
+				// into the accept queue. (An EOF in the chain means
+				// the server hung up — reconnect below.)
+				continue
+			}
+		}
+		rc.drop()
+	}
+	return &AuthError{
+		Code: CodeUnavailable,
+		Err:  fmt.Errorf("%w: %d attempts exhausted, last: %w", ErrUnavailable, rc.policy.MaxAttempts, last),
+	}
+}
+
+// Authenticate runs one authentication transaction with retries and
+// returns the server's verdict.
+func (rc *ResilientClient) Authenticate(ctx context.Context, r *Responder) (bool, error) {
+	ok, _, err := rc.AuthenticateSession(ctx, r)
+	return ok, err
+}
+
+// AuthenticateSession authenticates with retries and, on acceptance,
+// returns the established session key. Each attempt is a whole new
+// transaction with a fresh challenge — a response that already left
+// the device is never re-sent.
+func (rc *ResilientClient) AuthenticateSession(ctx context.Context, r *Responder) (bool, [32]byte, error) {
+	var ok bool
+	var key [32]byte
+	err := rc.do(ctx, func(wc *WireClient) error {
+		var err error
+		ok, key, err = wc.AuthenticateSession(ctx, r)
+		return err
+	})
+	return ok, key, err
+}
+
+// Remap runs one key-update transaction with retries. Safe to retry
+// because the reserved-plane protocol is convergent: an interrupted
+// rotation either never committed (both sides keep the old key) or
+// committed after the client already derived the same key, and the
+// retry simply rotates again.
+func (rc *ResilientClient) Remap(ctx context.Context, r *Responder) error {
+	return rc.do(ctx, func(wc *WireClient) error {
+		return wc.Remap(ctx, r)
+	})
+}
+
+// sleepCtx waits d or until ctx is done, converting cancellation into
+// the typed taxonomy.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctxErr(ctx, "")
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctxErr(ctx, "")
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,382 @@
+package auth
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"unavailable", authErrf(CodeUnavailable, "d", "%w: shed", ErrUnavailable), true},
+		{"unknown client", authErrf(CodeUnknownClient, "d", "%w: d", ErrUnknownClient), false},
+		{"already enrolled", authErr(CodeAlreadyEnrolled, "d", ErrAlreadyEnrolled), false},
+		{"unknown challenge", authErr(CodeUnknownChallenge, "d", ErrUnknownChallenge), false},
+		{"exhausted", authErr(CodeExhausted, "d", ErrExhausted), false},
+		{"no remap pending", authErr(CodeNoRemapPending, "d", ErrNoRemapPending), false},
+		{"bad plane", authErr(CodeBadPlane, "d", ErrBadPlane), false},
+		{"invalid request", authErrf(CodeInvalidRequest, "d", "auth: nope"), false},
+		{"canceled", &AuthError{Code: CodeCanceled, Err: context.Canceled}, false},
+		{"internal", authErrf(CodeInternal, "d", "auth: boom"), false},
+		{"eof", io.EOF, true},
+		{"unexpected eof", io.ErrUnexpectedEOF, true},
+		{"closed pipe", io.ErrClosedPipe, true},
+		{"net closed", net.ErrClosed, true},
+		{"econnreset", syscall.ECONNRESET, true},
+		{"epipe", syscall.EPIPE, true},
+		{"econnrefused", syscall.ECONNREFUSED, true},
+		{"injected drop", fault.ErrInjectedDrop, true},
+		{"plain error", errorsNew("mystery"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRetryableNeverRetriesBurnedChallenge pins the non-retryability
+// of every protocol verdict a response-bearing transaction can end
+// with: once a response has been revealed, no error the server sends
+// about it may trigger a replay.
+func TestRetryableNeverRetriesBurnedChallenge(t *testing.T) {
+	burnedVerdicts := []error{
+		authErr(CodeUnknownChallenge, "d", ErrUnknownChallenge),
+		authErr(CodeExhausted, "d", ErrExhausted),
+		authErrf(CodeInvalidRequest, "d", "auth: response shape"),
+		authErrf(CodeInternal, "d", "auth: verify failed"),
+	}
+	for _, err := range burnedVerdicts {
+		if Retryable(err) {
+			t.Errorf("Retryable(%v) = true; a burned-challenge verdict must never be retried", err)
+		}
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	seq := func() []time.Duration {
+		r := rng.New(p.Seed)
+		var out []time.Duration
+		for n := 1; n <= 9; n++ {
+			out = append(out, p.delay(n, r))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("retry %d: delay not deterministic: %v vs %v", i+1, a[i], b[i])
+		}
+		if a[i] > p.MaxDelay {
+			t.Fatalf("retry %d: delay %v exceeds cap %v", i+1, a[i], p.MaxDelay)
+		}
+		if a[i] <= 0 {
+			t.Fatalf("retry %d: non-positive delay %v", i+1, a[i])
+		}
+	}
+	// Growth: late delays sit near the cap despite jitter.
+	if a[8] < p.MaxDelay/4 {
+		t.Fatalf("final delay %v did not grow toward the %v cap", a[8], p.MaxDelay)
+	}
+}
+
+// startWireFaulty serves srv behind a fault-injecting listener.
+func startWireFaulty(t *testing.T, ws *WireServer, plan fault.ConnPlan) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := fault.NewListener(l, plan)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ws.Serve(ctx, fl)
+	}()
+	return l.Addr().String(), func() {
+		ws.Close()
+		<-done
+	}
+}
+
+// fastPolicy keeps retry latency negligible in tests.
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: 11}
+}
+
+func TestResilientAuthenticateSurvivesDrops(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWireFaulty(t, NewWireServer(srv), fault.ConnPlan{DropProb: 0.1, Seed: 1234})
+	defer stop()
+
+	rc := NewResilientClient(addr, fastPolicy(), Dial)
+	defer rc.Close()
+	for i := 0; i < 30; i++ {
+		ok, err := rc.Authenticate(ctx, resp)
+		if err != nil {
+			t.Fatalf("round %d: %v (stats %+v)", i, err, rc.Stats())
+		}
+		if !ok {
+			t.Fatalf("round %d: genuine client rejected", i)
+		}
+	}
+	if rc.Stats().Retries == 0 {
+		t.Fatal("30 rounds at 10% drop rate injected no retries; the harness is not exercising faults")
+	}
+}
+
+func TestResilientRemapSurvivesDrops(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWireFaulty(t, NewWireServer(srv), fault.ConnPlan{DropProb: 0.15, Seed: 99})
+	defer stop()
+
+	rc := NewResilientClient(addr, fastPolicy(), Dial)
+	defer rc.Close()
+	for i := 0; i < 10; i++ {
+		oldKey := resp.Key()
+		if err := rc.Remap(ctx, resp); err != nil {
+			t.Fatalf("remap %d: %v (stats %+v)", i, err, rc.Stats())
+		}
+		if resp.Key() == oldKey {
+			t.Fatalf("remap %d: key not rotated", i)
+		}
+		ok, err := rc.Authenticate(ctx, resp)
+		if err != nil || !ok {
+			t.Fatalf("post-remap auth %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// verdictEater lets one full transaction's requests through, then
+// kills the connection just before the verdict arrives — after the
+// client has revealed its challenge response.
+type verdictEater struct {
+	net.Conn
+	writes int
+	armed  bool
+}
+
+func (c *verdictEater) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.writes++
+	if c.writes == 2 { // authenticate, then response: burn complete
+		c.armed = true
+	}
+	return n, err
+}
+
+func (c *verdictEater) Read(p []byte) (int, error) {
+	if c.armed {
+		c.Conn.Close()
+		return 0, fault.ErrInjectedDrop
+	}
+	return c.Conn.Read(p)
+}
+
+// responseRecorder captures every response message a client sends, so
+// the test can prove no challenge is ever answered twice.
+type responseRecorder struct {
+	net.Conn
+	ids *[]uint64
+}
+
+func (c *responseRecorder) Write(p []byte) (int, error) {
+	for _, line := range bytes.Split(p, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var msg wireMsg
+		if json.Unmarshal(line, &msg) == nil && msg.Type == "response" {
+			*c.ids = append(*c.ids, msg.ChallengeID)
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// TestResilientRetryIsFreshTransaction is the burned-challenge
+// invariant end to end: the first attempt's verdict is lost AFTER the
+// response was revealed, and the retry must answer a brand-new
+// challenge rather than replaying the burned one.
+func TestResilientRetryIsFreshTransaction(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	addr, stop := startWire(t, srv)
+	defer stop()
+
+	var answered []uint64
+	dials := 0
+	dial := func(ctx context.Context, addr string) (*WireClient, error) {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		dials++
+		rec := &responseRecorder{Conn: conn, ids: &answered}
+		if dials == 1 {
+			return NewWireClient(&verdictEater{Conn: rec}), nil
+		}
+		return NewWireClient(rec), nil
+	}
+
+	rc := NewResilientClient(addr, fastPolicy(), dial)
+	defer rc.Close()
+	ok, err := rc.Authenticate(ctx, resp)
+	if err != nil {
+		t.Fatalf("authenticate: %v", err)
+	}
+	if !ok {
+		t.Fatal("genuine client rejected")
+	}
+	if len(answered) != 2 {
+		t.Fatalf("client answered %d challenges, want 2 (burned + fresh): %v", len(answered), answered)
+	}
+	if answered[0] == answered[1] {
+		t.Fatalf("retry replayed burned challenge %d; every attempt must answer a fresh challenge", answered[0])
+	}
+	if got := rc.Stats().Retries; got != 1 {
+		t.Fatalf("stats.Retries = %d, want 1", got)
+	}
+}
+
+func TestWireServerShedsAtMaxInFlight(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	ws, err := NewWireServerConfig(srv, WireConfig{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startWireFaulty(t, ws, fault.ConnPlan{})
+	defer stop()
+
+	// Occupy the only transaction slot directly.
+	release := ws.acquire()
+	if release == nil {
+		t.Fatal("could not take the in-flight slot")
+	}
+
+	wc, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	_, err = wc.Authenticate(ctx, resp)
+	if CodeOf(err) != CodeUnavailable {
+		t.Fatalf("saturated server answered %v, want CodeUnavailable", err)
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("shed error %v does not satisfy errors.Is(ErrUnavailable)", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("shed error must be retryable")
+	}
+
+	// A resilient client rides out the shedding window: the slot frees
+	// while it is backing off.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		release()
+	}()
+	rc := NewResilientClient(addr, fastPolicy(), Dial)
+	defer rc.Close()
+	ok, err := rc.Authenticate(ctx, resp)
+	if err != nil || !ok {
+		t.Fatalf("resilient client under shedding: ok=%v err=%v (stats %+v)", ok, err, rc.Stats())
+	}
+	if rc.Stats().Unavailable == 0 {
+		t.Fatal("resilient client never saw the shed window")
+	}
+}
+
+func TestWireServerShedsAtMaxConns(t *testing.T) {
+	srv, resp := wireFixture(t, 680, 700)
+	ws, err := NewWireServerConfig(srv, WireConfig{MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startWireFaulty(t, ws, fault.ConnPlan{})
+	defer stop()
+
+	first, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// A completed transaction guarantees the first connection is
+	// registered before the second dial races the accept loop.
+	if ok, err := first.Authenticate(ctx, resp); err != nil || !ok {
+		t.Fatalf("first conn auth: ok=%v err=%v", ok, err)
+	}
+
+	second, err := Dial(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	_, err = second.Authenticate(ctx, resp)
+	if CodeOf(err) != CodeUnavailable {
+		t.Fatalf("over-cap connection answered %v, want CodeUnavailable", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("connection-cap error must be retryable")
+	}
+}
+
+func TestWireConfigValidate(t *testing.T) {
+	if err := (WireConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+	bad := []WireConfig{
+		{MaxMessageBytes: -1},
+		{MaxTransactionsPerConn: -1},
+		{IdleTimeout: -time.Second},
+		{MaxInFlight: -1},
+		{MaxConns: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewWireServerConfig(nil, cfg); err == nil {
+			t.Errorf("config %+v accepted, want validation error", cfg)
+		} else if CodeOf(err) != CodeInvalidRequest {
+			t.Errorf("config %+v rejected with %v, want CodeInvalidRequest", cfg, err)
+		}
+	}
+}
+
+func TestResilientExhaustionWrapsLastError(t *testing.T) {
+	dial := func(ctx context.Context, addr string) (*WireClient, error) {
+		return nil, syscall.ECONNREFUSED
+	}
+	rc := NewResilientClient("nowhere:0", RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Seed:        1,
+	}, dial)
+	_, err := rc.Authenticate(ctx, nil)
+	if err == nil {
+		t.Fatal("exhausted retries returned nil")
+	}
+	var ae *AuthError
+	if !errors.As(err, &ae) || ae.Code != CodeUnavailable {
+		t.Fatalf("exhaustion error %v is not a typed CodeUnavailable AuthError", err)
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("exhaustion error %v lost its cause chain", err)
+	}
+	if got := rc.Stats().Attempts; got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}

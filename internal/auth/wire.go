@@ -17,21 +17,69 @@ import (
 	"repro/internal/crp"
 )
 
-// Wire hardening limits. A malicious peer must not be able to pin
+// Wire hardening defaults. A malicious peer must not be able to pin
 // server memory or goroutines: messages are size-capped, connections
 // are transaction-capped, and a peer that goes silent mid-transaction
-// is cut off by the idle deadline.
+// is cut off by the idle deadline. Operators tune these through
+// WireConfig; the zero config keeps these values.
 const (
-	// maxWireMessageBytes bounds one JSON message. The largest
+	// defaultMaxWireMessageBytes bounds one JSON message. The largest
 	// legitimate message is a remap challenge (~640 pair bits plus
 	// helper data), far under this cap.
-	maxWireMessageBytes = 1 << 20
-	// maxTransactionsPerConn bounds how many transactions a single
-	// connection may run before the server hangs up.
-	maxTransactionsPerConn = 1024
-	// wireIdleTimeout cuts off peers that stall mid-transaction.
-	wireIdleTimeout = 30 * time.Second
+	defaultMaxWireMessageBytes = 1 << 20
+	// defaultMaxTransactionsPerConn bounds how many transactions a
+	// single connection may run before the server hangs up.
+	defaultMaxTransactionsPerConn = 1024
+	// defaultWireIdleTimeout cuts off peers that stall mid-transaction.
+	defaultWireIdleTimeout = 30 * time.Second
 )
+
+// WireConfig tunes a WireServer's hardening limits and overload
+// behaviour. The zero value means "current defaults, no load
+// shedding", so existing callers and tests keep today's semantics.
+type WireConfig struct {
+	// MaxMessageBytes caps one JSON wire message. 0 means 1 MiB.
+	MaxMessageBytes int
+	// MaxTransactionsPerConn caps transactions per connection before
+	// the server hangs up. 0 means 1024.
+	MaxTransactionsPerConn int
+	// IdleTimeout cuts off peers that stall mid-transaction. 0 means
+	// 30 s.
+	IdleTimeout time.Duration
+	// MaxInFlight caps concurrently executing transactions across all
+	// connections. When the cap is reached the server answers new
+	// transactions with an unavailable error instead of queueing them
+	// behind a saturated store — clients back off and retry. 0
+	// disables shedding.
+	MaxInFlight int
+	// MaxConns caps concurrently accepted connections. A connection
+	// over the cap receives one unavailable error message and is
+	// closed (accept-queue pressure relief). 0 disables the cap.
+	MaxConns int
+}
+
+// withDefaults fills the zero fields with the documented defaults.
+func (c WireConfig) withDefaults() WireConfig {
+	if c.MaxMessageBytes == 0 {
+		c.MaxMessageBytes = defaultMaxWireMessageBytes
+	}
+	if c.MaxTransactionsPerConn == 0 {
+		c.MaxTransactionsPerConn = defaultMaxTransactionsPerConn
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = defaultWireIdleTimeout
+	}
+	return c
+}
+
+// Validate rejects nonsensical limits (negative caps or timeout).
+func (c WireConfig) Validate() error {
+	if c.MaxMessageBytes < 0 || c.MaxTransactionsPerConn < 0 ||
+		c.IdleTimeout < 0 || c.MaxInFlight < 0 || c.MaxConns < 0 {
+		return authErrf(CodeInvalidRequest, "", "auth: wire config limits must be non-negative: %+v", c)
+	}
+	return nil
+}
 
 // The wire protocol is newline-delimited JSON over TCP. A connection
 // carries any number of sequential transactions:
@@ -81,6 +129,12 @@ type wireMsg struct {
 // WireServer exposes a Server over TCP.
 type WireServer struct {
 	auth *Server
+	cfg  WireConfig
+	// inflight is the transaction-shedding semaphore (nil when
+	// MaxInFlight is 0): a slot is held for the duration of one
+	// transaction, and a transaction that cannot take a slot without
+	// blocking is answered with unavailable.
+	inflight chan struct{}
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -89,9 +143,28 @@ type WireServer struct {
 	wg       sync.WaitGroup
 }
 
-// NewWireServer wraps an authentication server.
+// NewWireServer wraps an authentication server with the default
+// hardening limits and no load shedding.
 func NewWireServer(auth *Server) *WireServer {
-	return &WireServer{auth: auth, conns: make(map[net.Conn]struct{})}
+	ws, err := NewWireServerConfig(auth, WireConfig{})
+	if err != nil {
+		// The zero config always validates.
+		panic(err)
+	}
+	return ws
+}
+
+// NewWireServerConfig wraps an authentication server with explicit
+// wire limits and overload behaviour.
+func NewWireServerConfig(auth *Server, cfg WireConfig) (*WireServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ws := &WireServer{auth: auth, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	if ws.cfg.MaxInFlight > 0 {
+		ws.inflight = make(chan struct{}, ws.cfg.MaxInFlight)
+	}
+	return ws, nil
 }
 
 // Serve accepts connections on l until Close is called or ctx is
@@ -120,8 +193,21 @@ func (ws *WireServer) Serve(ctx context.Context, l net.Listener) error {
 			return err
 		}
 		ws.mu.Lock()
-		ws.conns[conn] = struct{}{}
+		over := ws.cfg.MaxConns > 0 && len(ws.conns) >= ws.cfg.MaxConns
+		if !over {
+			ws.conns[conn] = struct{}{}
+		}
 		ws.mu.Unlock()
+		if over {
+			// Accept-queue pressure: tell the peer to back off, then
+			// hang up. The write is deadline-bounded so a dead peer
+			// cannot stall the accept loop.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			sendErr(json.NewEncoder(conn), authErrf(CodeUnavailable, "",
+				"%w: connection cap %d reached", ErrUnavailable, ws.cfg.MaxConns))
+			conn.Close()
+			continue
+		}
 		ws.wg.Add(1)
 		go func() {
 			defer ws.wg.Done()
@@ -153,25 +239,32 @@ func (ws *WireServer) Close() {
 // msgReader reads size-capped, deadline-guarded, newline-delimited
 // JSON messages from a connection.
 type msgReader struct {
-	conn net.Conn
-	buf  *bufio.Reader
+	conn     net.Conn
+	buf      *bufio.Reader
+	maxBytes int
+	idle     time.Duration
 }
 
-func newMsgReader(conn net.Conn) *msgReader {
-	return &msgReader{conn: conn, buf: bufio.NewReaderSize(conn, 32<<10)}
+func newMsgReader(conn net.Conn, cfg WireConfig) *msgReader {
+	return &msgReader{
+		conn:     conn,
+		buf:      bufio.NewReaderSize(conn, 32<<10),
+		maxBytes: cfg.MaxMessageBytes,
+		idle:     cfg.IdleTimeout,
+	}
 }
 
 // next decodes one message, enforcing the idle deadline and size cap.
 func (mr *msgReader) next(msg *wireMsg) error {
-	if err := mr.conn.SetReadDeadline(time.Now().Add(wireIdleTimeout)); err != nil {
+	if err := mr.conn.SetReadDeadline(time.Now().Add(mr.idle)); err != nil {
 		return err
 	}
 	var line []byte
 	for {
 		chunk, err := mr.buf.ReadSlice('\n')
 		line = append(line, chunk...)
-		if len(line) > maxWireMessageBytes {
-			return authErrf(CodeInvalidRequest, "", "auth: wire message exceeds %d bytes", maxWireMessageBytes)
+		if len(line) > mr.maxBytes {
+			return authErrf(CodeInvalidRequest, "", "auth: wire message exceeds %d bytes", mr.maxBytes)
 		}
 		if err == nil {
 			break
@@ -184,24 +277,60 @@ func (mr *msgReader) next(msg *wireMsg) error {
 	return json.Unmarshal(line, msg)
 }
 
+// acquire takes an in-flight transaction slot without blocking. It
+// returns a release func, or nil when the server is at capacity and
+// the transaction must be shed.
+func (ws *WireServer) acquire() func() {
+	if ws.inflight == nil {
+		return func() {}
+	}
+	select {
+	case ws.inflight <- struct{}{}:
+		//lint:ignore goroleak semaphore release: the paired send above deposited a token, so this receive can never block
+		return func() { <-ws.inflight }
+	default:
+		return nil
+	}
+}
+
 func (ws *WireServer) handle(ctx context.Context, conn net.Conn) {
-	mr := newMsgReader(conn)
+	mr := newMsgReader(conn, ws.cfg)
 	enc := json.NewEncoder(conn)
-	for tx := 0; tx < maxTransactionsPerConn; tx++ {
+	for tx := 0; tx < ws.cfg.MaxTransactionsPerConn; tx++ {
 		var msg wireMsg
 		if err := mr.next(&msg); err != nil {
 			return // EOF, timeout, oversized, or broken peer: drop
 		}
-		switch msg.Type {
-		case "authenticate":
-			ws.handleAuthenticate(ctx, mr, enc, msg)
-		case "remap":
-			ws.handleRemap(ctx, mr, enc, msg)
-		default:
-			sendErr(enc, authErrf(CodeInvalidRequest, "", "unknown message type %q", msg.Type))
+		release := ws.acquire()
+		if release == nil {
+			// Shedding: the peer's request was well-formed, so answer
+			// with unavailable and keep the connection — the client
+			// backs off and retries instead of redialling into the
+			// accept queue.
+			sendErr(enc, authErrf(CodeUnavailable, ClientID(msg.ClientID),
+				"%w: in-flight transaction cap %d reached", ErrUnavailable, ws.cfg.MaxInFlight))
+			continue
+		}
+		ok := ws.dispatch(ctx, mr, enc, msg)
+		release()
+		if !ok {
 			return
 		}
 	}
+}
+
+// dispatch runs one transaction; false tears the connection down.
+func (ws *WireServer) dispatch(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) bool {
+	switch msg.Type {
+	case "authenticate":
+		ws.handleAuthenticate(ctx, mr, enc, msg)
+	case "remap":
+		ws.handleRemap(ctx, mr, enc, msg)
+	default:
+		sendErr(enc, authErrf(CodeInvalidRequest, "", "unknown message type %q", msg.Type))
+		return false
+	}
+	return true
 }
 
 // sendErr reports a failure to the peer, carrying the typed taxonomy
@@ -289,7 +418,13 @@ func Dial(ctx context.Context, addr string) (*WireClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WireClient{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+	return NewWireClient(conn), nil
+}
+
+// NewWireClient wraps an already-established connection (fault
+// injection wraps conns here); Dial is the production path.
+func NewWireClient(conn net.Conn) *WireClient {
+	return &WireClient{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
 }
 
 // Close releases the connection.
@@ -343,7 +478,13 @@ func (wc *WireClient) recv() (wireMsg, error) {
 	var msg wireMsg
 	if err := wc.dec.Decode(&msg); err != nil {
 		if errors.Is(err, io.EOF) {
-			return msg, authErrf(CodeInternal, "", "auth: server closed connection")
+			// A clean close mid-transaction is a transport loss, not a
+			// protocol verdict: the transaction never completed, so it
+			// is safe (and correct) to retry on a fresh connection. The
+			// EOF stays in the chain so retry loops know this
+			// connection is gone (unlike a shed response, which leaves
+			// it healthy).
+			return msg, authErrf(CodeUnavailable, "", "%w: server closed connection: %w", ErrUnavailable, io.EOF)
 		}
 		return msg, err
 	}

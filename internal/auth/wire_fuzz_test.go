@@ -1,0 +1,65 @@
+package auth
+
+import (
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/errormap"
+	"repro/internal/rng"
+)
+
+// FuzzWireServer feeds arbitrary bytes — truncated frames, oversized
+// lines, malformed JSON, half-valid transactions — straight into the
+// server's per-connection handler. The handler must never panic, hang
+// past its idle deadline, or leak the goroutine; hostile input may
+// only ever produce typed error responses or a dropped connection.
+func FuzzWireServer(f *testing.F) {
+	f.Add([]byte("{\"type\":\"authenticate\",\"client_id\":\"fuzz-dev\"}\n"))
+	f.Add([]byte("{\"type\":\"authenticate\",\"client_id\":\"fuzz-dev\"}\n{\"type\":\"response\",\"challenge_id\":1}\n"))
+	f.Add([]byte("{\"type\":\"remap\",\"client_id\":\"fuzz-dev\"}\n"))
+	f.Add([]byte("{\"type\":\"authenticate\",\"client_id\":\"fuz")) // truncated mid-frame
+	f.Add([]byte("{\"type\":\"bogus\"}\n"))
+	f.Add([]byte("not json at all\n\x00\xff\xfe\n"))
+	f.Add(make([]byte, 1<<12)) // a page of zeros: oversized unterminated line
+	f.Add([]byte("\n\n\n"))
+
+	g := errormap.NewGeometry(512)
+	m := errormap.NewMap(g)
+	r := rng.New(3)
+	m.AddPlane(680, errormap.RandomPlane(g, 20, r))
+	srv := NewServer(DefaultConfig(), 5)
+	if _, err := srv.Enroll(ctx, "fuzz-dev", m); err != nil {
+		f.Fatal(err)
+	}
+	ws, err := NewWireServerConfig(srv, WireConfig{
+		MaxMessageBytes: 1 << 16,
+		IdleTimeout:     50 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			ws.handle(context.Background(), server)
+			server.Close()
+		}()
+		// Drain whatever the handler writes so the synchronous pipe
+		// cannot deadlock on a response.
+		go io.Copy(io.Discard, client)
+		client.SetDeadline(time.Now().Add(2 * time.Second))
+		client.Write(data)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handler did not return; idle deadline failed to fire")
+		}
+		client.Close()
+	})
+}

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ConnPlan schedules the faults a wrapped connection injects. The
+// zero plan injects nothing.
+type ConnPlan struct {
+	// DropProb is the chance, per I/O operation, that the connection
+	// is torn down before the operation runs. The peer observes a
+	// reset or EOF mid-transaction.
+	DropProb float64
+	// PartialWriteProb is the chance, per Write, that only a prefix of
+	// the message reaches the wire before the connection is torn down.
+	// The peer observes a truncated frame followed by EOF — never a
+	// silently corrupted complete frame.
+	PartialWriteProb float64
+	// MaxLatency, when > 0, delays each operation by a uniform random
+	// duration up to this bound.
+	MaxLatency time.Duration
+	// Seed drives the fault schedule. Equal seeds replay equal
+	// schedules.
+	Seed uint64
+}
+
+// injectedErr satisfies net.Error so the wire layer's retry
+// classification treats an injected fault exactly like the transport
+// failure it simulates.
+type injectedErr struct{ msg string }
+
+func (e *injectedErr) Error() string   { return e.msg }
+func (e *injectedErr) Timeout() bool   { return false }
+func (e *injectedErr) Temporary() bool { return true }
+
+// Injected fault errors, surfaced on the side the fault was injected
+// into (the peer sees the ordinary transport symptom: reset, EOF, or
+// a truncated frame).
+var (
+	ErrInjectedDrop         net.Error = &injectedErr{"fault: injected connection drop"}
+	ErrInjectedPartialWrite net.Error = &injectedErr{"fault: injected partial write"}
+)
+
+// Conn wraps a net.Conn with the plan's fault schedule. Safe for the
+// same concurrent use as the underlying connection.
+type Conn struct {
+	net.Conn
+	plan ConnPlan
+
+	mu  sync.Mutex // guards rnd
+	rnd *rng.Rand
+}
+
+// NewConn wraps c with plan's fault schedule.
+func NewConn(c net.Conn, plan ConnPlan) *Conn {
+	return &Conn{Conn: c, plan: plan, rnd: rng.New(plan.Seed)}
+}
+
+// roll draws one operation's fault decisions. n is the write length
+// (0 for reads); partial > 0 means write only that prefix.
+func (c *Conn) roll(n int) (drop bool, partial int, delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan.MaxLatency > 0 {
+		delay = time.Duration(c.rnd.Intn(int(c.plan.MaxLatency)))
+	}
+	drop = c.rnd.Bool(c.plan.DropProb)
+	if !drop && n > 1 && c.rnd.Bool(c.plan.PartialWriteProb) {
+		partial = 1 + c.rnd.Intn(n-1)
+	}
+	return drop, partial, delay
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	drop, _, delay := c.roll(0)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		c.Conn.Close()
+		return 0, ErrInjectedDrop
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	drop, partial, delay := c.roll(len(p))
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		c.Conn.Close()
+		return 0, ErrInjectedDrop
+	}
+	if partial > 0 {
+		n, _ := c.Conn.Write(p[:partial])
+		c.Conn.Close()
+		return n, ErrInjectedPartialWrite
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries
+// the plan's faults, each on its own deterministic schedule derived
+// from the base seed and the accept index.
+type Listener struct {
+	net.Listener
+	plan ConnPlan
+
+	mu sync.Mutex // guards n
+	n  uint64
+}
+
+// NewListener wraps l; accepted connections inject plan's faults.
+func NewListener(l net.Listener, plan ConnPlan) *Listener {
+	return &Listener{Listener: l, plan: plan}
+}
+
+func (fl *Listener) Accept() (net.Conn, error) {
+	c, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fl.mu.Lock()
+	fl.n++
+	n := fl.n
+	fl.mu.Unlock()
+	p := fl.plan
+	// Golden-ratio mixing keeps sibling connections' schedules
+	// decorrelated while staying a pure function of (seed, index).
+	p.Seed = fl.plan.Seed ^ (n * 0x9e3779b97f4a7c15)
+	return NewConn(c, p), nil
+}

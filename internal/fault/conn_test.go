@@ -1,0 +1,120 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic pins that equal seeds draw equal fault
+// schedules — the property that makes a failing chaos run replayable.
+func TestScheduleDeterministic(t *testing.T) {
+	plan := ConnPlan{DropProb: 0.3, PartialWriteProb: 0.3, Seed: 42}
+	a := NewConn(nil, plan)
+	b := NewConn(nil, plan)
+	for i := 0; i < 200; i++ {
+		da, pa, _ := a.roll(64)
+		db, pb, _ := b.roll(64)
+		if da != db || pa != pb {
+			t.Fatalf("op %d: schedules diverge: (%v,%d) vs (%v,%d)", i, da, pa, db, pb)
+		}
+	}
+}
+
+func TestDropTearsDownBothSides(t *testing.T) {
+	client, server := net.Pipe()
+	fc := NewConn(client, ConnPlan{DropProb: 1, Seed: 1})
+	if _, err := fc.Write([]byte("hello\n")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write under DropProb 1: got %v, want ErrInjectedDrop", err)
+	}
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(make([]byte, 8)); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer of dropped conn: got %v, want EOF or closed pipe", err)
+	}
+}
+
+func TestPartialWriteDeliversPrefixThenEOF(t *testing.T) {
+	client, server := net.Pipe()
+	fc := NewConn(client, ConnPlan{PartialWriteProb: 1, Seed: 7})
+	msg := []byte("this message will be truncated mid-flight\n")
+	got := make(chan []byte, 1)
+	go func() {
+		server.SetReadDeadline(time.Now().Add(time.Second))
+		b, _ := io.ReadAll(server)
+		got <- b
+	}()
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjectedPartialWrite) {
+		t.Fatalf("write under PartialWriteProb 1: got %v, want ErrInjectedPartialWrite", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write persisted %d of %d bytes, want a strict prefix", n, len(msg))
+	}
+	b := <-got
+	if len(b) != n {
+		t.Fatalf("peer received %d bytes, writer reported %d", len(b), n)
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	client, server := net.Pipe()
+	fc := NewConn(client, ConnPlan{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(server, buf); err != nil {
+			t.Errorf("peer read: %v", err)
+		}
+		server.Write(buf)
+	}()
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatalf("fault-free write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatalf("fault-free read: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo mismatch: %q", buf)
+	}
+	<-done
+}
+
+// TestListenerDerivesPerConnSchedules accepts a few connections and
+// checks each got a distinct, index-derived schedule seed.
+func TestListenerDerivesPerConnSchedules(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	fl := NewListener(inner, ConnPlan{DropProb: 0.5, Seed: 99})
+	var seeds []uint64
+	for i := 0; i < 4; i++ {
+		d, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		c, err := fl.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		fc, ok := c.(*Conn)
+		if !ok {
+			t.Fatalf("accepted conn is %T, want *Conn", c)
+		}
+		seeds = append(seeds, fc.plan.Seed)
+	}
+	for i := range seeds {
+		for j := i + 1; j < len(seeds); j++ {
+			if seeds[i] == seeds[j] {
+				t.Fatalf("conns %d and %d share schedule seed %#x", i, j, seeds[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package fault injects deterministic, seeded failures underneath the
+// transport and storage layers so resilience claims can be tested
+// instead of asserted. Two seams are covered: Conn/Listener wrap
+// net.Conn with schedulable drops, latency, and partial writes; FS
+// wraps the WAL's filesystem with fsync errors, short writes, and
+// crash-at-byte-N device death. Every fault decision is drawn from a
+// seeded generator, so a failing chaos run replays exactly from its
+// seed.
+package fault

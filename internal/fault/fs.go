@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/wal"
+)
+
+// FSPlan schedules the disk faults an FS injects. The zero plan
+// (with CrashAtByte -1) injects nothing.
+type FSPlan struct {
+	// SyncErrProb is the chance, per fsync, of a transient failure:
+	// the sync reports an error but bytes already written stay
+	// written. The WAL surfaces the append as failed; replay treats
+	// the frames as committed (idempotently), matching a kernel that
+	// flushed the pages despite the error return.
+	SyncErrProb float64
+	// ShortWriteProb is the chance, per write, that only a prefix of
+	// the buffer reaches the file before the write fails. The fault is
+	// transient — the file stays usable — which exercises the WAL's
+	// truncate-and-repair path.
+	ShortWriteProb float64
+	// CrashAtByte, when >= 0, kills the device after that many bytes
+	// have been written across all files: the write crossing the
+	// boundary persists exactly the bytes below it, and every
+	// operation afterwards fails with ErrCrashed. Sweeping this value
+	// over a workload simulates power loss at every byte offset.
+	CrashAtByte int64
+	// Seed drives the probabilistic faults.
+	Seed uint64
+}
+
+// Injected disk fault errors.
+var (
+	ErrInjectedSync = errors.New("fault: injected fsync failure")
+	ErrCrashed      = errors.New("fault: filesystem crashed")
+)
+
+// FS wraps a wal.FS with FSPlan's fault schedule. The write-byte
+// counter is cumulative across all files, so CrashAtByte positions a
+// crash anywhere in a multi-segment workload.
+type FS struct {
+	base wal.FS
+	plan FSPlan
+
+	mu       sync.Mutex // guards rnd, written, crashed, disarmed
+	rnd      *rng.Rand
+	written  int64
+	crashed  bool
+	disarmed bool
+}
+
+// SetArmed toggles injection. A disarmed FS passes everything through
+// (and counts no bytes), letting a test open the log cleanly before
+// the storm starts. The FS starts armed.
+func (f *FS) SetArmed(armed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.disarmed = !armed
+}
+
+// NewFS wraps base (the host filesystem when nil) with plan's faults.
+func NewFS(base wal.FS, plan FSPlan) *FS {
+	if base == nil {
+		base = wal.OSFS()
+	}
+	return &FS{base: base, plan: plan, rnd: rng.New(plan.Seed)}
+}
+
+// Crashed reports whether the simulated device has died.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Written returns the cumulative bytes persisted across all files.
+func (f *FS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// admitWrite decides one write's fate: how many of n bytes to
+// persist, and the error to return (nil means the full write
+// proceeds).
+func (f *FS) admitWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.disarmed {
+		return n, nil
+	}
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.plan.CrashAtByte >= 0 && f.written+int64(n) > f.plan.CrashAtByte {
+		allowed := int(f.plan.CrashAtByte - f.written)
+		if allowed < 0 {
+			allowed = 0
+		}
+		f.crashed = true
+		f.written = f.plan.CrashAtByte
+		return allowed, ErrCrashed
+	}
+	if n > 1 && f.rnd.Bool(f.plan.ShortWriteProb) {
+		allowed := 1 + f.rnd.Intn(n-1)
+		f.written += int64(allowed)
+		return allowed, errors.New("fault: injected short write")
+	}
+	f.written += int64(n)
+	return n, nil
+}
+
+// admitSync decides one fsync's fate.
+func (f *FS) admitSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.disarmed {
+		return nil
+	}
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.rnd.Bool(f.plan.SyncErrProb) {
+		return ErrInjectedSync
+	}
+	return nil
+}
+
+// failIfCrashed gates the non-write operations.
+func (f *FS) failIfCrashed() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed && !f.disarmed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	if err := f.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	base, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: base, fs: f}, nil
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.failIfCrashed(); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.failIfCrashed(); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.failIfCrashed(); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.admitSync(); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
+}
+
+// file routes a segment handle's writes and syncs through the plan.
+type file struct {
+	wal.File
+	fs *FS
+}
+
+func (fl *file) Write(p []byte) (int, error) {
+	allowed, err := fl.fs.admitWrite(len(p))
+	if err != nil {
+		n := 0
+		if allowed > 0 {
+			n, _ = fl.File.Write(p[:allowed])
+		}
+		return n, err
+	}
+	return fl.File.Write(p)
+}
+
+func (fl *file) Sync() error {
+	if err := fl.fs.admitSync(); err != nil {
+		return err
+	}
+	return fl.File.Sync()
+}
+
+func (fl *file) Truncate(size int64) error {
+	if err := fl.fs.failIfCrashed(); err != nil {
+		return err
+	}
+	return fl.File.Truncate(size)
+}

@@ -21,7 +21,12 @@
 //     every codeSentinels entry has a CodeOf case returning the same
 //     code, and every CodeOf sentinel case is in codeSentinels.
 //     (errorFromWire's decode is driven directly by codeSentinels, so
-//     map consistency is wire round-trip consistency.)
+//     map consistency is wire round-trip consistency.) When the
+//     package also declares Retryable, its ErrorCode switch must
+//     classify every declared code: a code missing from the switch
+//     silently falls to the conservative no-retry branch, so a
+//     transient code added without a Retryable case would strand
+//     clients that should have retried.
 package errtaxonomy
 
 import (
@@ -144,6 +149,46 @@ func checkExhaustive(pass *lint.Pass) {
 			pass.Reportf(pos, "codeSentinels key %s is not a declared ErrorCode constant", code)
 		}
 	}
+	checkRetryable(pass, anchors)
+}
+
+// checkRetryable verifies that Retryable's ErrorCode switch mentions
+// every declared code. The switch's default path is deliberately
+// conservative (no retry, for codes from newer peers), so a
+// locally-declared code that falls through to it was almost certainly
+// forgotten when the code was added.
+func checkRetryable(pass *lint.Pass, a *anchors) {
+	if a.retryable == nil {
+		return
+	}
+	handled := make(map[string]bool)
+	var switchPos token.Pos
+	ast.Inspect(a.retryable.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			if id, ok := expr.(*ast.Ident); ok && a.codes[id.Name] {
+				handled[id.Name] = true
+				if switchPos == token.NoPos {
+					switchPos = cc.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(handled) == 0 {
+		// No ErrorCode switch at all (e.g. a facade wrapper that
+		// delegates): nothing to cross-check.
+		return
+	}
+	for code := range a.codes {
+		if !handled[code] {
+			pass.Reportf(a.retryable.Pos(),
+				"Retryable's switch does not classify %s: the code falls to the conservative no-retry default", code)
+		}
+	}
 }
 
 type anchors struct {
@@ -154,6 +199,7 @@ type anchors struct {
 	mapKeyPos         map[string]token.Pos // code name → key pos
 	codeOfBySentinel  map[string]string    // sentinel name → returned code (CodeOf)
 	codeOfCasePos     map[string]token.Pos
+	retryable         *ast.FuncDecl // func Retryable, when declared
 }
 
 // collectAnchors finds the ErrorCode consts, the sentinel vars, the
@@ -188,6 +234,9 @@ func collectAnchors(pass *lint.Pass) *anchors {
 				if d.Name.Name == "CodeOf" && d.Recv == nil {
 					haveCodeOf = true
 					collectCodeOf(a, d)
+				}
+				if d.Name.Name == "Retryable" && d.Recv == nil && d.Body != nil {
+					a.retryable = d
 				}
 			}
 		}

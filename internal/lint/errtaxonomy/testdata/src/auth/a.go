@@ -52,6 +52,17 @@ func CodeOf(err error) ErrorCode {
 	return CodeInternal
 }
 
+// Retryable classifies CodeExpired but forgets the other three
+// declared codes, which fall to the conservative no-retry default.
+func Retryable(err error) bool { // want "does not classify CodeUnknown" "does not classify CodeMismatch" "does not classify CodeInternal"
+	var code ErrorCode
+	switch code {
+	case CodeExpired:
+		return true
+	}
+	return false
+}
+
 func bareNew() error {
 	return errors.New("boom") // want "bare errors.New"
 }

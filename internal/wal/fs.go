@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the file operations the log performs so tests can
+// inject failures (fsync errors, short writes, crash-at-byte-N)
+// underneath the real durability machinery. The default is the host
+// filesystem; internal/fault provides a failing implementation. The
+// snapshot path (AtomicWriteFile, LatestSnapshot) deliberately stays
+// on the host filesystem — compaction is already crash-atomic by
+// construction and is exercised separately.
+type FS interface {
+	// OpenFile mirrors os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadDir mirrors os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile mirrors os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+	// Remove mirrors os.Remove.
+	Remove(name string) error
+	// MkdirAll mirrors os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so entry creation/removal is durable.
+	SyncDir(dir string) error
+}
+
+// File is the per-segment handle surface the writer loop needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Truncate discards bytes past size (torn-tail repair).
+	Truncate(size int64) error
+	// Seek positions the next write (resuming a tail segment).
+	Seek(offset int64, whence int) (int64, error)
+	// Stat reports the current size.
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS returns the host filesystem (the default when Options.FS is
+// nil); fault wrappers layer on top of it.
+func OSFS() FS { return osFS{} }
+
+// osFS is the host filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error { return syncDir(dir) }

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 )
 
 // ScanSegment parses one segment file and returns every intact record
@@ -20,7 +19,12 @@ import (
 // checked against the remaining input before use (the FuzzWALReplay
 // contract).
 func ScanSegment(path string) (recs []*Record, ends []int64, err error) {
-	data, err := os.ReadFile(path)
+	return scanSegment(osFS{}, path)
+}
+
+// scanSegment is ScanSegment over an injected filesystem.
+func scanSegment(fs FS, path string) (recs []*Record, ends []int64, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: read segment: %w", err)
 	}

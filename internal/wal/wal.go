@@ -35,6 +35,9 @@ type Options struct {
 	// NoSync skips fsync entirely (benchmark baselines and tests that
 	// measure the batching machinery alone — never production).
 	NoSync bool
+	// FS substitutes the filesystem under the segment files. nil means
+	// the host filesystem; fault-injection tests supply a failing one.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +49,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlushBatch <= 0 {
 		o.FlushBatch = 64
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 	return o
 }
@@ -106,19 +112,27 @@ type WAL struct {
 	compactMu sync.Mutex
 
 	// Writer-goroutine state.
-	f    *os.File
+	f    File
 	bw   bufWriter
 	size int64
+	// broken latches when a failed batch write cannot be repaired
+	// (truncating back to the last clean record boundary also failed):
+	// the on-disk tail is now indeterminate, so further appends fail
+	// fast with ErrBroken rather than stacking frames after garbage.
+	broken bool
 }
+
+// ErrBroken is returned by appends after an unrepairable write fault.
+var ErrBroken = errors.New("wal: writer disabled after unrepaired write fault")
 
 // bufWriter is the minimal buffered-writer surface the writer loop
 // needs; a plain wrapper keeps the reset-on-rotate explicit.
 type bufWriter struct {
-	f   *os.File
+	f   File
 	buf []byte
 }
 
-func (b *bufWriter) reset(f *os.File) { b.f, b.buf = f, b.buf[:0] }
+func (b *bufWriter) reset(f File) { b.f, b.buf = f, b.buf[:0] }
 
 func (b *bufWriter) write(p []byte) {
 	b.buf = append(b.buf, p...)
@@ -139,10 +153,10 @@ func (b *bufWriter) flush() error {
 // Replay before the first Append to rebuild state.
 func Open(dir string, opt Options) (*WAL, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(opt.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +167,7 @@ func Open(dir string, opt Options) (*WAL, error) {
 		done: make(chan struct{}),
 	}
 	if len(segs) == 0 {
-		f, err := createSegment(dir, 1)
+		f, err := createSegment(opt.FS, dir, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -165,12 +179,12 @@ func Open(dir string, opt Options) (*WAL, error) {
 		path := segmentPath(dir, last)
 		// Scan the tail segment and truncate any torn final frame so
 		// appends resume on a clean record boundary.
-		_, ends, scanErr := ScanSegment(path)
+		_, ends, scanErr := scanSegment(opt.FS, path)
 		cleanLen := segHeaderLen
 		if len(ends) > 0 {
 			cleanLen = ends[len(ends)-1]
 		}
-		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		f, err := opt.FS.OpenFile(path, os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: open segment: %w", err)
 		}
@@ -187,6 +201,16 @@ func Open(dir string, opt Options) (*WAL, error) {
 			if err := f.Sync(); err != nil {
 				f.Close()
 				return nil, fmt.Errorf("wal: sync truncated segment: %w", err)
+			}
+		}
+		if cleanLen == segHeaderLen {
+			// A crash inside segment creation can leave a file whose
+			// magic header never fully landed (and the truncate above
+			// may have zero-extended a short one). Rewrite the header so
+			// appends land behind real magic.
+			if err := repairHeader(f); err != nil {
+				f.Close()
+				return nil, err
 			}
 		}
 		if _, err := f.Seek(cleanLen, io.SeekStart); err != nil {
@@ -287,8 +311,17 @@ func (w *WAL) gather(first *request) []*request {
 
 // commit writes the batch's frames, flushes, fsyncs once, and rotates
 // the segment if the batch asked for it or the size threshold tripped.
+// A failed write is repaired by truncating back to the clean boundary
+// the batch started at, so a transient disk fault costs the batch (the
+// callers see errors and retry) without corrupting the log mid-
+// segment; an fsync failure leaves the frames in place, where replay
+// applies them idempotently even though the appenders saw an error.
 func (w *WAL) commit(batch []*request) error {
+	if w.broken {
+		return ErrBroken
+	}
 	rotate := false
+	pre := w.size
 	for _, r := range batch {
 		if r.rotate {
 			rotate = true
@@ -298,6 +331,7 @@ func (w *WAL) commit(batch []*request) error {
 		w.size += int64(len(r.frame))
 	}
 	if err := w.bw.flush(); err != nil {
+		w.repair(pre)
 		return fmt.Errorf("wal: write segment: %w", err)
 	}
 	if !w.opt.NoSync {
@@ -311,15 +345,41 @@ func (w *WAL) commit(batch []*request) error {
 	return nil
 }
 
-// rotate seals the current segment and starts the next one.
-func (w *WAL) rotate() error {
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("wal: close sealed segment: %w", err)
+// repair restores the segment to the clean record boundary a failed
+// batch write started at. An unknown prefix of the batch may have
+// reached the file; truncating it away re-establishes the invariant
+// that the file ends exactly on a committed frame. If even that fails
+// the tail is indeterminate and the writer latches broken.
+func (w *WAL) repair(pre int64) {
+	if err := w.f.Truncate(pre); err != nil {
+		w.broken = true
+		return
 	}
+	if _, err := w.f.Seek(pre, io.SeekStart); err != nil {
+		w.broken = true
+		return
+	}
+	w.size = pre
+}
+
+// rotate seals the current segment and starts the next one. The next
+// segment is created before the current one is released so a creation
+// failure (disk full, dead device) leaves the writer on its current,
+// still-valid segment.
+func (w *WAL) rotate() error {
 	next := w.seg.Load() + 1
-	f, err := createSegment(w.dir, next)
+	f, err := createSegment(w.opt.FS, w.dir, next)
 	if err != nil {
 		return err
+	}
+	if err := w.f.Close(); err != nil {
+		// The sealed segment's records are already fsynced; the close
+		// failure costs nothing replay needs.
+		w.f = f
+		w.bw.reset(f)
+		w.size = segHeaderLen
+		w.seg.Store(next)
+		return fmt.Errorf("wal: close sealed segment: %w", err)
 	}
 	w.f = f
 	w.bw.reset(f)
@@ -349,12 +409,12 @@ func (w *WAL) Close() error {
 // frame in any earlier position is real data loss and returns an
 // error without applying further records.
 func (w *WAL) Replay(apply func(*Record) error) error {
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.opt.FS, w.dir)
 	if err != nil {
 		return err
 	}
 	for i, idx := range segs {
-		recs, _, err := ScanSegment(segmentPath(w.dir, idx))
+		recs, _, err := scanSegment(w.opt.FS, segmentPath(w.dir, idx))
 		if err != nil && i != len(segs)-1 {
 			return fmt.Errorf("wal: segment %d corrupt mid-log: %w", idx, err)
 		}
@@ -401,7 +461,7 @@ func (w *WAL) Compact(save func(io.Writer) error) error {
 	if err := AtomicWriteFile(filepath.Join(w.dir, snapshotName), save); err != nil {
 		return fmt.Errorf("wal: write snapshot: %w", err)
 	}
-	segs, err := listSegments(w.dir)
+	segs, err := listSegments(w.opt.FS, w.dir)
 	if err != nil {
 		return err
 	}
@@ -409,11 +469,11 @@ func (w *WAL) Compact(save func(io.Writer) error) error {
 		if idx >= sealedBelow {
 			continue
 		}
-		if err := os.Remove(segmentPath(w.dir, idx)); err != nil {
+		if err := w.opt.FS.Remove(segmentPath(w.dir, idx)); err != nil {
 			return fmt.Errorf("wal: drop sealed segment %d: %w", idx, err)
 		}
 	}
-	return syncDir(w.dir)
+	return w.opt.FS.SyncDir(w.dir)
 }
 
 // JournalEnroll, JournalBurn, JournalRemap, JournalCounter and
@@ -446,8 +506,8 @@ func segmentPath(dir string, idx uint64) string {
 }
 
 // listSegments returns the segment indexes present in dir, ascending.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: read dir: %w", err)
 	}
@@ -468,14 +528,39 @@ func listSegments(dir string) ([]uint64, error) {
 	return out, nil
 }
 
+// repairHeader verifies a record-less tail segment still starts with
+// the magic header, rewriting it durably if a crash tore it.
+func repairHeader(f File) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek segment header: %w", err)
+	}
+	hdr := make([]byte, segHeaderLen)
+	if n, _ := io.ReadFull(f, hdr); int64(n) == segHeaderLen && string(hdr) == segMagic {
+		return nil
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset torn segment header: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek torn segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		return fmt.Errorf("wal: rewrite segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync rewritten header: %w", err)
+	}
+	return nil
+}
+
 // createSegment creates segment idx with its magic header, durably.
-func createSegment(dir string, idx uint64) (*os.File, error) {
+func createSegment(fs FS, dir string, idx uint64) (File, error) {
 	path := segmentPath(dir, idx)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create segment: %w", err)
 	}
-	if _, err := f.WriteString(segMagic); err != nil {
+	if _, err := f.Write([]byte(segMagic)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: write segment header: %w", err)
 	}
@@ -483,7 +568,7 @@ func createSegment(dir string, idx uint64) (*os.File, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: sync new segment: %w", err)
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fs.SyncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}

@@ -167,7 +167,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestCompaction(t *testing.T) {
 	if err := w.Compact(save); err != nil {
 		t.Fatalf("compact: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestCorruptCRCMidLog(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(osFS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,13 @@ echo "== wal recovery tests =="
 go test -count=1 -run 'TestKillMidWriteEveryTruncation|TestCorruptCRC|TestReplayIdempotence' ./internal/wal/
 go test -count=1 -run 'TestDurableCrashRecoveryTruncationSweep|TestDurableCompactionUnderVerifyTraffic' .
 
+echo "== chaos tests (fault injection, fixed seed) =="
+go test -race -count=1 -run 'Chaos' .
+
 echo "== wal replay fuzz smoke (5s) =="
 go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s ./internal/wal/
+
+echo "== wire server fuzz smoke (5s) =="
+go test -run '^$' -fuzz '^FuzzWireServer$' -fuzztime 5s ./internal/auth/
 
 echo "check: all green"
