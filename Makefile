@@ -1,4 +1,4 @@
-.PHONY: check test bench build lint
+.PHONY: check test bench bench-wire build lint
 
 check:
 	sh scripts/check.sh
@@ -14,3 +14,7 @@ lint:
 
 bench:
 	go test -bench . -benchtime 2s -run '^$$' ./...
+
+# Fixed-iteration wire throughput run; regenerates BENCH_wire.json.
+bench-wire:
+	sh scripts/bench_wire.sh

@@ -145,7 +145,37 @@ func NewWireServerConfig(s *Server, cfg WireConfig) (*WireServer, error) {
 }
 
 // Dial connects to a WireServer; ctx bounds the connection attempt.
+// It speaks the v1 newline-JSON framing; use DialV2 or DialProto for
+// the multiplexed binary framing.
 func Dial(ctx context.Context, addr string) (*WireClient, error) { return auth.Dial(ctx, addr) }
+
+// Proto selects a wire framing: ProtoAuto negotiates per connection,
+// ProtoV1 forces newline-delimited JSON, ProtoV2 forces the
+// multiplexed binary framing (pipelined transactions over one
+// connection).
+type Proto = auth.Proto
+
+// Wire framing selectors; see Proto.
+const (
+	ProtoAuto = auth.ProtoAuto
+	ProtoV1   = auth.ProtoV1
+	ProtoV2   = auth.ProtoV2
+)
+
+// ParseProto maps the spellings "auto", "v1", "v2" (and "") onto a
+// Proto; flag and config parsing use it.
+func ParseProto(s string) (Proto, error) { return auth.ParseProto(s) }
+
+// DialV2 connects speaking the v2 multiplexed binary framing. The
+// returned client is safe for concurrent use: overlapping transactions
+// pipeline over the one connection, each on its own stream.
+func DialV2(ctx context.Context, addr string) (*WireClient, error) { return auth.DialV2(ctx, addr) }
+
+// DialProto connects with an explicit framing choice. The server is
+// the negotiating party, so ProtoAuto means v1 on the client side.
+func DialProto(ctx context.Context, addr string, proto Proto) (*WireClient, error) {
+	return auth.DialProto(ctx, addr, proto)
+}
 
 // ResilientClient is a WireClient that survives a hostile wire:
 // dropped connections redial, transient failures retry with capped
@@ -163,9 +193,17 @@ type RetryPolicy = auth.RetryPolicy
 // reconnects, and shed responses.
 type RetryStats = auth.RetryStats
 
-// DialResilient connects to a WireServer with retry behaviour.
+// DialResilient connects to a WireServer with retry behaviour,
+// speaking v1.
 func DialResilient(ctx context.Context, addr string, policy RetryPolicy) (*ResilientClient, error) {
 	return auth.DialResilient(ctx, addr, policy)
+}
+
+// DialResilientProto connects with retry behaviour and an explicit
+// framing. With ProtoV2, concurrent transactions on the returned
+// client pipeline over one shared connection.
+func DialResilientProto(ctx context.Context, addr string, policy RetryPolicy, proto Proto) (*ResilientClient, error) {
+	return auth.DialResilientProto(ctx, addr, policy, proto)
 }
 
 // Retryable reports whether an error is safe to retry as a fresh

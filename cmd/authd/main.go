@@ -35,10 +35,16 @@
 //
 //	authd [-addr :7430] [-devices 4] [-seed 1] [-bits 256] [-cache 1048576]
 //	      [-state db.json] [-wal waldir] [-compact 1m] [-max-inflight 0]
+//	      [-wire-proto auto]
 //
 // -max-inflight caps concurrent transactions: beyond it the server
 // sheds with a retryable "unavailable" verdict instead of queueing
 // unboundedly (resilient clients back off and retry).
+//
+// -wire-proto selects the wire framing: "auto" (default) negotiates
+// per connection — a v2 preamble selects the multiplexed binary
+// framing, anything else the v1 newline-JSON loop; "v1" and "v2"
+// force one framing and reject the other. See docs/PROTOCOL.md.
 package main
 
 import (
@@ -69,7 +75,13 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead log directory: journal every mutation, recover on boot (durable mode)")
 	compactEvery := flag.Duration("compact", time.Minute, "WAL compaction interval (with -wal)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent transactions before shedding with 'unavailable' (0 = unlimited)")
+	wireProto := flag.String("wire-proto", "auto", "wire framing: auto (negotiate per connection), v1 (newline JSON only), v2 (multiplexed binary only)")
 	flag.Parse()
+
+	proto, err := authenticache.ParseProto(*wireProto)
+	if err != nil {
+		log.Fatalf("authd: %v", err)
+	}
 
 	// SIGINT or SIGTERM (what init systems and container runtimes send)
 	// drains the daemon: the serve loop and every in-flight transaction
@@ -81,7 +93,7 @@ func main() {
 	cfg.ChallengeBits = *bits
 
 	if *walDir != "" {
-		runDurable(ctx, cfg, *walDir, *statePath, *addr, *devices, *seed, *cacheBytes, *compactEvery, *maxInflight)
+		runDurable(ctx, cfg, *walDir, *statePath, *addr, *devices, *seed, *cacheBytes, *compactEvery, *maxInflight, proto)
 		return
 	}
 
@@ -95,7 +107,7 @@ func main() {
 			}
 			f.Close()
 			printProvisioned(srv, " (restored)")
-			if err := serve(ctx, srv, *addr, *maxInflight); err != nil {
+			if err := serve(ctx, srv, *addr, *maxInflight, proto); err != nil {
 				log.Fatalf("authd: serve: %v", err)
 			}
 			return
@@ -116,14 +128,14 @@ func main() {
 		}
 		log.Printf("authd: enrollment database written to %s", *statePath)
 	}
-	if err := serve(ctx, srv, *addr, *maxInflight); err != nil {
+	if err := serve(ctx, srv, *addr, *maxInflight, proto); err != nil {
 		log.Fatalf("authd: serve: %v", err)
 	}
 }
 
 // runDurable serves with the write-ahead log: recover on boot,
 // journal while serving, compact periodically, snapshot on drain.
-func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, statePath, addr string, devices int, seed uint64, cacheBytes int, compactEvery time.Duration, maxInflight int) {
+func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, statePath, addr string, devices int, seed uint64, cacheBytes int, compactEvery time.Duration, maxInflight int, proto authenticache.Proto) {
 	ds, err := authenticache.OpenDurableServer(walDir, cfg, seed^0xd5e7, authenticache.WALOptions{})
 	if err != nil {
 		log.Fatalf("authd: open WAL: %v", err)
@@ -177,7 +189,7 @@ func runDurable(ctx context.Context, cfg authenticache.ServerConfig, walDir, sta
 		}
 	}()
 
-	if err := serve(ctx, ds.Server, addr, maxInflight); err != nil {
+	if err := serve(ctx, ds.Server, addr, maxInflight, proto); err != nil {
 		log.Printf("authd: serve: %v", err)
 	}
 	// Drained: take the final snapshot so the next boot replays an
@@ -234,8 +246,8 @@ func printProvisioned(srv *authenticache.Server, suffix string) {
 	}
 }
 
-func serve(ctx context.Context, srv *authenticache.Server, addr string, maxInflight int) error {
-	ws, err := authenticache.NewWireServerConfig(srv, authenticache.WireConfig{MaxInFlight: maxInflight})
+func serve(ctx context.Context, srv *authenticache.Server, addr string, maxInflight int, proto authenticache.Proto) error {
+	ws, err := authenticache.NewWireServerConfig(srv, authenticache.WireConfig{MaxInFlight: maxInflight, Proto: proto})
 	if err != nil {
 		return err
 	}

@@ -5,13 +5,17 @@
 //
 // Every worker owns a distinct enrolled device and loops full
 // authentication transactions (challenge → PUF evaluation → verify →
-// session key) over its own TCP connection.
+// session key) over its own TCP connection. With -proto v2 the worker
+// speaks the multiplexed binary framing and -depth lanes pipeline
+// concurrent transactions over that one connection.
 //
-//	go run ./examples/loadtest
+//	go run ./examples/loadtest                  # v1 lock-step JSON
+//	go run ./examples/loadtest -proto v2 -depth 8
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -34,6 +38,20 @@ const (
 )
 
 func main() {
+	protoName := flag.String("proto", "v1", "wire framing: v1 (lock-step JSON) or v2 (multiplexed binary)")
+	depth := flag.Int("depth", 1, "pipeline depth per connection (v2 only: lanes sharing one connection)")
+	flag.Parse()
+	proto, err := authenticache.ParseProto(*protoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *depth < 1 {
+		log.Fatal("loadtest: -depth must be >= 1")
+	}
+	if *depth > 1 && proto != authenticache.ProtoV2 {
+		log.Fatal("loadtest: -depth > 1 needs -proto v2 (v1 is lock-step)")
+	}
+
 	ctx := context.Background()
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 128
@@ -64,34 +82,52 @@ func main() {
 	ws := authenticache.NewWireServer(srv)
 	go ws.Serve(ctx, l)
 	defer ws.Close()
-	fmt.Printf("server on %s; %d workers x %d transactions\n", l.Addr(), workers, perWorker)
+	fmt.Printf("server on %s; proto=%s depth=%d; %d workers x %d transactions\n",
+		l.Addr(), *protoName, *depth, workers, perWorker)
 
 	var rejected, failed atomic.Int64
 	latencies := make([][]time.Duration, workers)
+	var latMu sync.Mutex
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wc, err := authenticache.Dial(ctx, l.Addr().String())
+			wc, err := authenticache.DialProto(ctx, l.Addr().String(), proto)
 			if err != nil {
 				failed.Add(int64(perWorker))
 				return
 			}
 			defer wc.Close()
-			for i := 0; i < perWorker; i++ {
-				t0 := time.Now()
-				ok, err := wc.Authenticate(ctx, clients[w].responder)
-				if err != nil {
-					failed.Add(1)
-					continue
+			// Split the worker's budget across -depth pipelined lanes,
+			// all sharing the one connection.
+			var lanes sync.WaitGroup
+			for lane := 0; lane < *depth; lane++ {
+				n := perWorker / *depth
+				if lane < perWorker%*depth {
+					n++
 				}
-				if !ok {
-					rejected.Add(1)
-				}
-				latencies[w] = append(latencies[w], time.Since(t0))
+				lanes.Add(1)
+				go func(n int) {
+					defer lanes.Done()
+					for i := 0; i < n; i++ {
+						t0 := time.Now()
+						ok, err := wc.Authenticate(ctx, clients[w].responder)
+						if err != nil {
+							failed.Add(1)
+							continue
+						}
+						if !ok {
+							rejected.Add(1)
+						}
+						latMu.Lock()
+						latencies[w] = append(latencies[w], time.Since(t0))
+						latMu.Unlock()
+					}
+				}(n)
 			}
+			lanes.Wait()
 		}(w)
 	}
 	wg.Wait()

@@ -134,14 +134,17 @@ func (s *Server) issueWithVddsLocked(id ClientID, rec *clientRecord, vdds []int)
 
 	ch := &crp.Challenge{ID: rec.nextID, Bits: make([]crp.PairBit, len(vdds))}
 	physBits := make([]crp.PairBit, len(vdds))
+	// physKeys mirrors physBits as canonical fingerprints so the
+	// within-challenge duplicate scan is a word compare, not a struct
+	// compare — this loop is on the wire protocol's hot path.
+	physKeys := make([]uint64, len(vdds))
 	const maxRetries = 64
 	for i := range ch.Bits {
 		vdd := vdds[i]
 		perm := perms[vdd]
 		ok := false
 		for attempt := 0; attempt < maxRetries; attempt++ {
-			a := s.randIntn(g.Lines)
-			b := s.randIntn(g.Lines)
+			a, b := s.randIntn2(g.Lines)
 			if a == b {
 				continue
 			}
@@ -152,9 +155,10 @@ func (s *Server) issueWithVddsLocked(id ClientID, rec *clientRecord, vdds []int)
 			if rec.registry.IsUsed(phys) {
 				continue
 			}
+			key := pairFingerprint(phys)
 			dup := false
 			for j := 0; j < i; j++ {
-				if samePair(physBits[j], phys) {
+				if physKeys[j] == key {
 					dup = true
 					break
 				}
@@ -164,6 +168,7 @@ func (s *Server) issueWithVddsLocked(id ClientID, rec *clientRecord, vdds []int)
 			}
 			ch.Bits[i] = crp.PairBit{A: a, B: b, VddMV: vdd}
 			physBits[i] = phys
+			physKeys[i] = key
 			ok = true
 			break
 		}
@@ -186,10 +191,17 @@ func (s *Server) issueWithVddsLocked(id ClientID, rec *clientRecord, vdds []int)
 		}
 	}
 
-	// Precompute the expected response on the logical planes.
+	// Precompute the expected response on the logical planes. A
+	// last-voltage memo skips the map lookup on the common
+	// single-voltage challenge.
 	expected := crp.NewResponse(len(ch.Bits))
+	var field *errormap.DistanceField
+	lastVdd := -1
 	for i, b := range ch.Bits {
-		field := fields[b.VddMV]
+		if b.VddMV != lastVdd {
+			field = fields[b.VddMV]
+			lastVdd = b.VddMV
+		}
 		da, fa := field.DistLine(b.A), field != nil
 		db, fb := field.DistLine(b.B), field != nil
 		expected.SetBit(i, crp.ResponseBit(da, fa, db, fb))

@@ -56,7 +56,7 @@ func newClientRecord(physMap *errormap.Map, key mapkey.Key, reserved map[int]boo
 		physMap:       physMap,
 		key:           key,
 		reserved:      reserved,
-		registry:      crp.NewRegistry(),
+		registry:      crp.NewRegistryLines(physMap.Geometry().Lines),
 		pending:       make(map[uint64]pendingChallenge),
 		logicalFields: make(map[int]*errormap.DistanceField),
 		perms:         make(map[int]*mapkey.Permutation),

@@ -2,6 +2,7 @@ package auth
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/crp"
 	"repro/internal/ecc"
@@ -71,9 +72,13 @@ func (r *Responder) HandleRemap(req *RemapRequest) error {
 
 // SimDevice answers challenges directly from a measured error map. The
 // map passed in represents what the silicon does *in the field* — for
-// noise studies it differs from the enrolled map.
+// noise studies it differs from the enrolled map. It is safe for
+// concurrent use: pipelined wire clients answer many challenges on
+// one device at once.
 type SimDevice struct {
 	fieldMap *errormap.Map
+
+	mu sync.Mutex
 	// fieldCache caches logical distance fields per (key, vdd).
 	fieldCache map[simCacheKey]*errormap.DistanceField
 	// defaultCache caches identity-mapping fields per vdd.
@@ -99,6 +104,8 @@ func (d *SimDevice) Geometry() errormap.Geometry { return d.fieldMap.Geometry() 
 
 func (d *SimDevice) logicalField(key mapkey.Key, vdd int) (*errormap.DistanceField, error) {
 	ck := simCacheKey{key: key, vdd: vdd}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if f, ok := d.fieldCache[ck]; ok {
 		return f, nil
 	}
@@ -111,13 +118,21 @@ func (d *SimDevice) logicalField(key mapkey.Key, vdd int) (*errormap.DistanceFie
 	return f, nil
 }
 
-// Respond implements Device.
+// Respond implements Device. Consecutive bits at the same voltage
+// reuse the resolved field without re-taking the cache lock — ordinary
+// challenges are single-voltage, so the common case locks once.
 func (d *SimDevice) Respond(ch *crp.Challenge, key mapkey.Key) (crp.Response, error) {
 	resp := crp.NewResponse(len(ch.Bits))
+	var f *errormap.DistanceField
+	lastVdd := -1
 	for i, b := range ch.Bits {
-		f, err := d.logicalField(key, b.VddMV)
-		if err != nil {
-			return crp.Response{}, err
+		if b.VddMV != lastVdd {
+			var err error
+			f, err = d.logicalField(key, b.VddMV)
+			if err != nil {
+				return crp.Response{}, err
+			}
+			lastVdd = b.VddMV
 		}
 		da, fa := nearDist(f, b.A)
 		db, fb := nearDist(f, b.B)
@@ -129,21 +144,37 @@ func (d *SimDevice) Respond(ch *crp.Challenge, key mapkey.Key) (crp.Response, er
 // RespondDefault implements Device.
 func (d *SimDevice) RespondDefault(ch *crp.Challenge) (crp.Response, error) {
 	resp := crp.NewResponse(len(ch.Bits))
+	var f *errormap.DistanceField
+	lastVdd := -1
 	for i, b := range ch.Bits {
-		f, ok := d.defaultCache[b.VddMV]
-		if !ok {
-			phys := d.fieldMap.Plane(b.VddMV)
-			if phys == nil {
-				return crp.Response{}, authErrf(CodeBadPlane, "", "%w: device has no plane at %d mV", ErrBadPlane, b.VddMV)
+		if b.VddMV != lastVdd {
+			var err error
+			f, err = d.defaultField(b.VddMV)
+			if err != nil {
+				return crp.Response{}, err
 			}
-			f = phys.DistanceTransform()
-			d.defaultCache[b.VddMV] = f
+			lastVdd = b.VddMV
 		}
 		da, fa := nearDist(f, b.A)
 		db, fb := nearDist(f, b.B)
 		resp.SetBit(i, crp.ResponseBit(da, fa, db, fb))
 	}
 	return resp, nil
+}
+
+func (d *SimDevice) defaultField(vdd int) (*errormap.DistanceField, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.defaultCache[vdd]; ok {
+		return f, nil
+	}
+	phys := d.fieldMap.Plane(vdd)
+	if phys == nil {
+		return nil, authErrf(CodeBadPlane, "", "%w: device has no plane at %d mV", ErrBadPlane, vdd)
+	}
+	f := phys.DistanceTransform()
+	d.defaultCache[vdd] = f
+	return f, nil
 }
 
 var _ Device = (*SimDevice)(nil)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/rng"
@@ -103,23 +104,45 @@ type RetryStats struct {
 // capped exponential backoff, but only when Retryable says the
 // failure is transient — a protocol verdict (burned challenge,
 // unknown client, rejection) is returned immediately and never
-// retried. It is NOT safe for concurrent use; give each goroutine its
-// own client, as with WireClient.
+// retried.
+//
+// The client itself is safe for concurrent use. What concurrency
+// buys depends on the dial function: over a v2 dialer
+// (DialResilientProto with ProtoV2) concurrent transactions pipeline
+// on one shared connection, each on its own stream; over a v1 dialer
+// the underlying WireClient is lock-step, so give each goroutine its
+// own client as before.
 type ResilientClient struct {
 	addr   string
 	policy RetryPolicy
 	dial   func(ctx context.Context, addr string) (*WireClient, error)
-	rand   *rng.Rand
-	wc     *WireClient // live connection, nil between failures
-	stats  RetryStats
+
+	mu   sync.Mutex
+	rand *rng.Rand
+	wc   *WireClient // live connection, nil between failures
+	// gen identifies the connection in wc: a failed attempt only
+	// drops the connection it actually used, never a replacement a
+	// concurrent attempt already dialled.
+	gen   uint64
+	stats RetryStats
 }
 
-// DialResilient connects to a WireServer with retry behaviour. The
-// initial dial itself is retried under the same policy, so a server
-// that is briefly unreachable does not fail the constructor.
+// DialResilient connects to a WireServer with retry behaviour,
+// speaking v1. The initial dial itself is retried under the same
+// policy, so a server that is briefly unreachable does not fail the
+// constructor.
 func DialResilient(ctx context.Context, addr string, policy RetryPolicy) (*ResilientClient, error) {
-	rc := NewResilientClient(addr, policy, Dial)
-	if _, err := rc.conn(ctx); err != nil && !Retryable(err) {
+	return DialResilientProto(ctx, addr, policy, ProtoV1)
+}
+
+// DialResilientProto connects with retry behaviour and an explicit
+// framing. With ProtoV2, concurrent transactions on the returned
+// client pipeline over one connection.
+func DialResilientProto(ctx context.Context, addr string, policy RetryPolicy, proto Proto) (*ResilientClient, error) {
+	rc := NewResilientClient(addr, policy, func(ctx context.Context, addr string) (*WireClient, error) {
+		return DialProto(ctx, addr, proto)
+	})
+	if _, _, err := rc.conn(ctx); err != nil && !Retryable(err) {
 		return nil, err
 	}
 	// A retryable dial failure is tolerated here: the first
@@ -139,40 +162,66 @@ func NewResilientClient(addr string, policy RetryPolicy, dial func(ctx context.C
 	}
 }
 
-// Stats returns the retry counters so far.
-func (rc *ResilientClient) Stats() RetryStats { return rc.stats }
+// Stats returns a snapshot of the retry counters so far.
+func (rc *ResilientClient) Stats() RetryStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stats
+}
 
 // Close releases the current connection, if any.
 func (rc *ResilientClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	if rc.wc == nil {
 		return nil
 	}
 	err := rc.wc.Close()
 	rc.wc = nil
+	rc.gen++
 	return err
 }
 
-// conn returns the live connection, redialling if the last attempt
-// tore it down.
-func (rc *ResilientClient) conn(ctx context.Context) (*WireClient, error) {
-	if rc.wc != nil {
-		return rc.wc, nil
+// conn returns the live connection and its generation, redialling if
+// the last attempt tore it down. The dial happens under the lock:
+// concurrent attempts share the one replacement instead of racing to
+// dial several.
+func (rc *ResilientClient) conn(ctx context.Context) (*WireClient, uint64, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.wc == nil {
+		rc.stats.Reconnects++
+		wc, err := rc.dial(ctx, rc.addr)
+		if err != nil {
+			return nil, rc.gen, err
+		}
+		rc.wc = wc
 	}
-	rc.stats.Reconnects++
-	wc, err := rc.dial(ctx, rc.addr)
-	if err != nil {
-		return nil, err
-	}
-	rc.wc = wc
-	return wc, nil
+	return rc.wc, rc.gen, nil
 }
 
-// drop discards the current connection after a transport fault.
-func (rc *ResilientClient) drop() {
-	if rc.wc != nil {
-		rc.wc.Close()
-		rc.wc = nil
+// drop discards the connection of generation gen after a transport
+// fault; a newer connection (already redialled by a concurrent
+// attempt) is left alone.
+func (rc *ResilientClient) drop(gen uint64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.wc == nil || gen != rc.gen {
+		return
 	}
+	rc.wc.Close()
+	rc.wc = nil
+	rc.gen++
+}
+
+// backoff computes the next delay under the lock (the jitter stream
+// is shared) and sleeps outside it.
+func (rc *ResilientClient) backoff(ctx context.Context, attempt int) error {
+	rc.mu.Lock()
+	rc.stats.Retries++
+	d := rc.policy.delay(attempt-1, rc.rand)
+	rc.mu.Unlock()
+	return sleepCtx(ctx, d)
 }
 
 // do runs op as a fresh transaction per attempt until it succeeds,
@@ -181,13 +230,14 @@ func (rc *ResilientClient) do(ctx context.Context, op func(*WireClient) error) e
 	var last error
 	for attempt := 1; attempt <= rc.policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			rc.stats.Retries++
-			if err := sleepCtx(ctx, rc.policy.delay(attempt-1, rc.rand)); err != nil {
+			if err := rc.backoff(ctx, attempt); err != nil {
 				return err
 			}
 		}
+		rc.mu.Lock()
 		rc.stats.Attempts++
-		wc, err := rc.conn(ctx)
+		rc.mu.Unlock()
+		wc, gen, err := rc.conn(ctx)
 		if err == nil {
 			err = op(wc)
 		}
@@ -199,7 +249,9 @@ func (rc *ResilientClient) do(ctx context.Context, op func(*WireClient) error) e
 			return err
 		}
 		if CodeOf(err) == CodeUnavailable {
+			rc.mu.Lock()
 			rc.stats.Unavailable++
+			rc.mu.Unlock()
 			if !errors.Is(err, io.EOF) {
 				// The server answered a shed response, so the
 				// connection is healthy: keep it instead of redialling
@@ -208,7 +260,7 @@ func (rc *ResilientClient) do(ctx context.Context, op func(*WireClient) error) e
 				continue
 			}
 		}
-		rc.drop()
+		rc.drop(gen)
 	}
 	return &AuthError{
 		Code: CodeUnavailable,

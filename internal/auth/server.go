@@ -144,6 +144,18 @@ func (s *Server) randIntn(n int) int {
 	return v
 }
 
+// randIntn2 draws two values under one lock acquisition, in the same
+// stream order as two randIntn calls would (a first, then b), so the
+// deterministic sequence is unchanged but the hot issue loop pays half
+// the mutex traffic.
+func (s *Server) randIntn2(n int) (a, b int) {
+	s.randMu.Lock()
+	a = s.rand.Intn(n)
+	b = s.rand.Intn(n)
+	s.randMu.Unlock()
+	return a, b
+}
+
 // randUint64 draws from the shared deterministic stream.
 func (s *Server) randUint64() uint64 {
 	s.randMu.Lock()
@@ -165,11 +177,17 @@ func LogicalPlane(phys *errormap.Plane, key mapkey.Key, vddMV int) *errormap.Pla
 	return logical
 }
 
-func samePair(a, b crp.PairBit) bool {
-	if a.VddMV != b.VddMV {
-		return false
+// pairFingerprint packs a pair bit into one comparable word with the
+// line pair canonicalised (unordered), so two bits hitting the same
+// physical pair at the same voltage collide regardless of A/B order.
+// Line indexes fit in 24 bits (geometries are ≤2^24 lines) and rail
+// voltages in 16, so the packing is collision-free in practice.
+func pairFingerprint(p crp.PairBit) uint64 {
+	lo, hi := p.A, p.B
+	if lo > hi {
+		lo, hi = hi, lo
 	}
-	return (a.A == b.A && a.B == b.B) || (a.A == b.B && a.B == b.A)
+	return uint64(lo)<<40 | uint64(hi)<<16 | uint64(uint16(p.VddMV))
 }
 
 func cloneChallenge(c *crp.Challenge) *crp.Challenge {

@@ -144,7 +144,7 @@ func (s *Server) LoadState(r io.Reader) error {
 			return authErrf(CodeInvalidRequest, ClientID(sc.ID), "auth: duplicate client %q in state", sc.ID)
 		}
 		rec := newClientRecord(m, key, reserved)
-		rec.registry = crp.RestoreRegistry(sc.Used)
+		rec.registry = crp.RestoreRegistryLines(m.Geometry().Lines, sc.Used)
 		rec.nextID = sc.NextID
 		rec.crpsSinceRemap = sc.CRPsSinceRemap
 		clients[ClientID(sc.ID)] = rec

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/crp"
+	"repro/internal/wire"
 )
 
 // Wire hardening defaults. A malicious peer must not be able to pin
@@ -32,7 +33,54 @@ const (
 	defaultMaxTransactionsPerConn = 1024
 	// defaultWireIdleTimeout cuts off peers that stall mid-transaction.
 	defaultWireIdleTimeout = 30 * time.Second
+	// defaultMaxStreamsPerConn bounds concurrently open v2 streams on
+	// one connection (the per-connection pipelining depth the server
+	// will serve). v1 connections are lock-step and unaffected.
+	defaultMaxStreamsPerConn = 64
 )
+
+// Proto selects the connection framing.
+type Proto int
+
+const (
+	// ProtoAuto negotiates per connection: a v2 preamble selects the
+	// binary framing, any other first byte falls back to
+	// newline-delimited JSON (v1). This is the zero value, so existing
+	// servers keep accepting v1 clients unchanged.
+	ProtoAuto Proto = iota
+	// ProtoV1 forces the newline-delimited JSON framing.
+	ProtoV1
+	// ProtoV2 requires the binary framing; a peer that does not open
+	// with the v2 preamble receives one typed v1 error message and is
+	// disconnected.
+	ProtoV2
+)
+
+// String names the protocol selection.
+func (p Proto) String() string {
+	switch p {
+	case ProtoAuto:
+		return "auto"
+	case ProtoV1:
+		return "v1"
+	case ProtoV2:
+		return "v2"
+	}
+	return fmt.Sprintf("auth.Proto(%d)", int(p))
+}
+
+// ParseProto maps the flag spellings "auto", "v1", "v2" to a Proto.
+func ParseProto(s string) (Proto, error) {
+	switch s {
+	case "auto", "":
+		return ProtoAuto, nil
+	case "v1":
+		return ProtoV1, nil
+	case "v2":
+		return ProtoV2, nil
+	}
+	return ProtoAuto, authErrf(CodeInvalidRequest, "", "auth: unknown wire protocol %q (want auto, v1, or v2)", s)
+}
 
 // WireConfig tunes a WireServer's hardening limits and overload
 // behaviour. The zero value means "current defaults, no load
@@ -56,6 +104,14 @@ type WireConfig struct {
 	// over the cap receives one unavailable error message and is
 	// closed (accept-queue pressure relief). 0 disables the cap.
 	MaxConns int
+	// Proto selects the accepted framing: negotiate (ProtoAuto, the
+	// zero value), JSON only (ProtoV1), or binary only (ProtoV2).
+	Proto Proto
+	// MaxStreamsPerConn caps concurrently open v2 streams per
+	// connection; a stream over the cap is shed with an unavailable
+	// error on that stream while the connection stays healthy. 0
+	// means 64.
+	MaxStreamsPerConn int
 }
 
 // withDefaults fills the zero fields with the documented defaults.
@@ -69,14 +125,21 @@ func (c WireConfig) withDefaults() WireConfig {
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = defaultWireIdleTimeout
 	}
+	if c.MaxStreamsPerConn == 0 {
+		c.MaxStreamsPerConn = defaultMaxStreamsPerConn
+	}
 	return c
 }
 
 // Validate rejects nonsensical limits (negative caps or timeout).
 func (c WireConfig) Validate() error {
 	if c.MaxMessageBytes < 0 || c.MaxTransactionsPerConn < 0 ||
-		c.IdleTimeout < 0 || c.MaxInFlight < 0 || c.MaxConns < 0 {
+		c.IdleTimeout < 0 || c.MaxInFlight < 0 || c.MaxConns < 0 ||
+		c.MaxStreamsPerConn < 0 {
 		return authErrf(CodeInvalidRequest, "", "auth: wire config limits must be non-negative: %+v", c)
+	}
+	if c.Proto < ProtoAuto || c.Proto > ProtoV2 {
+		return authErrf(CodeInvalidRequest, "", "auth: unknown wire protocol selection %d", int(c.Proto))
 	}
 	return nil
 }
@@ -203,7 +266,9 @@ func (ws *WireServer) Serve(ctx context.Context, l net.Listener) error {
 			// hang up. The write is deadline-bounded so a dead peer
 			// cannot stall the accept loop.
 			conn.SetWriteDeadline(time.Now().Add(time.Second))
-			sendErr(json.NewEncoder(conn), authErrf(CodeUnavailable, "",
+			// Best-effort: the connection is closed on the next line
+			// whether or not the peer heard the answer.
+			_ = sendErr(json.NewEncoder(conn), authErrf(CodeUnavailable, "",
 				"%w: connection cap %d reached", ErrUnavailable, ws.cfg.MaxConns))
 			conn.Close()
 			continue
@@ -245,10 +310,13 @@ type msgReader struct {
 	idle     time.Duration
 }
 
-func newMsgReader(conn net.Conn, cfg WireConfig) *msgReader {
+// newMsgReader wraps an existing buffered reader so the negotiation
+// sniff and the v1 loop share one buffer (bytes peeked during the
+// sniff are not lost).
+func newMsgReader(conn net.Conn, br *bufio.Reader, cfg WireConfig) *msgReader {
 	return &msgReader{
 		conn:     conn,
-		buf:      bufio.NewReaderSize(conn, 32<<10),
+		buf:      br,
 		maxBytes: cfg.MaxMessageBytes,
 		idle:     cfg.IdleTimeout,
 	}
@@ -293,8 +361,61 @@ func (ws *WireServer) acquire() func() {
 	}
 }
 
+// handle negotiates the framing and runs the connection to
+// completion. Under ProtoAuto the first bytes decide: the v2 preamble
+// selects the binary demultiplexer, anything else the v1 JSON loop.
 func (ws *WireServer) handle(ctx context.Context, conn net.Conn) {
-	mr := newMsgReader(conn, ws.cfg)
+	br := bufio.NewReaderSize(conn, 32<<10)
+	proto, err := ws.sniff(conn, br)
+	if err != nil {
+		return
+	}
+	if proto == ProtoV2 {
+		ws.handleV2(ctx, conn, br)
+		return
+	}
+	ws.handleV1(ctx, conn, br)
+}
+
+// sniff decides the framing of one connection. It consumes the v2
+// preamble when present and nothing otherwise.
+func (ws *WireServer) sniff(conn net.Conn, br *bufio.Reader) (Proto, error) {
+	if ws.cfg.Proto == ProtoV1 {
+		return ProtoV1, nil
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(ws.cfg.IdleTimeout)); err != nil {
+		return ProtoV1, err
+	}
+	pre := wire.Preamble()
+	head, err := br.Peek(wire.PreambleLen)
+	if len(head) > 0 && head[0] != pre[0] {
+		// 0xA7 never begins JSON, so any other first byte is a v1
+		// peer (possibly a short one that EOFed before 4 bytes).
+		if ws.cfg.Proto == ProtoV2 {
+			// The server speaks only v2; answer in the framing the
+			// peer evidently expects, then hang up.
+			conn.SetWriteDeadline(time.Now().Add(ws.cfg.IdleTimeout))
+			_ = sendErr(json.NewEncoder(conn), authErrf(CodeInvalidRequest, "",
+				"auth: server requires wire protocol v2"))
+			return ProtoV1, authErrf(CodeInvalidRequest, "", "auth: v1 peer on a v2-only server")
+		}
+		return ProtoV1, nil
+	}
+	if err != nil {
+		return ProtoV1, err
+	}
+	if [wire.PreambleLen]byte(head) != pre {
+		// Starts with the magic byte but is not the preamble: framing
+		// garbage we cannot answer in any known framing.
+		return ProtoV1, authErrf(CodeInvalidRequest, "", "auth: bad v2 preamble")
+	}
+	br.Discard(wire.PreambleLen)
+	return ProtoV2, nil
+}
+
+// handleV1 runs the lock-step newline-JSON transaction loop.
+func (ws *WireServer) handleV1(ctx context.Context, conn net.Conn, br *bufio.Reader) {
+	mr := newMsgReader(conn, br, ws.cfg)
 	enc := json.NewEncoder(conn)
 	for tx := 0; tx < ws.cfg.MaxTransactionsPerConn; tx++ {
 		var msg wireMsg
@@ -307,35 +428,43 @@ func (ws *WireServer) handle(ctx context.Context, conn net.Conn) {
 			// with unavailable and keep the connection — the client
 			// backs off and retries instead of redialling into the
 			// accept queue.
-			sendErr(enc, authErrf(CodeUnavailable, ClientID(msg.ClientID),
-				"%w: in-flight transaction cap %d reached", ErrUnavailable, ws.cfg.MaxInFlight))
+			if err := sendErr(enc, authErrf(CodeUnavailable, ClientID(msg.ClientID),
+				"%w: in-flight transaction cap %d reached", ErrUnavailable, ws.cfg.MaxInFlight)); err != nil {
+				return // write failed: the peer is gone
+			}
 			continue
 		}
-		ok := ws.dispatch(ctx, mr, enc, msg)
+		err := ws.dispatch(ctx, mr, enc, msg)
 		release()
-		if !ok {
+		if err != nil {
 			return
 		}
 	}
 }
 
-// dispatch runs one transaction; false tears the connection down.
-func (ws *WireServer) dispatch(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) bool {
+// dispatch runs one transaction; a non-nil error tears the connection
+// down (broken peer, failed write, or protocol confusion).
+func (ws *WireServer) dispatch(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) error {
 	switch msg.Type {
 	case "authenticate":
-		ws.handleAuthenticate(ctx, mr, enc, msg)
+		return ws.handleAuthenticate(ctx, mr, enc, msg)
 	case "remap":
-		ws.handleRemap(ctx, mr, enc, msg)
+		return ws.handleRemap(ctx, mr, enc, msg)
 	default:
-		sendErr(enc, authErrf(CodeInvalidRequest, "", "unknown message type %q", msg.Type))
-		return false
+		werr := authErrf(CodeInvalidRequest, "", "unknown message type %q", msg.Type)
+		if err := sendErr(enc, werr); err != nil {
+			return err
+		}
+		return werr
 	}
-	return true
 }
 
 // sendErr reports a failure to the peer, carrying the typed taxonomy
-// so the remote client reconstructs the same *AuthError.
-func sendErr(enc *json.Encoder, err error) {
+// so the remote client reconstructs the same *AuthError. The returned
+// error is the transport write failure, if any — callers tear the
+// connection down on it rather than silently continuing against a
+// peer that can no longer hear us.
+func sendErr(enc *json.Encoder, err error) error {
 	m := wireMsg{Type: "error", Error: err.Error(), ErrorCode: string(CodeOf(err))}
 	var ae *AuthError
 	if errors.As(err, &ae) {
@@ -346,77 +475,99 @@ func sendErr(enc *json.Encoder, err error) {
 			m.Error = ae.Err.Error()
 		}
 	}
-	enc.Encode(m)
+	return enc.Encode(m)
 }
 
-func (ws *WireServer) handleAuthenticate(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) {
+// handleAuthenticate runs one v1 authentication transaction. A
+// non-nil return means the connection is no longer usable; protocol
+// failures answered in-band return nil.
+func (ws *WireServer) handleAuthenticate(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) error {
 	ch, err := ws.auth.IssueChallenge(ctx, ClientID(msg.ClientID))
 	if err != nil {
-		sendErr(enc, err)
-		return
+		return sendErr(enc, err)
 	}
 	if err := enc.Encode(wireMsg{Type: "challenge", Challenge: ch}); err != nil {
-		return
+		return err
 	}
 	var respMsg wireMsg
 	if err := mr.next(&respMsg); err != nil {
-		return
+		return err
 	}
 	if respMsg.Type != "response" || respMsg.Response == nil {
-		sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected response, got %q", respMsg.Type))
-		return
+		return sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected response, got %q", respMsg.Type))
 	}
 	ok, sessionKey, err := ws.auth.VerifySession(ctx, ClientID(msg.ClientID), respMsg.ChallengeID, *respMsg.Response)
 	if err != nil {
-		sendErr(enc, err)
-		return
+		return sendErr(enc, err)
 	}
 	verdict := wireMsg{Type: "verdict", Accepted: ok}
 	if ok {
 		verdict.Confirm = confirmTag(sessionKey)
 		verdict.RemapAdvised = ws.auth.NeedsRemap(ClientID(msg.ClientID))
 	}
-	enc.Encode(verdict)
+	return enc.Encode(verdict)
 }
 
-func (ws *WireServer) handleRemap(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) {
+// handleRemap runs one v1 key-update transaction; error semantics as
+// handleAuthenticate.
+func (ws *WireServer) handleRemap(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) error {
 	req, err := ws.auth.BeginRemap(ctx, ClientID(msg.ClientID))
 	if err != nil {
-		sendErr(enc, err)
-		return
+		return sendErr(enc, err)
 	}
 	if err := enc.Encode(wireMsg{Type: "remap_challenge", Remap: req}); err != nil {
-		return
+		return err
 	}
 	var done wireMsg
 	if err := mr.next(&done); err != nil {
-		return
+		return err
 	}
 	if done.Type != "remap_done" {
-		sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected remap_done, got %q", done.Type))
-		return
+		return sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected remap_done, got %q", done.Type))
 	}
 	if err := ws.auth.CompleteRemap(ctx, ClientID(msg.ClientID), done.Success); err != nil {
-		sendErr(enc, err)
-		return
+		return sendErr(enc, err)
 	}
-	enc.Encode(wireMsg{Type: "remap_ack"})
+	return enc.Encode(wireMsg{Type: "remap_ack"})
 }
 
-// WireClient is the client side of the TCP transport.
+// WireClient is the client side of the TCP transport. A v1 client
+// (Dial, NewWireClient) runs lock-step transactions and is not safe
+// for concurrent use. A v2 client (DialV2, NewWireClientV2) speaks
+// the binary framing and pipelines: concurrent callers each get
+// their own stream on the shared connection.
 type WireClient struct {
 	conn net.Conn
 	dec  *json.Decoder
 	enc  *json.Encoder
+	// c2 is the binary-framing engine; nil on v1 clients. Methods
+	// dispatch on it.
+	c2 *clientV2
 }
 
-// Dial connects to a WireServer. ctx bounds the connection attempt
-// only; pass a context to each transaction to bound the transaction.
+// Dial connects to a WireServer speaking v1. ctx bounds the
+// connection attempt only; pass a context to each transaction to
+// bound the transaction.
 func Dial(ctx context.Context, addr string) (*WireClient, error) {
+	return DialProto(ctx, addr, ProtoV1)
+}
+
+// DialV2 connects speaking the v2 binary framing (the server must be
+// ProtoAuto or ProtoV2).
+func DialV2(ctx context.Context, addr string) (*WireClient, error) {
+	return DialProto(ctx, addr, ProtoV2)
+}
+
+// DialProto connects with an explicit framing choice. ProtoAuto
+// means v1 on the client side: the server is the negotiating party.
+func DialProto(ctx context.Context, addr string, proto Proto) (*WireClient, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	if proto == ProtoV2 {
+		return NewWireClientV2(conn)
 	}
 	return NewWireClient(conn), nil
 }
@@ -427,8 +578,23 @@ func NewWireClient(conn net.Conn) *WireClient {
 	return &WireClient{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
 }
 
+// NewWireClientV2 wraps an already-established connection with the
+// binary framing, writing the v2 preamble immediately.
+func NewWireClientV2(conn net.Conn) (*WireClient, error) {
+	c2, err := newClientV2(conn)
+	if err != nil {
+		return nil, err
+	}
+	return &WireClient{conn: conn, c2: c2}, nil
+}
+
 // Close releases the connection.
-func (wc *WireClient) Close() error { return wc.conn.Close() }
+func (wc *WireClient) Close() error {
+	if wc.c2 != nil {
+		return wc.c2.close()
+	}
+	return wc.conn.Close()
+}
 
 // armCtx attaches ctx to the connection for the duration of one
 // transaction: the context deadline becomes the I/O deadline, and
@@ -494,12 +660,22 @@ func (wc *WireClient) recv() (wireMsg, error) {
 	return msg, nil
 }
 
-// confirmTag derives the non-secret key-confirmation value exchanged
-// on the wire: HMAC(sessionKey, "confirm"), hex encoded.
-func confirmTag(sessionKey [32]byte) string {
+// confirmTagRaw derives the non-secret key-confirmation value
+// exchanged on the wire: HMAC(sessionKey, "confirm"). The v2 framing
+// carries it raw; v1 hex-encodes it (confirmTag).
+func confirmTagRaw(sessionKey [32]byte) [32]byte {
 	mac := hmac.New(sha256.New, sessionKey[:])
 	mac.Write([]byte("authenticache/session/confirm"))
-	return hex.EncodeToString(mac.Sum(nil))
+	var tag [32]byte
+	mac.Sum(tag[:0])
+	return tag
+}
+
+// confirmTag is confirmTagRaw hex encoded, as the v1 JSON framing
+// spells it.
+func confirmTag(sessionKey [32]byte) string {
+	tag := confirmTagRaw(sessionKey)
+	return hex.EncodeToString(tag[:])
 }
 
 // Authenticate runs one full authentication transaction for the
@@ -516,6 +692,9 @@ func (wc *WireClient) Authenticate(ctx context.Context, r *Responder) (bool, err
 // tampering or desynchronisation signal).
 func (wc *WireClient) AuthenticateSession(ctx context.Context, r *Responder) (bool, [32]byte, error) {
 	var zero [32]byte
+	if wc.c2 != nil {
+		return wc.c2.authenticateSession(ctx, r)
+	}
 	release, err := wc.armCtx(ctx)
 	if err != nil {
 		return false, zero, err
@@ -570,6 +749,12 @@ func (wc *WireClient) AuthenticateSession(ctx context.Context, r *Responder) (bo
 // Remap runs one key-update transaction, rotating the responder's key
 // on success.
 func (wc *WireClient) Remap(ctx context.Context, r *Responder) error {
+	if wc.c2 != nil {
+		if err := ctxErr(ctx, ""); err != nil {
+			return err
+		}
+		return wc.c2.remap(ctx, r)
+	}
 	release, err := wc.armCtx(ctx)
 	if err != nil {
 		return err

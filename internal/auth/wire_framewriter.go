@@ -1,0 +1,128 @@
+package auth
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// frameWriter serialises frames from many streams onto one connection
+// through a single writer goroutine. The writer drains every queued
+// frame before flushing, so pipelined transactions coalesce into
+// shared syscalls — the mechanism behind v2's throughput win on a
+// single connection. Both sides of the wire use it: the server's
+// demultiplexer and the pipelining client.
+type frameWriter struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	idle time.Duration
+	// ch carries pooled frames to the writer goroutine; its buffer
+	// plus the done arm in send keep stream goroutines from blocking
+	// forever on a dead writer.
+	ch chan *wire.Buf
+	// done is closed exactly once (stop) to end the writer; waiters
+	// across the package use it as their connection-lost signal.
+	done     chan struct{}
+	stopOnce sync.Once
+	// failed flips after a write error; the connection is closed at
+	// that point and later frames are silently discarded.
+	failed atomic.Bool
+	// exited is closed by the writer goroutine on return.
+	exited chan struct{}
+}
+
+// newFrameWriter builds the writer; the caller starts it with
+// `go fw.loop()` and ends it with fw.stop().
+func newFrameWriter(conn net.Conn, idle time.Duration) *frameWriter {
+	return &frameWriter{
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 32<<10),
+		idle:   idle,
+		ch:     make(chan *wire.Buf, 256),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+}
+
+// send queues one frame for the writer. False means the writer is
+// gone (stopped or failed); b has been returned to the pool either
+// way once the writer is done with it.
+func (fw *frameWriter) send(b *wire.Buf) bool {
+	if fw.failed.Load() {
+		wire.PutBuf(b)
+		return false
+	}
+	select {
+	case fw.ch <- b:
+		return true
+	case <-fw.done:
+		wire.PutBuf(b)
+		return false
+	}
+}
+
+// stop ends the writer (idempotent) and waits for it to flush and
+// exit.
+func (fw *frameWriter) stop() {
+	fw.stopOnce.Do(func() { close(fw.done) })
+	<-fw.exited
+}
+
+// loop is the writer goroutine: write everything queued, flush only
+// when the queue runs dry, exit on done.
+func (fw *frameWriter) loop() {
+	defer close(fw.exited)
+	for {
+		select {
+		case b := <-fw.ch:
+			fw.write(b)
+			fw.drain()
+			fw.flush()
+		case <-fw.done:
+			fw.drain()
+			fw.flush()
+			return
+		}
+	}
+}
+
+// drain writes every frame already queued without blocking.
+func (fw *frameWriter) drain() {
+	for {
+		select {
+		case b := <-fw.ch:
+			fw.write(b)
+		default:
+			return
+		}
+	}
+}
+
+// write buffers one frame and returns it to the pool. A write error
+// marks the writer failed and closes the connection, which unblocks
+// the peer-facing reader too.
+func (fw *frameWriter) write(b *wire.Buf) {
+	if !fw.failed.Load() {
+		fw.conn.SetWriteDeadline(time.Now().Add(fw.idle))
+		if _, err := fw.bw.Write(b.B); err != nil {
+			fw.failed.Store(true)
+			fw.conn.Close()
+		}
+	}
+	wire.PutBuf(b)
+}
+
+func (fw *frameWriter) flush() {
+	if fw.failed.Load() {
+		return
+	}
+	fw.conn.SetWriteDeadline(time.Now().Add(fw.idle))
+	if err := fw.bw.Flush(); err != nil {
+		fw.failed.Store(true)
+		fw.conn.Close()
+	}
+}

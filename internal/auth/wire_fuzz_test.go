@@ -1,7 +1,9 @@
 package auth
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"io"
 	"net"
 	"testing"
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/errormap"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // FuzzWireServer feeds arbitrary bytes — truncated frames, oversized
@@ -25,6 +28,15 @@ func FuzzWireServer(f *testing.F) {
 	f.Add([]byte("not json at all\n\x00\xff\xfe\n"))
 	f.Add(make([]byte, 1<<12)) // a page of zeros: oversized unterminated line
 	f.Add([]byte("\n\n\n"))
+	// The handler negotiates framing from the first bytes, so raw
+	// fuzz input also exercises the v2 accept path: exact preamble,
+	// preamble plus garbage, torn preamble, and magic-but-not-preamble.
+	pre := wire.Preamble()
+	f.Add(pre[:])
+	f.Add(append(pre[:], wire.AppendClientID(nil, 1, wire.OpAuthenticate, "fuzz-dev")...))
+	f.Add(append(pre[:], 0xFF, 0xFF, 0xFF))
+	f.Add(pre[:2])
+	f.Add([]byte{0xA7, 'X', 'Y', 'Z'})
 
 	g := errormap.NewGeometry(512)
 	m := errormap.NewMap(g)
@@ -62,4 +74,124 @@ func FuzzWireServer(f *testing.F) {
 		}
 		client.Close()
 	})
+}
+
+// FuzzWireServerV2 is the structured v2 fuzzer: fuzz bytes drive a
+// frame generator that produces mutated stream ids, unknown opcodes,
+// truncated payloads, and interleaved streams against a server with
+// NO enrolled clients. Invariants: the demultiplexer never panics or
+// hangs, every error frame carries a non-empty taxonomy code that
+// reconstructs a typed *AuthError, and no verdict ever accepts — with
+// nothing enrolled, an accepted verdict is a forged authentication.
+func FuzzWireServerV2(f *testing.F) {
+	// Seed corpus: a valid open, open+continuation, two interleaved
+	// streams, a duplicate stream id, an unknown opcode, truncation.
+	f.Add([]byte{1, 1, 8, 'f', 'u', 'z', 'z', '-', 'd', 'e', 'v', 0})
+	f.Add([]byte{1, 1, 4, 'a', 'b', 'c', 'd', 3, 1, 2, 0, 0})
+	f.Add([]byte{1, 1, 2, 'a', 'b', 1, 2, 2, 'c', 'd', 3, 1, 1, 0, 3, 2, 1, 0})
+	f.Add([]byte{1, 1, 1, 'x', 1, 1, 1, 'y'})
+	f.Add([]byte{11, 0, 4, 1, 2, 3, 4})
+	f.Add([]byte{0x81, 1, 30, 'p', 'a', 'r', 't'})
+
+	srv := NewServer(DefaultConfig(), 9) // nothing enrolled
+	ws, err := NewWireServerConfig(srv, WireConfig{
+		MaxMessageBytes: 1 << 16,
+		IdleTimeout:     50 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Generate up to 32 frames from the fuzz bytes. Stream ids are
+		// folded into a small space so duplicates and interleavings
+		// happen constantly; the high bit of the op byte truncates the
+		// frame mid-payload.
+		pre := wire.Preamble()
+		out := pre[:]
+		for n := 0; len(data) >= 3 && n < 32; n++ {
+			opByte, streamByte, lenByte := data[0], data[1], data[2]
+			data = data[3:]
+			plen := int(lenByte) % 64
+			if plen > len(data) {
+				plen = len(data)
+			}
+			payload := data[:plen]
+			data = data[plen:]
+			frame := wire.AppendRaw(nil, uint32(streamByte%4), wire.Opcode(opByte%12), payload)
+			if opByte&0x80 != 0 && len(frame) > wire.HeaderLen {
+				frame = frame[:wire.HeaderLen+len(frame)%wire.HeaderLen]
+			}
+			out = append(out, frame...)
+		}
+
+		client, server := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			ws.handle(context.Background(), server)
+			server.Close()
+		}()
+		// Validate every frame the server emits while draining it.
+		violation := make(chan string, 1)
+		go func() {
+			br := bufio.NewReader(client)
+			b := wire.GetBuf()
+			defer wire.PutBuf(b)
+			for {
+				if err := wire.ReadFrameInto(br, b, 1<<20); err != nil {
+					return // EOF/closed pipe: server hung up
+				}
+				switch b.Op {
+				case wire.OpError:
+					code, _, msg, derr := wire.DecodeError(b.B)
+					if derr != nil {
+						sendViolation(violation, "undecodable error frame: "+derr.Error())
+						return
+					}
+					if code == "" {
+						sendViolation(violation, "error frame without taxonomy code: "+msg)
+						return
+					}
+					var ae *AuthError
+					if !errors.As(errorFromWire(ErrorCode(code), "", msg), &ae) {
+						sendViolation(violation, "error frame did not reconstruct *AuthError: "+code)
+						return
+					}
+				case wire.OpVerdict:
+					v, derr := wire.DecodeVerdict(b.B)
+					if derr != nil {
+						sendViolation(violation, "undecodable verdict frame: "+derr.Error())
+						return
+					}
+					if v.Accepted {
+						sendViolation(violation, "forged accept: verdict accepted with nothing enrolled")
+						return
+					}
+				}
+			}
+		}()
+		client.SetDeadline(time.Now().Add(2 * time.Second))
+		client.Write(out)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("v2 handler did not return; idle deadline failed to fire")
+		}
+		client.Close()
+		select {
+		case v := <-violation:
+			t.Fatal(v)
+		default:
+		}
+	})
+}
+
+// sendViolation reports the first invariant violation without
+// blocking the validator goroutine.
+func sendViolation(ch chan string, msg string) {
+	select {
+	case ch <- msg:
+	default:
+	}
 }

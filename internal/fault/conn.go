@@ -104,6 +104,98 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return c.Conn.Write(p)
 }
 
+// DelayConn models a link with propagation delay but unlimited
+// bandwidth: Write returns immediately (as a real socket buffer
+// does), and the bytes reach the peer delay later, in order. Unlike
+// ConnPlan.MaxLatency — which sleeps inside the caller's Write and so
+// serialises concurrent writers — this keeps the sending side free to
+// pipeline, which is exactly the behaviour latency-sensitive
+// benchmarks need to model. Wrapping one side of a connection with
+// delay d yields a round-trip time of d (the return path is direct).
+type DelayConn struct {
+	net.Conn
+	delay time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delayedChunk // in-flight bytes, oldest first
+	closed bool
+	werr   error
+}
+
+type delayedChunk struct {
+	p   []byte
+	due time.Time
+}
+
+// NewDelayConn wraps c so written bytes arrive delay later. Close
+// tears the link down immediately; in-flight bytes are dropped, as
+// they would be on a cut cable.
+func NewDelayConn(c net.Conn, delay time.Duration) *DelayConn {
+	d := &DelayConn{Conn: c, delay: delay}
+	d.cond = sync.NewCond(&d.mu)
+	go d.pump()
+	return d
+}
+
+// pump delivers queued chunks to the underlying connection when due,
+// strictly in write order.
+func (d *DelayConn) pump() {
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if len(d.queue) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		c := d.queue[0]
+		d.queue = d.queue[1:]
+		d.mu.Unlock()
+		if wait := time.Until(c.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		if _, err := d.Conn.Write(c.p); err != nil {
+			d.mu.Lock()
+			d.werr = err
+			d.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (d *DelayConn) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, net.ErrClosed
+	}
+	if d.werr != nil {
+		return 0, d.werr
+	}
+	// The caller may reuse p the moment Write returns; the link owns
+	// its own copy, like a socket buffer. The queue is unbounded — a
+	// propagation-delay link has no bandwidth cap by construction.
+	d.queue = append(d.queue, delayedChunk{
+		p:   append([]byte(nil), p...),
+		due: time.Now().Add(d.delay),
+	})
+	d.cond.Signal()
+	return len(p), nil
+}
+
+// Close stops the pump and closes the underlying connection.
+func (d *DelayConn) Close() error {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		d.cond.Signal()
+	}
+	d.mu.Unlock()
+	return d.Conn.Close()
+}
+
 // Listener wraps a net.Listener so every accepted connection carries
 // the plan's faults, each on its own deterministic schedule derived
 // from the base seed and the accept index.

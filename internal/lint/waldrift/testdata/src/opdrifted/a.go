@@ -1,0 +1,23 @@
+// Package proto (fixture) carries generalized recordtable directives
+// that must each produce one diagnostic: a section fragment naming a
+// heading the markdown does not have, a scoped table whose rows have
+// drifted from the camel-cased constants, and an option referencing a
+// type the package does not declare. Asserted programmatically in
+// TestOpcodeTableDrift (a want comment cannot share the directive's
+// line).
+package proto
+
+// Opcode discriminates fixture frames.
+type Opcode uint8
+
+//lint:recordtable proto.md#no-such-section type=Opcode prefix=Op
+const (
+	OpAlpha          Opcode = 1
+	OpRemapChallenge Opcode = 2
+)
+
+//lint:recordtable proto.md#opcode-table type=Opcode prefix=Op
+var _ = OpAlpha
+
+//lint:recordtable proto.md type=Missing
+var _ = OpRemapChallenge

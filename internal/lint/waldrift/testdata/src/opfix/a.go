@@ -1,0 +1,17 @@
+// Package proto (fixture) exercises the generalized recordtable
+// directive outside the wal package: an explicit discriminator type,
+// a non-Type constant prefix, CamelCase→snake_case name mapping, and
+// a #section fragment that scopes the scan to one markdown section.
+// The decoy table in the other section drifts on purpose; the scoped
+// table matches, so the fixture is silent.
+package proto
+
+// Opcode discriminates fixture frames.
+type Opcode uint8
+
+//lint:recordtable proto.md#opcode-table type=Opcode prefix=Op
+const (
+	OpAlpha          Opcode = 1
+	OpRemapChallenge Opcode = 2
+	OpError          Opcode = 3
+)

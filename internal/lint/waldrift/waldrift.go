@@ -19,11 +19,18 @@
 //     constant TypeX requires method ReplayX. Reported once per
 //     package, at the first dispatch switch.
 //
-//   - Record table: a file in the wal package may carry
-//     `//lint:recordtable <relpath>` pointing at a markdown table of
-//     `| name | value |` rows (the docs/PROTOCOL.md record table).
-//     The table must list exactly the declared constants — names as
-//     Type.String() spells them, values as encoded on disk.
+//   - Record table: any package may carry
+//     `//lint:recordtable <relpath>[#<section>] [type=TypeName]
+//     [prefix=Prefix]` pointing at a markdown table of
+//     `| name | value |` rows. The table must list exactly the
+//     declared Prefix* constants of the named local discriminator
+//     type — names mapped CamelCase→snake_case (as the String()
+//     methods spell them), values as encoded on the wire or disk.
+//     A `#section` fragment restricts the scan to one markdown
+//     section (heading slugified GitHub-style: lowercased, spaces to
+//     dashes); type defaults to Type and prefix defaults to the type
+//     name, so the wal package's bare directive keeps its meaning.
+//     The wire package pins its v2 opcode table the same way.
 package waldrift
 
 import (
@@ -52,6 +59,44 @@ var Analyzer = &lint.Analyzer{
 // directivePrefix introduces a record-table cross-check.
 const directivePrefix = "//lint:recordtable "
 
+// tableDirective is one parsed //lint:recordtable comment.
+type tableDirective struct {
+	rel      string // markdown path relative to the directive's file
+	section  string // heading slug scoping the scan; "" = whole file
+	typeName string // local discriminator type (default "Type")
+	prefix   string // constant prefix (default: the type name)
+}
+
+// parseDirective splits `<path>[#<section>] [type=T] [prefix=P]`.
+func parseDirective(rest string) (tableDirective, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return tableDirective{}, fmt.Errorf("expected //lint:recordtable <path>[#section] [type=TypeName] [prefix=Prefix]")
+	}
+	d := tableDirective{typeName: "Type"}
+	d.rel, d.section, _ = strings.Cut(fields[0], "#")
+	explicitPrefix := false
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || val == "" {
+			return tableDirective{}, fmt.Errorf("malformed option %q: want key=value", f)
+		}
+		switch key {
+		case "type":
+			d.typeName = val
+		case "prefix":
+			d.prefix = val
+			explicitPrefix = true
+		default:
+			return tableDirective{}, fmt.Errorf("unknown option %q: want type= or prefix=", key)
+		}
+	}
+	if !explicitPrefix {
+		d.prefix = d.typeName
+	}
+	return d, nil
+}
+
 func run(pass *lint.Pass) error {
 	checkSwitches(pass)
 	checkRecordTables(pass)
@@ -76,14 +121,14 @@ func walType(t types.Type) (*types.Named, bool) {
 	return named, true
 }
 
-// schemaConstants returns the Type* constants of the discriminator,
-// ordered by encoded value.
-func schemaConstants(named *types.Named) []*types.Const {
+// schemaConstants returns the prefix-named constants of the
+// discriminator, ordered by encoded value.
+func schemaConstants(named *types.Named, prefix string) []*types.Const {
 	scope := named.Obj().Pkg().Scope()
 	var out []*types.Const
 	for _, name := range scope.Names() {
 		c, ok := scope.Lookup(name).(*types.Const)
-		if !ok || !strings.HasPrefix(name, "Type") || len(name) == len("Type") {
+		if !ok || !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
 			continue
 		}
 		if !types.Identical(c.Type(), named) {
@@ -122,7 +167,7 @@ func checkSwitches(pass *lint.Pass) {
 			if !ok {
 				return true
 			}
-			consts := schemaConstants(named)
+			consts := schemaConstants(named, "Type")
 			if len(consts) == 0 {
 				return true
 			}
@@ -217,22 +262,10 @@ func exprObject(info *types.Info, e ast.Expr) types.Object {
 // columns) from matching.
 var tableRowRE = regexp.MustCompile("^\\|\\s*`?([a-z][a-z0-9_-]*)`?\\s*\\|\\s*(\\d+)\\s*\\|")
 
-// checkRecordTables validates each //lint:recordtable directive in
-// the wal package against the local Type constants.
+// checkRecordTables validates every //lint:recordtable directive in
+// the package against the local discriminator constants it names.
 func checkRecordTables(pass *lint.Pass) {
-	if pass.Pkg == nil || pass.Pkg.Name() != "wal" {
-		return
-	}
-	tn, ok := pass.Pkg.Scope().Lookup("Type").(*types.TypeName)
-	if !ok {
-		return
-	}
-	named, ok := walType(tn.Type())
-	if !ok {
-		return
-	}
-	consts := schemaConstants(named)
-	if len(consts) == 0 {
+	if pass.Pkg == nil {
 		return
 	}
 	for _, f := range pass.Files {
@@ -245,30 +278,128 @@ func checkRecordTables(pass *lint.Pass) {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					pass.Reportf(c.Pos(), "malformed recordtable directive: expected //lint:recordtable <path>")
+				d, err := parseDirective(rest)
+				if err != nil {
+					pass.Reportf(c.Pos(), "malformed recordtable directive: %v", err)
 					continue
 				}
-				rel := fields[0]
+				consts, err := directiveConstants(pass, d)
+				if err != nil {
+					pass.Reportf(c.Pos(), "recordtable directive: %v", err)
+					continue
+				}
 				dir := filepath.Dir(pass.Fset.Position(c.Pos()).Filename)
-				checkOneTable(pass, c.Pos(), filepath.Join(dir, rel), rel, consts)
+				checkOneTable(pass, c.Pos(), filepath.Join(dir, d.rel), d, consts)
 			}
 		}
 	}
 }
 
+// directiveConstants resolves the directive's discriminator type in
+// the package scope and returns its prefix-named constants.
+func directiveConstants(pass *lint.Pass, d tableDirective) ([]*types.Const, error) {
+	tn, ok := pass.Pkg.Scope().Lookup(d.typeName).(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("package %s declares no type %s", pass.Pkg.Name(), d.typeName)
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, fmt.Errorf("%s.%s is not a defined type", pass.Pkg.Name(), d.typeName)
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, fmt.Errorf("%s.%s is not an integer discriminator", pass.Pkg.Name(), d.typeName)
+	}
+	consts := schemaConstants(named, d.prefix)
+	if len(consts) == 0 {
+		return nil, fmt.Errorf("%s.%s has no %s* constants to pin", pass.Pkg.Name(), d.typeName, d.prefix)
+	}
+	return consts, nil
+}
+
+// camelToSnake maps a trimmed constant name onto its wire/doc
+// spelling: RemapChallenge → remap_challenge.
+func camelToSnake(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// slugify maps a markdown heading onto its GitHub-style anchor:
+// lowercased, spaces to dashes, everything else non-alphanumeric
+// dropped.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// sectionLines narrows the markdown to the section whose heading
+// slugifies to want: from that heading to the next heading of the
+// same or higher level. The second result reports whether the
+// section exists.
+func sectionLines(lines []string, want string) ([]string, bool) {
+	level := 0
+	start := -1
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		l := 0
+		for l < len(trimmed) && trimmed[l] == '#' {
+			l++
+		}
+		if start >= 0 && l <= level {
+			return lines[start:i], true
+		}
+		if start < 0 && slugify(trimmed[l:]) == want {
+			start, level = i, l
+		}
+	}
+	if start < 0 {
+		return nil, false
+	}
+	return lines[start:], true
+}
+
 // checkOneTable diffs one markdown table against the constants and
 // reports all drift in a single diagnostic at the directive.
-func checkOneTable(pass *lint.Pass, pos token.Pos, path, rel string, consts []*types.Const) {
+func checkOneTable(pass *lint.Pass, pos token.Pos, path string, d tableDirective, consts []*types.Const) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		pass.Reportf(pos, "recordtable target %s is unreadable: %v", rel, err)
+		pass.Reportf(pos, "recordtable target %s is unreadable: %v", d.rel, err)
 		return
+	}
+	lines := strings.Split(string(data), "\n")
+	where := d.rel
+	if d.section != "" {
+		scoped, ok := sectionLines(lines, d.section)
+		if !ok {
+			pass.Reportf(pos, "recordtable target %s has no section #%s", d.rel, d.section)
+			return
+		}
+		lines = scoped
+		where = d.rel + "#" + d.section
 	}
 	rows := make(map[string]int64)
 	var rowOrder []string
-	for _, line := range strings.Split(string(data), "\n") {
+	for _, line := range lines {
 		m := tableRowRE.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
 			continue
@@ -282,10 +413,11 @@ func checkOneTable(pass *lint.Pass, pos token.Pos, path, rel string, consts []*t
 		}
 		rows[m[1]] = v
 	}
+	schema := pass.Pkg.Name() + "." + d.typeName
 	var drift []string
 	seen := make(map[string]bool)
 	for _, c := range consts {
-		name := strings.ToLower(strings.TrimPrefix(c.Name(), "Type"))
+		name := camelToSnake(strings.TrimPrefix(c.Name(), d.prefix))
 		seen[name] = true
 		val, _ := constant.Int64Val(c.Val())
 		got, ok := rows[name]
@@ -298,12 +430,12 @@ func checkOneTable(pass *lint.Pass, pos token.Pos, path, rel string, consts []*t
 	}
 	for _, name := range rowOrder {
 		if !seen[name] {
-			drift = append(drift, fmt.Sprintf("unknown record name %s (no Type constant)", name))
+			drift = append(drift, fmt.Sprintf("unknown record name %s (no %s constant)", name, d.typeName))
 		}
 	}
 	if len(drift) > 0 {
-		pass.Reportf(pos, "record table %s drifts from the wal.Type schema: %s",
-			rel, strings.Join(drift, "; "))
+		pass.Reportf(pos, "record table %s drifts from the %s schema: %s",
+			where, schema, strings.Join(drift, "; "))
 	}
 }
 

@@ -45,6 +45,46 @@ func TestRecordTableDrift(t *testing.T) {
 	}
 }
 
+// TestOpcodeTable exercises the generalized directive on the silent
+// fixture: explicit type= and prefix= options, snake_case name
+// mapping, and a #section fragment that must skip the decoy table in
+// the neighbouring section.
+func TestOpcodeTable(t *testing.T) {
+	linttest.Run(t, waldrift.Analyzer, "testdata/src/opfix")
+}
+
+// TestOpcodeTableDrift asserts the generalized failure modes: a
+// missing section, a scoped table whose rows drifted from the
+// camel-cased constants, and a directive naming an undeclared type.
+func TestOpcodeTableDrift(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/opdrifted")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{waldrift.Analyzer})
+	if err != nil {
+		t.Fatalf("run waldrift: %v", err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for _, want := range []string{
+		"recordtable target proto.md has no section #no-such-section",
+		"record table proto.md#opcode-table drifts from the proto.Opcode schema: no row for remap_challenge (OpRemapChallenge = 2); unknown record name remapchallenge (no Opcode constant)",
+		"package proto declares no type Missing",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in %v", want, diags)
+		}
+	}
+}
+
 // TestImportedSchema drives the module fixture through the real
 // loader: the discriminator and the Server live in different
 // packages, so both the imported-switch exhaustiveness check and the

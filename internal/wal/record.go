@@ -50,7 +50,7 @@ type Type uint8
 // The record table in docs/PROTOCOL.md is the public contract for
 // these values; waldrift diffs it against the constants below.
 //
-//lint:recordtable ../../docs/PROTOCOL.md
+//lint:recordtable ../../docs/PROTOCOL.md#write-ahead-log-records
 const (
 	// TypeEnroll captures a full new client: error map, initial remap
 	// key, reserved voltage planes.

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/crp"
+)
+
+// TestVerifyPathZeroAlloc is the regression gate for the zero-alloc
+// guarantee: encoding and decoding the whole hot transaction —
+// challenge out, response back, verdict out — must not allocate once
+// buffers have warmed up. scripts/check.sh runs this test by name.
+func TestVerifyPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	ch := testChallenge(256)
+	resp := crp.NewResponse(256)
+	for i := 0; i < resp.N; i += 5 {
+		resp.SetBit(i, 1)
+	}
+	verdict := Verdict{Accepted: true, HasConfirm: true, Confirm: [32]byte{9}}
+
+	// Warmed reusable state: encode buffer, read buffer, decode
+	// destinations, and the reader plumbing.
+	enc := make([]byte, 0, 16<<10)
+	frame := GetBuf()
+	var decCh crp.Challenge
+	var decResp crp.Response
+	src := bytes.NewReader(nil)
+	br := bufio.NewReaderSize(src, 32<<10)
+
+	run := func(f func()) float64 { return testing.AllocsPerRun(200, f) }
+
+	read := func() {
+		src.Reset(enc)
+		br.Reset(src)
+		if err := ReadFrameInto(br, frame, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := run(func() {
+		enc = AppendChallenge(enc[:0], 1, ch)
+		read()
+		if err := DecodeChallenge(frame.B, &decCh); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("challenge encode+decode allocates %.1f/op, want 0", n)
+	}
+
+	if n := run(func() {
+		enc = AppendResponse(enc[:0], 1, ch.ID, &resp)
+		read()
+		if _, err := DecodeResponse(frame.B, &decResp); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("response encode+decode allocates %.1f/op, want 0", n)
+	}
+
+	if n := run(func() {
+		enc = AppendVerdict(enc[:0], 1, verdict)
+		read()
+		if _, err := DecodeVerdict(frame.B); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("verdict encode+decode allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,38 @@
+package wire
+
+import "sync"
+
+// Buf is one frame's worth of bytes plus its routing header. Reads
+// fill Stream/Op and leave the payload in B; writes carry a complete
+// encoded frame in B. Bufs cycle through a package pool so the steady
+// state of a busy connection allocates nothing.
+type Buf struct {
+	Stream uint32
+	Op     Opcode
+	B      []byte
+}
+
+// bufPool recycles Bufs. 512 bytes of initial capacity covers every
+// fixed-size frame (verdicts, acks, errors, openers); challenge and
+// response buffers grow once and keep their capacity across reuses.
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 512)} },
+}
+
+// GetBuf takes a pooled buffer with undefined contents and zero
+// length.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf recycles b. The caller must not touch b afterwards. Buffers
+// that ballooned past a megabyte are dropped so one oversized frame
+// cannot pin its memory in the pool forever.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > 1<<20 {
+		return
+	}
+	bufPool.Put(b)
+}

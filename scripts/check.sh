@@ -43,4 +43,13 @@ go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 5s ./internal/wal/
 echo "== wire server fuzz smoke (5s) =="
 go test -run '^$' -fuzz '^FuzzWireServer$' -fuzztime 5s ./internal/auth/
 
+echo "== wire v2 fuzz smoke (5s) =="
+go test -run '^$' -fuzz '^FuzzWireServerV2$' -fuzztime 5s ./internal/auth/
+
+echo "== wire v2 zero-alloc gate =="
+go test -count=1 -run 'TestVerifyPathZeroAlloc' ./internal/wire/
+
+echo "== wire bench smoke (fixed 50 iterations) =="
+sh scripts/bench_wire.sh 50
+
 echo "check: all green"
