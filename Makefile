@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-wire build lint
+.PHONY: check test bench bench-wire bench-cluster build lint
 
 check:
 	sh scripts/check.sh
@@ -18,3 +18,7 @@ bench:
 # Fixed-iteration wire throughput run; regenerates BENCH_wire.json.
 bench-wire:
 	sh scripts/bench_wire.sh
+
+# Fixed-iteration replicated-cluster run; regenerates BENCH_cluster.json.
+bench-cluster:
+	sh scripts/bench_cluster.sh

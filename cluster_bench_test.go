@@ -1,0 +1,270 @@
+package authenticache_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	authenticache "repro"
+	"repro/internal/auth"
+	"repro/internal/fault"
+)
+
+// BenchmarkClusterAuth measures what replication costs — and what
+// follower read-scaling buys back — on the hot issue→verify path for
+// ONE hot client. A single client is the worst case for a single
+// node: every transaction serialises on that client's record lock. A
+// replicated fleet spreads the serial section: followers sample
+// challenges and verify responses against their own replicas (their
+// own record locks), touching the primary only for the pair burn.
+//
+//   - single-node: a 1-node cluster (no replication), the baseline;
+//   - replicated-3/primary: a 3-node cluster with every transaction
+//     on the primary — the pure replication tax (quorum ack per burn);
+//   - replicated-3/followers: the same fleet with client traffic on
+//     the two followers only — delegated issuance plus local
+//     verification against their replicas, the primary reduced to
+//     burning pairs.
+//
+// The rtt=1ms variants put a modelled 1 ms round trip on the
+// replication link (fault.DelayConn, same regime as the wire bench).
+// That is where read-scaling pays: every burn holds the client's
+// record lock across the quorum ack, so a primary serving everything
+// serialises sampling and verification behind that wait, while spread
+// followers do both against their own replicas during it.
+//
+// Challenge pairs burn forever, so run with a fixed -benchtime
+// iteration count (scripts/bench_cluster.sh regenerates
+// BENCH_cluster.json from this).
+func BenchmarkClusterAuth(b *testing.B) {
+	b.Run("single-node", func(b *testing.B) { benchClusterAuth(b, 1, false, 0) })
+	b.Run("replicated-3/primary", func(b *testing.B) { benchClusterAuth(b, 3, false, 0) })
+	b.Run("replicated-3/followers", func(b *testing.B) { benchClusterAuth(b, 3, true, 0) })
+	const rtt = time.Millisecond
+	b.Run("replicated-3/rtt=1ms/primary", func(b *testing.B) { benchClusterAuth(b, 3, false, rtt) })
+	b.Run("replicated-3/rtt=1ms/followers", func(b *testing.B) { benchClusterAuth(b, 3, true, rtt) })
+}
+
+// BenchmarkClusterPrimaryCost decomposes the primary's per-issuance
+// cost, which bounds how far follower issuance scales the fleet:
+//
+//   - full-issue: everything a single node does per transaction —
+//     sample, burn, journal, and verify;
+//   - burn-only: what the primary does when a follower issues — just
+//     validate + burn + journal (ApproveBurn); sampling and
+//     verification moved to the follower's replica.
+//
+// Fleet issuance capacity is min(primary burn-only rate, N × follower
+// rate): the full-issue / burn-only ratio is the headroom follower
+// read-scaling buys before the primary saturates. Measured this way
+// because a single-core runner cannot exhibit wall-clock parallelism;
+// the serial-section shrink is the machine-independent quantity.
+func BenchmarkClusterPrimaryCost(b *testing.B) {
+	b.Run("full-issue", func(b *testing.B) { benchPrimaryCost(b, false) })
+	b.Run("burn-only", func(b *testing.B) { benchPrimaryCost(b, true) })
+}
+
+func benchPrimaryCost(b *testing.B, burnOnly bool) {
+	acfg := auth.DefaultConfig()
+	acfg.ChallengeBits = 128
+	acfg.RemapAfterCRPs = 1 << 31
+	maxIters := int(authenticache.PossibleCRPs(clusterBenchLines)) / acfg.ChallengeBits / 2
+	if b.N > maxIters {
+		b.Skipf("b.N=%d would exhaust the CRP registry; use a fixed -benchtime (scripts/bench_cluster.sh)", b.N)
+	}
+
+	// Primary and follower replicas built from the same enrollment, no
+	// network: this isolates the serial cost, not transport.
+	const id = auth.ClientID("bench-hot")
+	m := chaosMap(clusterBenchLines, 100, 4242, 680)
+	primary := auth.NewServer(acfg, 4242)
+	key, err := primary.Enroll(dctx, id, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	follower := auth.NewServer(acfg, 4242)
+	var snap bytes.Buffer
+	if err := primary.SaveState(&snap); err != nil {
+		b.Fatal(err)
+	}
+	if err := follower.LoadState(bytes.NewReader(snap.Bytes())); err != nil {
+		b.Fatal(err)
+	}
+	r := auth.NewResponder(id, auth.NewSimDevice(m), key)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if burnOnly {
+			b.StopTimer()
+			prop, err := follower.SampleChallenge(dctx, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			chID, err := primary.ApproveBurn(dctx, id, prop.Phys, prop.KeySum)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			ch, err := follower.CommitDelegated(dctx, id, chID, prop)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := r.Respond(ch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := follower.Verify(dctx, id, ch.ID, resp); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		} else {
+			ch, err := primary.IssueChallenge(dctx, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := r.Respond(ch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := primary.Verify(dctx, id, ch.ID, resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+const clusterBenchLines = 2048
+
+func benchClusterAuth(b *testing.B, nodeCount int, spread bool, replRTT time.Duration) {
+	acfg := authenticache.DefaultServerConfig()
+	acfg.ChallengeBits = 128
+	// A rotation mid-benchmark would splice a remap transaction into
+	// the timed loop; a time-based -benchtime could exhaust the hot
+	// client's pair space.
+	acfg.RemapAfterCRPs = 1 << 31
+	maxIters := int(authenticache.PossibleCRPs(clusterBenchLines)) / acfg.ChallengeBits / 2
+	if b.N > maxIters {
+		b.Skipf("b.N=%d would exhaust the CRP registry; use a fixed -benchtime (scripts/bench_cluster.sh)", b.N)
+	}
+
+	lns := make([]net.Listener, nodeCount)
+	addrs := make([]string, nodeCount)
+	for i := range lns {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	// The follower side of the replication link carries the acks and
+	// burn proposals; delaying its writes models the full round trip
+	// (the primary-to-follower stream stays direct).
+	var dial authenticache.ClusterDialFunc
+	if replRTT > 0 {
+		dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return fault.NewDelayConn(conn, replRTT), nil
+		}
+	}
+	dir := b.TempDir()
+	nodes := make([]*authenticache.ClusterNode, nodeCount)
+	for i := range nodes {
+		n, err := authenticache.OpenClusterNode(authenticache.ClusterConfig{
+			NodeIndex:         i,
+			Peers:             addrs,
+			Dir:               filepath.Join(dir, fmt.Sprintf("node-%d", i)),
+			Auth:              acfg,
+			Seed:              4242 + uint64(i),
+			ReplicaAcks:       min(1, nodeCount-1),
+			AckTimeout:        5 * time.Second,
+			HeartbeatInterval: 25 * time.Millisecond,
+			LeaseTimeout:      5 * time.Second,
+			RedialInterval:    25 * time.Millisecond,
+			ReplListener:      lns[i],
+			Dial:              dial,
+			// A tight group-commit window keeps the WAL's flush
+			// latency out of the replication-lock comparison.
+			WAL: authenticache.WALOptions{FlushInterval: 200 * time.Microsecond, FlushBatch: 8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Start(dctx); err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+		defer n.Close()
+	}
+	primary := nodes[0]
+
+	const id = authenticache.ClientID("bench-hot")
+	m := chaosMap(clusterBenchLines, 100, 4242, 680)
+	key, err := primary.Server().Enroll(dctx, id, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := authenticache.NewResponder(id, authenticache.NewSimDevice(m), key)
+
+	// Wait for the replicas to hold the enrollment, then warm every
+	// node's per-client field cache so the steady state is measured.
+	for _, n := range nodes {
+		for !n.Server().Enrolled(id) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	backends := make([]authenticache.TxBackend, nodeCount)
+	for i, n := range nodes {
+		backends[i] = n.Backend()
+	}
+	roundTrip := func(be authenticache.TxBackend) error {
+		ch, err := be.BeginAuth(dctx, id)
+		if err != nil {
+			return err
+		}
+		resp, err := r.Respond(ch)
+		if err != nil {
+			return err
+		}
+		_, err = be.FinishAuth(dctx, id, ch.ID, resp)
+		return err
+	}
+	for _, be := range backends {
+		if err := roundTrip(be); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Spread mode sends client traffic to the followers only: a
+	// transaction served directly by the primary holds the hot
+	// client's record lock across its whole issue path, convoying the
+	// delegated burns that need the same lock for far shorter spans.
+	var ctr int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			be := backends[0]
+			if spread {
+				be = backends[1+int(atomic.AddInt64(&ctr, 1))%(len(backends)-1)]
+			}
+			if err := roundTrip(be); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}

@@ -45,6 +45,33 @@
 // per connection — a v2 preamble selects the multiplexed binary
 // framing, anything else the v1 newline-JSON loop; "v1" and "v2"
 // force one framing and reject the other. See docs/PROTOCOL.md.
+//
+// # Cluster modes
+//
+// -role selects how the daemon participates in a replicated fleet
+// (see DESIGN.md §10):
+//
+//   - standalone (default): the single-node behaviour above.
+//   - primary: node 0 of a replicated cluster. Requires -wal and
+//     -peers; streams every WAL record to connected followers and
+//     acknowledges mutations only after -replicate followers have
+//     them. Enrollment waits until that many followers are connected.
+//   - follower: any other -node index. Requires -wal and -peers;
+//     syncs a snapshot from the primary, applies the record stream,
+//     serves verification locally and challenge issuance by
+//     delegation, and promotes itself on primary loss.
+//   - router: a stateless ingress tier. Requires -client-peers; each
+//     transaction is forwarded to its client's consistent-hash owner.
+//
+// A local 3-node cluster with a router in front:
+//
+//	authd -role primary  -node 0 -peers :7500,:7501,:7502 \
+//	      -client-peers :7430,:7431,:7432 -addr :7430 -wal wal0
+//	authd -role follower -node 1 -peers :7500,:7501,:7502 \
+//	      -client-peers :7430,:7431,:7432 -addr :7431 -wal wal1
+//	authd -role follower -node 2 -peers :7500,:7501,:7502 \
+//	      -client-peers :7430,:7431,:7432 -addr :7432 -wal wal2
+//	authd -role router -client-peers :7430,:7431,:7432 -addr :7440
 package main
 
 import (
@@ -58,6 +85,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +104,11 @@ func main() {
 	compactEvery := flag.Duration("compact", time.Minute, "WAL compaction interval (with -wal)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent transactions before shedding with 'unavailable' (0 = unlimited)")
 	wireProto := flag.String("wire-proto", "auto", "wire framing: auto (negotiate per connection), v1 (newline JSON only), v2 (multiplexed binary only)")
+	role := flag.String("role", "standalone", "cluster role: standalone, primary, follower, or router")
+	nodeIdx := flag.Int("node", 0, "this node's index into -peers (primary/follower)")
+	peers := flag.String("peers", "", "comma-separated replication addresses, one per node (primary/follower)")
+	clientPeers := flag.String("client-peers", "", "comma-separated client-facing addresses, one per node (router, and follower key-update forwarding)")
+	replicate := flag.Int("replicate", 1, "follower acknowledgements required before a mutation is durable (primary)")
 	flag.Parse()
 
 	proto, err := authenticache.ParseProto(*wireProto)
@@ -91,6 +124,20 @@ func main() {
 
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = *bits
+
+	switch *role {
+	case "standalone":
+		// Fall through to the single-node paths below.
+	case "router":
+		runRouter(ctx, splitAddrs(*clientPeers), *addr, *maxInflight, proto)
+		return
+	case "primary", "follower":
+		runClusterNode(ctx, cfg, *role, *nodeIdx, splitAddrs(*peers), splitAddrs(*clientPeers),
+			*walDir, *addr, *devices, *seed, *cacheBytes, *replicate, *maxInflight, proto)
+		return
+	default:
+		log.Fatalf("authd: unknown -role %q (standalone, primary, follower, router)", *role)
+	}
 
 	if *walDir != "" {
 		runDurable(ctx, cfg, *walDir, *statePath, *addr, *devices, *seed, *cacheBytes, *compactEvery, *maxInflight, proto)
@@ -244,6 +291,127 @@ func printProvisioned(srv *authenticache.Server, suffix string) {
 		}
 		fmt.Printf("PROVISION id=%s key=%s%s\n", id, hex.EncodeToString(key[:]), suffix)
 	}
+}
+
+// splitAddrs parses a comma-separated address list, rejecting blanks.
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i, p := range parts {
+		parts[i] = strings.TrimSpace(p)
+		if parts[i] == "" {
+			log.Fatalf("authd: empty address in list %q", s)
+		}
+	}
+	return parts
+}
+
+// runRouter serves a stateless forwarding tier: every transaction is
+// relayed to its client's consistent-hash owner node.
+func runRouter(ctx context.Context, clientPeers []string, addr string, maxInflight int, proto authenticache.Proto) {
+	if len(clientPeers) == 0 {
+		log.Fatal("authd: -role router requires -client-peers")
+	}
+	router := authenticache.NewRouter(authenticache.RouterConfig{
+		ClientPeers: clientPeers,
+		Self:        -1,
+	})
+	defer router.Close()
+	ws, err := authenticache.NewWireServerBackend(router, authenticache.WireConfig{MaxInFlight: maxInflight, Proto: proto})
+	if err != nil {
+		log.Fatalf("authd: %v", err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("authd: %v", err)
+	}
+	log.Printf("authd: routing for %d nodes on %s", len(clientPeers), l.Addr())
+	if err := ws.Serve(ctx, l); err != nil {
+		log.Printf("authd: serve: %v", err)
+	}
+}
+
+// runClusterNode serves one member of a replicated cluster: node 0 is
+// the initial primary (it enrolls the fleet once enough followers are
+// connected to acknowledge durably), every other index starts as a
+// follower syncing from it.
+func runClusterNode(ctx context.Context, cfg authenticache.ServerConfig, role string, nodeIdx int, peers, clientPeers []string, walDir, addr string, devices int, seed uint64, cacheBytes, replicate, maxInflight int, proto authenticache.Proto) {
+	if walDir == "" {
+		log.Fatalf("authd: -role %s requires -wal", role)
+	}
+	if len(peers) < 2 {
+		log.Fatalf("authd: -role %s requires -peers with at least two addresses", role)
+	}
+	if nodeIdx < 0 || nodeIdx >= len(peers) {
+		log.Fatalf("authd: -node %d out of range for %d peers", nodeIdx, len(peers))
+	}
+	// The initial primary is index 0 by convention; -role documents
+	// intent and is checked against it.
+	if role == "primary" && nodeIdx != 0 {
+		log.Fatalf("authd: -role primary requires -node 0 (node %d starts as a follower)", nodeIdx)
+	}
+	if role == "follower" && nodeIdx == 0 {
+		log.Fatal("authd: -role follower requires -node >= 1 (node 0 starts as the primary)")
+	}
+	node, err := authenticache.OpenClusterNode(authenticache.ClusterConfig{
+		NodeIndex:   nodeIdx,
+		Peers:       peers,
+		ClientPeers: clientPeers,
+		Dir:         walDir,
+		Auth:        cfg,
+		Seed:        seed ^ 0xd5e7,
+		ReplicaAcks: replicate,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("authd: open cluster node: %v", err)
+	}
+	if err := node.Start(ctx); err != nil {
+		log.Fatalf("authd: start cluster node: %v", err)
+	}
+
+	if role == "primary" {
+		if n := len(node.Server().ClientIDs()); n > 0 {
+			log.Printf("authd: recovered %d clients from %s", n, walDir)
+			printProvisioned(node.Server(), " (restored)")
+		} else {
+			// Mutations need -replicate follower acks to be durable;
+			// enrolling before that many are connected would only time
+			// out record by record.
+			log.Printf("authd: waiting for %d follower(s) before enrolling...", replicate)
+			for node.Status().Followers < replicate {
+				select {
+				case <-ctx.Done():
+					log.Fatal("authd: interrupted while waiting for followers")
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+			enrollFleet(ctx, node.Server(), devices, seed, cacheBytes)
+		}
+	} else {
+		log.Printf("authd: following the primary at %s", peers[node.Status().PrimaryIndex])
+	}
+
+	ws, err := node.NewWireServer(authenticache.WireConfig{MaxInFlight: maxInflight, Proto: proto})
+	if err != nil {
+		log.Fatalf("authd: %v", err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("authd: %v", err)
+	}
+	st := node.Status()
+	log.Printf("authd: cluster node %d (%s, term %d) serving on %s", nodeIdx, node.Role(), st.Term, l.Addr())
+	if err := ws.Serve(ctx, l); err != nil {
+		log.Printf("authd: serve: %v", err)
+	}
+	// Drained: fold the WAL into a final snapshot.
+	if err := node.Close(); err != nil {
+		log.Fatalf("authd: close cluster node: %v", err)
+	}
+	log.Printf("authd: final snapshot written to %s", walDir)
 }
 
 func serve(ctx context.Context, srv *authenticache.Server, addr string, maxInflight int, proto authenticache.Proto) error {

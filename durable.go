@@ -63,6 +63,12 @@ func OpenDurableServer(dir string, cfg ServerConfig, seed uint64, opt WALOptions
 		w.Close()
 		return nil, fmt.Errorf("authenticache: replay WAL: %w", err)
 	}
+	// Decorrelate this boot's challenge draws from the pre-crash
+	// server's: both start from the same seed, and the registry already
+	// holds the pairs the old stream produced, so replaying the stream
+	// verbatim would sample nothing but burned pairs. The journal tail
+	// sequence is distinct per boot (the log only grows).
+	srv.SaltChallengeStream(w.CommittedSeq())
 	srv.AttachJournal(w)
 	return &DurableServer{Server: srv, wal: w}, nil
 }

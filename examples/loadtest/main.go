@@ -9,8 +9,15 @@
 // speaks the multiplexed binary framing and -depth lanes pipeline
 // concurrent transactions over that one connection.
 //
+// With -nodes N the single server becomes an in-process replicated
+// cluster: N nodes (node 0 primary), each with its own WAL and wire
+// listener, fronted by a consistent-hash router that every worker
+// dials — the same topology `authd -role primary/follower/router`
+// builds across processes.
+//
 //	go run ./examples/loadtest                  # v1 lock-step JSON
 //	go run ./examples/loadtest -proto v2 -depth 8
+//	go run ./examples/loadtest -nodes 3 -proto v2 -depth 4
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -40,6 +49,7 @@ const (
 func main() {
 	protoName := flag.String("proto", "v1", "wire framing: v1 (lock-step JSON) or v2 (multiplexed binary)")
 	depth := flag.Int("depth", 1, "pipeline depth per connection (v2 only: lanes sharing one connection)")
+	nodeCount := flag.Int("nodes", 1, "cluster size: 1 serves directly, N>1 replicates behind a consistent-hash router")
 	flag.Parse()
 	proto, err := authenticache.ParseProto(*protoName)
 	if err != nil {
@@ -51,11 +61,38 @@ func main() {
 	if *depth > 1 && proto != authenticache.ProtoV2 {
 		log.Fatal("loadtest: -depth > 1 needs -proto v2 (v1 is lock-step)")
 	}
+	if *nodeCount < 1 {
+		log.Fatal("loadtest: -nodes must be >= 1")
+	}
 
 	ctx := context.Background()
 	cfg := authenticache.DefaultServerConfig()
 	cfg.ChallengeBits = 128
-	srv := authenticache.NewServer(cfg, 1)
+
+	var srv *authenticache.Server
+	var ingress string
+	var topology string
+	if *nodeCount > 1 {
+		cluster, err := startCluster(ctx, *nodeCount, cfg, proto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.close()
+		srv = cluster.primary.Server()
+		ingress = cluster.routerAddr
+		topology = fmt.Sprintf("%d-node cluster + router", *nodeCount)
+	} else {
+		srv = authenticache.NewServer(cfg, 1)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := authenticache.NewWireServer(srv)
+		go ws.Serve(ctx, l)
+		defer ws.Close()
+		ingress = l.Addr().String()
+		topology = "single node"
+	}
 
 	// Enroll one device per worker.
 	type client struct {
@@ -75,15 +112,8 @@ func main() {
 		clients[i] = client{responder: authenticache.NewResponder(id, authenticache.NewSimDevice(m), key)}
 	}
 
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	ws := authenticache.NewWireServer(srv)
-	go ws.Serve(ctx, l)
-	defer ws.Close()
-	fmt.Printf("server on %s; proto=%s depth=%d; %d workers x %d transactions\n",
-		l.Addr(), *protoName, *depth, workers, perWorker)
+	fmt.Printf("%s on %s; proto=%s depth=%d; %d workers x %d transactions\n",
+		topology, ingress, *protoName, *depth, workers, perWorker)
 
 	var rejected, failed atomic.Int64
 	latencies := make([][]time.Duration, workers)
@@ -94,7 +124,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wc, err := authenticache.DialProto(ctx, l.Addr().String(), proto)
+			wc, err := authenticache.DialProto(ctx, ingress, proto)
 			if err != nil {
 				failed.Add(int64(perWorker))
 				return
@@ -153,4 +183,101 @@ func main() {
 	if rejected.Load() > 0 || failed.Load() > 0 {
 		log.Fatal("genuine transactions were rejected under load")
 	}
+}
+
+// loadCluster is the in-process analogue of the authd cluster
+// quickstart: N replicated nodes, each serving its wire listener,
+// plus a router ingress forwarding every transaction to its client's
+// consistent-hash owner.
+type loadCluster struct {
+	primary    *authenticache.ClusterNode
+	nodes      []*authenticache.ClusterNode
+	router     *authenticache.Router
+	routerAddr string
+	dir        string
+	servers    []*authenticache.WireServer
+}
+
+func startCluster(ctx context.Context, n int, cfg authenticache.ServerConfig, proto authenticache.Proto) (*loadCluster, error) {
+	dir, err := os.MkdirTemp("", "loadtest-cluster")
+	if err != nil {
+		return nil, err
+	}
+	c := &loadCluster{dir: dir}
+
+	replLns := make([]net.Listener, n)
+	replAddrs := make([]string, n)
+	clientLns := make([]net.Listener, n)
+	clientAddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		if replLns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		replAddrs[i] = replLns[i].Addr().String()
+		if clientLns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		clientAddrs[i] = clientLns[i].Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		node, err := authenticache.OpenClusterNode(authenticache.ClusterConfig{
+			NodeIndex:    i,
+			Peers:        replAddrs,
+			ClientPeers:  clientAddrs,
+			Dir:          filepath.Join(dir, fmt.Sprintf("node-%d", i)),
+			Auth:         cfg,
+			Seed:         uint64(1 + i),
+			ReplicaAcks:  1,
+			ReplListener: replLns[i],
+		})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		if err := node.Start(ctx); err != nil {
+			c.close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		ws, err := node.NewWireServer(authenticache.WireConfig{Proto: proto})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		go ws.Serve(ctx, clientLns[i])
+		c.servers = append(c.servers, ws)
+	}
+	c.primary = c.nodes[0]
+	for c.primary.Status().Followers < 1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c.router = authenticache.NewRouter(authenticache.RouterConfig{ClientPeers: clientAddrs, Self: -1})
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	rs, err := authenticache.NewWireServerBackend(c.router, authenticache.WireConfig{Proto: proto})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	go rs.Serve(ctx, rl)
+	c.servers = append(c.servers, rs)
+	c.routerAddr = rl.Addr().String()
+	return c, nil
+}
+
+func (c *loadCluster) close() {
+	for _, ws := range c.servers {
+		ws.Close()
+	}
+	if c.router != nil {
+		c.router.Close()
+	}
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	os.RemoveAll(c.dir)
 }

@@ -38,6 +38,7 @@
 package auth
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/crp"
@@ -162,6 +163,22 @@ func (s *Server) randUint64() uint64 {
 	v := s.rand.Uint64()
 	s.randMu.Unlock()
 	return v
+}
+
+// SaltChallengeStream folds salt into the challenge-generation stream.
+// Recovery and replication paths call it after rebuilding state: a
+// server reseeded with the same value as its pre-crash self (or its
+// primary) restarts the exact draw sequence that produced the pairs
+// the registry already holds burned — every subsequent sample walks
+// straight down the consumed prefix and issuance dies with a spurious
+// CodeExhausted, even though the pair space is almost entirely free.
+// Salting with a per-boot quantity (the WAL tail sequence, a node
+// index) decorrelates the streams while staying deterministic for a
+// given (seed, salt), so simulations remain reproducible.
+func (s *Server) SaltChallengeStream(salt uint64) {
+	s.randMu.Lock()
+	s.rand = s.rand.SplitNamed(fmt.Sprintf("salt/%d", salt))
+	s.randMu.Unlock()
 }
 
 // LogicalPlane permutes a physical error plane into the keyed logical

@@ -189,10 +189,11 @@ type wireMsg struct {
 	ErrorClient string `json:"error_client,omitempty"`
 }
 
-// WireServer exposes a Server over TCP.
+// WireServer exposes a transaction backend — usually an in-process
+// Server, in a cluster possibly a forwarding router — over TCP.
 type WireServer struct {
-	auth *Server
-	cfg  WireConfig
+	backend TxBackend
+	cfg     WireConfig
 	// inflight is the transaction-shedding semaphore (nil when
 	// MaxInFlight is 0): a slot is held for the duration of one
 	// transaction, and a transaction that cannot take a slot without
@@ -220,10 +221,18 @@ func NewWireServer(auth *Server) *WireServer {
 // NewWireServerConfig wraps an authentication server with explicit
 // wire limits and overload behaviour.
 func NewWireServerConfig(auth *Server, cfg WireConfig) (*WireServer, error) {
+	return NewWireServerBackend(localBackend{auth: auth}, cfg)
+}
+
+// NewWireServerBackend wraps an arbitrary transaction backend (a
+// cluster router, a follower's delegating issuer) with the same wire
+// front end a plain Server gets: both framings, hardening limits, and
+// overload shedding all apply unchanged.
+func NewWireServerBackend(backend TxBackend, cfg WireConfig) (*WireServer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ws := &WireServer{auth: auth, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	ws := &WireServer{backend: backend, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
 	if ws.cfg.MaxInFlight > 0 {
 		ws.inflight = make(chan struct{}, ws.cfg.MaxInFlight)
 	}
@@ -482,7 +491,7 @@ func sendErr(enc *json.Encoder, err error) error {
 // non-nil return means the connection is no longer usable; protocol
 // failures answered in-band return nil.
 func (ws *WireServer) handleAuthenticate(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) error {
-	ch, err := ws.auth.IssueChallenge(ctx, ClientID(msg.ClientID))
+	ch, err := ws.backend.BeginAuth(ctx, ClientID(msg.ClientID))
 	if err != nil {
 		return sendErr(enc, err)
 	}
@@ -496,14 +505,13 @@ func (ws *WireServer) handleAuthenticate(ctx context.Context, mr *msgReader, enc
 	if respMsg.Type != "response" || respMsg.Response == nil {
 		return sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected response, got %q", respMsg.Type))
 	}
-	ok, sessionKey, err := ws.auth.VerifySession(ctx, ClientID(msg.ClientID), respMsg.ChallengeID, *respMsg.Response)
+	v, err := ws.backend.FinishAuth(ctx, ClientID(msg.ClientID), respMsg.ChallengeID, *respMsg.Response)
 	if err != nil {
 		return sendErr(enc, err)
 	}
-	verdict := wireMsg{Type: "verdict", Accepted: ok}
-	if ok {
-		verdict.Confirm = confirmTag(sessionKey)
-		verdict.RemapAdvised = ws.auth.NeedsRemap(ClientID(msg.ClientID))
+	verdict := wireMsg{Type: "verdict", Accepted: v.Accepted, RemapAdvised: v.RemapAdvised}
+	if v.HasConfirm {
+		verdict.Confirm = hex.EncodeToString(v.Confirm[:])
 	}
 	return enc.Encode(verdict)
 }
@@ -511,7 +519,7 @@ func (ws *WireServer) handleAuthenticate(ctx context.Context, mr *msgReader, enc
 // handleRemap runs one v1 key-update transaction; error semantics as
 // handleAuthenticate.
 func (ws *WireServer) handleRemap(ctx context.Context, mr *msgReader, enc *json.Encoder, msg wireMsg) error {
-	req, err := ws.auth.BeginRemap(ctx, ClientID(msg.ClientID))
+	req, err := ws.backend.BeginRemapTx(ctx, ClientID(msg.ClientID))
 	if err != nil {
 		return sendErr(enc, err)
 	}
@@ -525,7 +533,7 @@ func (ws *WireServer) handleRemap(ctx context.Context, mr *msgReader, enc *json.
 	if done.Type != "remap_done" {
 		return sendErr(enc, authErrf(CodeInvalidRequest, ClientID(msg.ClientID), "expected remap_done, got %q", done.Type))
 	}
-	if err := ws.auth.CompleteRemap(ctx, ClientID(msg.ClientID), done.Success); err != nil {
+	if err := ws.backend.FinishRemapTx(ctx, ClientID(msg.ClientID), done.Success); err != nil {
 		return sendErr(enc, err)
 	}
 	return enc.Encode(wireMsg{Type: "remap_ack"})

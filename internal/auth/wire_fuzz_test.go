@@ -92,6 +92,16 @@ func FuzzWireServerV2(f *testing.F) {
 	f.Add([]byte{1, 1, 1, 'x', 1, 1, 1, 'y'})
 	f.Add([]byte{11, 0, 4, 1, 2, 3, 4})
 	f.Add([]byte{0x81, 1, 30, 'p', 'a', 'r', 't'})
+	// Replication opcodes (10-16) arriving on the client-facing port:
+	// a hello, a shipped record, an ack, a heartbeat, and a
+	// propose/grant pair — all must be refused as protocol errors, not
+	// demultiplexed into the replication state machine.
+	f.Add([]byte{10, 0, 12, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add([]byte{12, 0, 16, 0, 0, 0, 0, 0, 0, 0, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{13, 0, 8, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Add([]byte{14, 0, 16, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 40})
+	f.Add([]byte{15, 1, 24, 5, 'd', 'e', 'v', '-', '0', 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 2, 168, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{16, 1, 8, 0, 0, 0, 0, 0, 0, 0, 3, 11, 0, 40})
 
 	srv := NewServer(DefaultConfig(), 9) // nothing enrolled
 	ws, err := NewWireServerConfig(srv, WireConfig{
@@ -118,7 +128,9 @@ func FuzzWireServerV2(f *testing.F) {
 			}
 			payload := data[:plen]
 			data = data[plen:]
-			frame := wire.AppendRaw(nil, uint32(streamByte%4), wire.Opcode(opByte%12), payload)
+			// %18 covers every defined opcode (replication included,
+			// 10-16) plus one undefined value above the table.
+			frame := wire.AppendRaw(nil, uint32(streamByte%4), wire.Opcode(opByte%18), payload)
 			if opByte&0x80 != 0 && len(frame) > wire.HeaderLen {
 				frame = frame[:wire.HeaderLen+len(frame)%wire.HeaderLen]
 			}

@@ -1,0 +1,171 @@
+package auth
+
+import (
+	"context"
+	"net"
+
+	"repro/internal/crp"
+	"repro/internal/wire"
+)
+
+// RelayClient forwards individual transaction halves to a remote
+// authd over one pipelined v2 connection. Unlike WireClient, which
+// runs a whole transaction for a device that can answer challenges,
+// the relay splits the transaction at the operation seam TxBackend
+// defines: BeginAuth brings the challenge back to the forwarding
+// node, the device's response goes out through Finish. A cluster
+// router holds one RelayClient per peer and implements TxBackend with
+// it; concurrent forwarded transactions pipeline on the shared
+// connection, each on its own stream.
+type RelayClient struct {
+	c2 *clientV2
+}
+
+// DialRelay connects a relay to a remote authd speaking v2. ctx
+// bounds the connection attempt only.
+func DialRelay(ctx context.Context, addr string) (*RelayClient, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, authErrf(CodeUnavailable, "", "%w: relay dial %s: %w", ErrUnavailable, addr, err)
+	}
+	return NewRelayClient(conn)
+}
+
+// NewRelayClient wraps an established connection (tests inject fault
+// wrappers here), writing the v2 preamble immediately.
+func NewRelayClient(conn net.Conn) (*RelayClient, error) {
+	c2, err := newClientV2(conn)
+	if err != nil {
+		return nil, authErrf(CodeUnavailable, "", "%w: relay preamble: %w", ErrUnavailable, err)
+	}
+	return &RelayClient{c2: c2}, nil
+}
+
+// Close releases the connection; in-flight transactions fail with a
+// retryable connection-lost error.
+func (rc *RelayClient) Close() error { return rc.c2.close() }
+
+// RelayAuthTx is a forwarded authentication transaction between its
+// two halves: the remote stream stays open, waiting for the device's
+// response. Exactly one of Finish or Abandon must be called.
+type RelayAuthTx struct {
+	c      *clientV2
+	stream uint32
+	ch     chan *wire.Buf
+}
+
+// BeginAuth forwards the opening half of an authentication: the
+// remote node issues (and journals) the challenge; the returned tx
+// carries the device's response back on the same stream.
+func (rc *RelayClient) BeginAuth(ctx context.Context, id ClientID) (*crp.Challenge, *RelayAuthTx, error) {
+	if err := ctxErr(ctx, id); err != nil {
+		return nil, nil, err
+	}
+	stream, ch, err := rc.c2.openStream()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := wire.GetBuf()
+	out.B = wire.AppendClientID(out.B[:0], stream, wire.OpAuthenticate, string(id))
+	if !rc.c2.fw.send(out) {
+		rc.c2.closeStream(stream)
+		return nil, nil, rc.c2.connLost()
+	}
+	b, err := rc.c2.recv(ctx, ch)
+	if err != nil {
+		rc.c2.closeStream(stream)
+		return nil, nil, err
+	}
+	challenge, err := expectChallenge(b)
+	if err != nil {
+		rc.c2.closeStream(stream)
+		return nil, nil, err
+	}
+	return challenge, &RelayAuthTx{c: rc.c2, stream: stream, ch: ch}, nil
+}
+
+// Finish forwards the device's response and returns the remote
+// verdict. The confirmation tag rides the verdict, so the forwarding
+// node never holds the session key.
+func (tx *RelayAuthTx) Finish(ctx context.Context, challengeID uint64, resp crp.Response) (AuthVerdict, error) {
+	defer tx.c.closeStream(tx.stream)
+	out := wire.GetBuf()
+	out.B = wire.AppendResponse(out.B[:0], tx.stream, challengeID, &resp)
+	if !tx.c.fw.send(out) {
+		return AuthVerdict{}, tx.c.connLost()
+	}
+	vb, err := tx.c.recv(ctx, tx.ch)
+	if err != nil {
+		return AuthVerdict{}, err
+	}
+	v, err := expectVerdict(vb)
+	if err != nil {
+		return AuthVerdict{}, err
+	}
+	return AuthVerdict{
+		Accepted:     v.Accepted,
+		RemapAdvised: v.RemapAdvised,
+		HasConfirm:   v.HasConfirm,
+		Confirm:      v.Confirm,
+	}, nil
+}
+
+// Abandon drops a transaction whose second half will never come (the
+// device went away). The remote stream times out on its own idle
+// deadline; the local stream is released immediately.
+func (tx *RelayAuthTx) Abandon() { tx.c.closeStream(tx.stream) }
+
+// RelayRemapTx is a forwarded key-update transaction between halves.
+type RelayRemapTx struct {
+	c      *clientV2
+	stream uint32
+	ch     chan *wire.Buf
+}
+
+// BeginRemap forwards the opening half of a key update.
+func (rc *RelayClient) BeginRemap(ctx context.Context, id ClientID) (*RemapRequest, *RelayRemapTx, error) {
+	if err := ctxErr(ctx, id); err != nil {
+		return nil, nil, err
+	}
+	stream, ch, err := rc.c2.openStream()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := wire.GetBuf()
+	out.B = wire.AppendClientID(out.B[:0], stream, wire.OpRemap, string(id))
+	if !rc.c2.fw.send(out) {
+		rc.c2.closeStream(stream)
+		return nil, nil, rc.c2.connLost()
+	}
+	b, err := rc.c2.recv(ctx, ch)
+	if err != nil {
+		rc.c2.closeStream(stream)
+		return nil, nil, err
+	}
+	req, err := expectRemapChallenge(b)
+	if err != nil {
+		rc.c2.closeStream(stream)
+		return nil, nil, err
+	}
+	return req, &RelayRemapTx{c: rc.c2, stream: stream, ch: ch}, nil
+}
+
+// Finish forwards the device's key-derivation outcome and waits for
+// the remote ack.
+func (tx *RelayRemapTx) Finish(ctx context.Context, success bool) error {
+	defer tx.c.closeStream(tx.stream)
+	out := wire.GetBuf()
+	out.B = wire.AppendRemapDone(out.B[:0], tx.stream, success)
+	if !tx.c.fw.send(out) {
+		return tx.c.connLost()
+	}
+	ack, err := tx.c.recv(ctx, tx.ch)
+	if err != nil {
+		return err
+	}
+	return expectRemapAck(ack)
+}
+
+// Abandon drops a forwarded key update mid-transaction.
+func (tx *RelayRemapTx) Abandon() { tx.c.closeStream(tx.stream) }

@@ -229,7 +229,7 @@ func (c *v2conn) runStream(ctx context.Context, st *v2stream, open *wire.Buf) {
 // streamAuthenticate is the v2 counterpart of handleAuthenticate:
 // challenge out, response in, verdict out, all on one stream.
 func (c *v2conn) streamAuthenticate(ctx context.Context, st *v2stream, id ClientID) {
-	ch, err := c.ws.auth.IssueChallenge(ctx, id)
+	ch, err := c.ws.backend.BeginAuth(ctx, id)
 	if err != nil {
 		c.sendErrV2(st.id, err)
 		return
@@ -259,16 +259,16 @@ func (c *v2conn) streamAuthenticate(ctx context.Context, st *v2stream, id Client
 		c.sendErrV2(st.id, authErrf(CodeInvalidRequest, id, "bad response payload: %v", derr))
 		return
 	}
-	ok, sessionKey, err := c.ws.auth.VerifySession(ctx, id, chID, resp)
+	av, err := c.ws.backend.FinishAuth(ctx, id, chID, resp)
 	if err != nil {
 		c.sendErrV2(st.id, err)
 		return
 	}
-	v := wire.Verdict{Accepted: ok}
-	if ok {
-		v.HasConfirm = true
-		v.Confirm = confirmTagRaw(sessionKey)
-		v.RemapAdvised = c.ws.auth.NeedsRemap(id)
+	v := wire.Verdict{
+		Accepted:     av.Accepted,
+		RemapAdvised: av.RemapAdvised,
+		HasConfirm:   av.HasConfirm,
+		Confirm:      av.Confirm,
 	}
 	out = wire.GetBuf()
 	out.B = wire.AppendVerdict(out.B[:0], st.id, v)
@@ -279,7 +279,7 @@ func (c *v2conn) streamAuthenticate(ctx context.Context, st *v2stream, id Client
 // challenge payload stays JSON: the key-update path is cold and the
 // helper-data structure is deeply nested.
 func (c *v2conn) streamRemap(ctx context.Context, st *v2stream, id ClientID) {
-	req, err := c.ws.auth.BeginRemap(ctx, id)
+	req, err := c.ws.backend.BeginRemapTx(ctx, id)
 	if err != nil {
 		c.sendErrV2(st.id, err)
 		return
@@ -313,7 +313,7 @@ func (c *v2conn) streamRemap(ctx context.Context, st *v2stream, id ClientID) {
 		c.sendErrV2(st.id, authErrf(CodeInvalidRequest, id, "bad remap_done payload: %v", derr))
 		return
 	}
-	if err := c.ws.auth.CompleteRemap(ctx, id, success); err != nil {
+	if err := c.ws.backend.FinishRemapTx(ctx, id, success); err != nil {
 		c.sendErrV2(st.id, err)
 		return
 	}

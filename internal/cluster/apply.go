@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/wal"
+)
+
+// applyRecord dispatches one journal record onto the server's
+// idempotent replay appliers — the same switch recovery uses, because
+// a follower applying the primary's log IS recovery, continuously.
+func applyRecord(srv *auth.Server, rec *wal.Record) error {
+	id := auth.ClientID(rec.ClientID)
+	switch rec.Type {
+	case wal.TypeEnroll:
+		return srv.ReplayEnroll(id, rec.MapBytes, rec.Key, rec.Reserved)
+	case wal.TypeBurn:
+		return srv.ReplayBurn(id, rec.Pairs, rec.NextID, rec.CRPsSinceRemap)
+	case wal.TypeRemap:
+		return srv.ReplayRemap(id, rec.Key)
+	case wal.TypeCounter:
+		return srv.ReplayCounter(id, rec.NextID)
+	case wal.TypeDelete:
+		return srv.ReplayDelete(id)
+	}
+	return &auth.AuthError{
+		Code: auth.CodeInvalidRequest,
+		Err:  fmt.Errorf("cluster: unknown WAL record type %d", rec.Type),
+	}
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/crp"
+)
+
+// Router is a thin forwarding TxBackend: it consistent-hashes each
+// client id to its owning node and forwards the transaction halves
+// over pooled relay connections, pinning nothing heavier than the
+// open transaction handle locally (verdicts carry the confirmation
+// tag, so a router never holds session keys). A router can run
+// standalone (Self < 0) as a stateless ingress tier, or embedded in a
+// node (Self = that node's index) to short-circuit locally owned
+// clients.
+type Router struct {
+	cfg  RouterConfig
+	ring *Ring
+
+	mu     sync.Mutex
+	closed bool
+	relays map[int]*auth.RelayClient
+	auths  map[authTxKey]pendingAuthTx
+	remaps map[auth.ClientID]pendingRemapTx
+}
+
+// RouterConfig describes the fleet a Router forwards into.
+type RouterConfig struct {
+	// ClientPeers lists every node's client-facing address; the ring is
+	// built over their indexes.
+	ClientPeers []string
+	// Self is the index of the co-located node, served through Local
+	// without a network hop; -1 for a standalone router.
+	Self int
+	// Local executes transactions for locally owned clients (required
+	// when Self >= 0).
+	Local auth.TxBackend
+	// VNodes tunes ring granularity (0 uses the default).
+	VNodes int
+	// TxTTL bounds how long a begun-but-unfinished forwarded
+	// transaction is held before it is abandoned (default 30s).
+	TxTTL time.Duration
+}
+
+type authTxKey struct {
+	id   auth.ClientID
+	chID uint64
+}
+
+type pendingAuthTx struct {
+	tx *auth.RelayAuthTx
+	at time.Time
+}
+
+type pendingRemapTx struct {
+	tx *auth.RelayRemapTx
+	at time.Time
+}
+
+// NewRouter builds a router over cfg.ClientPeers.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.TxTTL <= 0 {
+		cfg.TxTTL = 30 * time.Second
+	}
+	if cfg.Self >= len(cfg.ClientPeers) {
+		cfg.Self = -1
+	}
+	return &Router{
+		cfg:    cfg,
+		ring:   NewRing(len(cfg.ClientPeers), cfg.VNodes),
+		relays: make(map[int]*auth.RelayClient),
+		auths:  make(map[authTxKey]pendingAuthTx),
+		remaps: make(map[auth.ClientID]pendingRemapTx),
+	}
+}
+
+// Owner exposes the ring placement (monitoring, tests).
+func (r *Router) Owner(id auth.ClientID) int { return r.ring.Owner(string(id)) }
+
+// BeginAuth forwards the opening half to the owner and parks the
+// transaction handle for FinishAuth.
+func (r *Router) BeginAuth(ctx context.Context, id auth.ClientID) (*crp.Challenge, error) {
+	owner := r.ring.Owner(string(id))
+	if owner == r.cfg.Self && r.cfg.Local != nil {
+		return r.cfg.Local.BeginAuth(ctx, id)
+	}
+	rc, err := r.relay(ctx, owner)
+	if err != nil {
+		return nil, err
+	}
+	ch, tx, err := rc.BeginAuth(ctx, id)
+	if err != nil {
+		r.drop(owner, rc, err)
+		return nil, err
+	}
+	r.mu.Lock()
+	r.sweepLocked(time.Now())
+	if r.closed {
+		r.mu.Unlock()
+		tx.Abandon()
+		return nil, unavailErrf(string(id), "router closed")
+	}
+	r.auths[authTxKey{id: id, chID: ch.ID}] = pendingAuthTx{tx: tx, at: time.Now()}
+	r.mu.Unlock()
+	return ch, nil
+}
+
+// FinishAuth forwards the closing half on the stream BeginAuth left
+// open.
+func (r *Router) FinishAuth(ctx context.Context, id auth.ClientID, challengeID uint64, resp crp.Response) (auth.AuthVerdict, error) {
+	owner := r.ring.Owner(string(id))
+	if owner == r.cfg.Self && r.cfg.Local != nil {
+		return r.cfg.Local.FinishAuth(ctx, id, challengeID, resp)
+	}
+	r.mu.Lock()
+	p, ok := r.auths[authTxKey{id: id, chID: challengeID}]
+	delete(r.auths, authTxKey{id: id, chID: challengeID})
+	r.mu.Unlock()
+	if !ok {
+		return auth.AuthVerdict{}, &auth.AuthError{
+			Code:     auth.CodeInvalidRequest,
+			ClientID: id,
+			Err:      errInvalidNoAuthTx,
+		}
+	}
+	return p.tx.Finish(ctx, challengeID, resp)
+}
+
+// BeginRemapTx forwards the opening half of a key update.
+func (r *Router) BeginRemapTx(ctx context.Context, id auth.ClientID) (*auth.RemapRequest, error) {
+	owner := r.ring.Owner(string(id))
+	if owner == r.cfg.Self && r.cfg.Local != nil {
+		return r.cfg.Local.BeginRemapTx(ctx, id)
+	}
+	rc, err := r.relay(ctx, owner)
+	if err != nil {
+		return nil, err
+	}
+	req, tx, err := rc.BeginRemap(ctx, id)
+	if err != nil {
+		r.drop(owner, rc, err)
+		return nil, err
+	}
+	r.mu.Lock()
+	r.sweepLocked(time.Now())
+	if r.closed {
+		r.mu.Unlock()
+		tx.Abandon()
+		return nil, unavailErrf(string(id), "router closed")
+	}
+	if old, dup := r.remaps[id]; dup {
+		old.tx.Abandon()
+	}
+	r.remaps[id] = pendingRemapTx{tx: tx, at: time.Now()}
+	r.mu.Unlock()
+	return req, nil
+}
+
+// FinishRemapTx forwards the closing half of a key update.
+func (r *Router) FinishRemapTx(ctx context.Context, id auth.ClientID, success bool) error {
+	owner := r.ring.Owner(string(id))
+	if owner == r.cfg.Self && r.cfg.Local != nil {
+		return r.cfg.Local.FinishRemapTx(ctx, id, success)
+	}
+	r.mu.Lock()
+	p, ok := r.remaps[id]
+	delete(r.remaps, id)
+	r.mu.Unlock()
+	if !ok {
+		return &auth.AuthError{
+			Code:     auth.CodeInvalidRequest,
+			ClientID: id,
+			Err:      errInvalidNoRemap,
+		}
+	}
+	return p.tx.Finish(ctx, success)
+}
+
+// Close abandons pending transactions and releases the relay pool.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	rcs := make([]*auth.RelayClient, 0, len(r.relays))
+	for _, rc := range r.relays {
+		rcs = append(rcs, rc)
+	}
+	r.relays = make(map[int]*auth.RelayClient)
+	auths := make([]*auth.RelayAuthTx, 0, len(r.auths))
+	for _, p := range r.auths {
+		auths = append(auths, p.tx)
+	}
+	r.auths = make(map[authTxKey]pendingAuthTx)
+	remaps := make([]*auth.RelayRemapTx, 0, len(r.remaps))
+	for _, p := range r.remaps {
+		remaps = append(remaps, p.tx)
+	}
+	r.remaps = make(map[auth.ClientID]pendingRemapTx)
+	r.mu.Unlock()
+	for _, tx := range auths {
+		tx.Abandon()
+	}
+	for _, tx := range remaps {
+		tx.Abandon()
+	}
+	for _, rc := range rcs {
+		rc.Close()
+	}
+	return nil
+}
+
+// relay returns (dialing if needed) the pooled connection to owner.
+func (r *Router) relay(ctx context.Context, owner int) (*auth.RelayClient, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, unavailErrf("", "router closed")
+	}
+	if rc, ok := r.relays[owner]; ok {
+		r.mu.Unlock()
+		return rc, nil
+	}
+	r.mu.Unlock()
+	rc, err := auth.DialRelay(ctx, r.cfg.ClientPeers[owner])
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		rc.Close()
+		return nil, unavailErrf("", "router closed")
+	}
+	if existing, ok := r.relays[owner]; ok {
+		r.mu.Unlock()
+		rc.Close()
+		return existing, nil
+	}
+	r.relays[owner] = rc
+	r.mu.Unlock()
+	return rc, nil
+}
+
+// drop discards a relay whose transaction failed with a transport
+// error, so the next forward redials. Typed protocol refusals keep
+// the connection: only unavailability suggests a dead peer.
+func (r *Router) drop(owner int, rc *auth.RelayClient, err error) {
+	if auth.CodeOf(err) != auth.CodeUnavailable {
+		return
+	}
+	r.mu.Lock()
+	if r.relays[owner] == rc {
+		delete(r.relays, owner)
+	}
+	r.mu.Unlock()
+	rc.Close()
+}
+
+// sweepLocked abandons forwarded transactions whose second half never
+// arrived within TxTTL. Callers hold r.mu.
+func (r *Router) sweepLocked(now time.Time) {
+	for k, p := range r.auths {
+		if now.Sub(p.at) > r.cfg.TxTTL {
+			delete(r.auths, k)
+			go p.tx.Abandon()
+		}
+	}
+	for k, p := range r.remaps {
+		if now.Sub(p.at) > r.cfg.TxTTL {
+			delete(r.remaps, k)
+			go p.tx.Abandon()
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// ErrPartitioned is injected on every operation of a blocked
+// partition link. It satisfies net.Error (non-timeout, temporary), so
+// retry classification treats it like any other transport loss.
+var ErrPartitioned net.Error = &injectedErr{"fault: link partitioned"}
+
+// Partition is a controllable network cut for one logical link: every
+// connection dialed or wrapped through it dies the moment Block is
+// called, and new dials fail until Heal. Chaos tests partition a
+// replication link mid-traffic with it — deterministically, without
+// firewall games — then heal it and watch the follower re-sync.
+type Partition struct {
+	mu      sync.Mutex
+	blocked bool
+	conns   map[*partConn]struct{}
+}
+
+// NewPartition returns a healed (passing) partition gate.
+func NewPartition() *Partition {
+	return &Partition{conns: make(map[*partConn]struct{})}
+}
+
+// Block cuts the link: every tracked connection is closed with
+// ErrPartitioned latched, and Dial/Wrap fail until Heal.
+func (p *Partition) Block() {
+	p.mu.Lock()
+	p.blocked = true
+	conns := make([]*partConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.conns = make(map[*partConn]struct{})
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.cut()
+	}
+}
+
+// Heal restores the link for future dials. Connections cut by Block
+// stay dead — endpoints reconnect, exactly as after a real partition.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	p.blocked = false
+	p.mu.Unlock()
+}
+
+// Blocked reports the gate's current state.
+func (p *Partition) Blocked() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked
+}
+
+// Dial establishes a connection through the gate. While blocked it
+// fails immediately with ErrPartitioned.
+func (p *Partition) Dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	p.mu.Lock()
+	blocked := p.blocked
+	p.mu.Unlock()
+	if blocked {
+		return nil, ErrPartitioned
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wrap(conn), nil
+}
+
+// Wrap tracks an established connection so a later Block cuts it. If
+// the gate is already blocked the connection is cut immediately.
+func (p *Partition) Wrap(conn net.Conn) net.Conn {
+	c := &partConn{Conn: conn, p: p}
+	p.mu.Lock()
+	if p.blocked {
+		p.mu.Unlock()
+		c.cut()
+		return c
+	}
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return c
+}
+
+// forget drops a closed connection from the tracking set.
+func (p *Partition) forget(c *partConn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// partConn is one connection subject to a Partition. Once cut, every
+// operation fails with ErrPartitioned even though the underlying
+// socket is closed (the peer sees a plain close; this side sees the
+// partition).
+type partConn struct {
+	net.Conn
+	p *Partition
+
+	mu   sync.Mutex
+	dead bool
+}
+
+// cut kills the connection, unblocking any in-flight Read/Write.
+func (c *partConn) cut() {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+func (c *partConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+func (c *partConn) Read(b []byte) (int, error) {
+	if c.isDead() {
+		return 0, ErrPartitioned
+	}
+	n, err := c.Conn.Read(b)
+	if err != nil && c.isDead() {
+		return n, ErrPartitioned
+	}
+	return n, err
+}
+
+func (c *partConn) Write(b []byte) (int, error) {
+	if c.isDead() {
+		return 0, ErrPartitioned
+	}
+	n, err := c.Conn.Write(b)
+	if err != nil && c.isDead() {
+		return n, ErrPartitioned
+	}
+	return n, err
+}
+
+func (c *partConn) Close() error {
+	c.p.forget(c)
+	return c.Conn.Close()
+}

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPartitionBlockCutsLiveConns(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	p := NewPartition()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	conn, err := p.Dial(ctx, "tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	server := <-accepted
+	defer server.Close()
+
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("write through healed partition: %v", err)
+	}
+
+	// Block while a read is in flight: it must unblock with
+	// ErrPartitioned, not hang.
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Block()
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("in-flight read error = %v, want ErrPartitioned", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight read hung across Block")
+	}
+	if _, err := conn.Write([]byte("y")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write on cut conn = %v, want ErrPartitioned", err)
+	}
+
+	// Blocked dials fail fast; healed dials pass again.
+	if _, err := p.Dial(ctx, "tcp", l.Addr().String()); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial through blocked partition = %v, want ErrPartitioned", err)
+	}
+	var ne net.Error
+	if !errors.As(ErrPartitioned, &ne) || ne.Timeout() {
+		t.Fatal("ErrPartitioned must be a non-timeout net.Error")
+	}
+	p.Heal()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c2, err := p.Dial(ctx, "tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial through healed partition: %v", err)
+	}
+	c2.Close()
+}

@@ -78,10 +78,15 @@ func putFrameHeader(hdr, payload []byte) {
 var ErrClosed = errors.New("wal: closed")
 
 // request is one unit of work for the writer goroutine: a frame to
-// append, or (frame == nil) a flush-and-rotate barrier.
+// append, or (frame == nil) a flush-and-rotate barrier. rec is the
+// decoded form of frame, carried along so the commit path can publish
+// it to subscribers without re-decoding; seq is assigned by the
+// writer once the record is durable.
 type request struct {
 	frame  []byte
+	rec    *Record
 	rotate bool
+	seq    uint64
 	errc   chan error
 }
 
@@ -110,6 +115,17 @@ type WAL struct {
 
 	// compactMu serialises Compact calls.
 	compactMu sync.Mutex
+
+	// subMu guards subs and orders publication: the writer publishes
+	// committed records and assigns sequence numbers under it, so a
+	// Subscribe sees an exact snapshot boundary and a Close never
+	// races a send. commitSeq is the count of records committed so
+	// far, written only under subMu; committed mirrors it for
+	// lock-free readers.
+	subMu     sync.Mutex
+	subs      []*Subscription
+	commitSeq uint64
+	committed atomic.Uint64
 
 	// Writer-goroutine state.
 	f    File
@@ -233,14 +249,75 @@ func (w *WAL) Dir() string { return w.dir }
 // and blocks until the batch containing it has been written and
 // fsynced. Safe for concurrent use.
 func (w *WAL) Append(rec *Record) error {
+	_, err := w.AppendRecord(rec)
+	return err
+}
+
+// AppendRecord is Append returning the commit sequence number the
+// record was assigned: the position of the record in the durable
+// commit order, as seen by subscribers. Replicated journals use it to
+// wait for follower acknowledgement of exactly this record.
+func (w *WAL) AppendRecord(rec *Record) (uint64, error) {
+	frame, err := EncodeFrame(rec)
+	if err != nil {
+		return 0, err
+	}
+	req := &request{frame: frame, rec: rec, errc: make(chan error, 1)}
+	if err := w.submit(req); err != nil {
+		return 0, err
+	}
+	return req.seq, nil
+}
+
+// AppendFrame appends a frame produced by EncodeFrame (or shipped
+// verbatim from another log's subscriber) after verifying its CRC, so
+// a replica's segments stay byte-identical to the primary's. Returns
+// the local commit sequence number.
+func (w *WAL) AppendFrame(frame []byte) (uint64, error) {
+	rec, err := DecodeFrame(frame)
+	if err != nil {
+		return 0, err
+	}
+	own := make([]byte, len(frame))
+	copy(own, frame)
+	req := &request{frame: own, rec: rec, errc: make(chan error, 1)}
+	if err := w.submit(req); err != nil {
+		return 0, err
+	}
+	return req.seq, nil
+}
+
+// EncodeFrame serialises rec as one on-disk log frame: the 8-byte
+// length+CRC32C header followed by the record payload. The bytes are
+// exactly what Append writes to a segment, so frames can be shipped
+// across the wire and re-appended on a replica without re-encoding.
+func EncodeFrame(rec *Record) ([]byte, error) {
 	payload := encodePayload(rec)
 	if len(payload) > maxPayload {
-		return fmt.Errorf("wal: record payload %d bytes exceeds cap", len(payload))
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds cap", len(payload))
 	}
 	frame := make([]byte, frameHeader+len(payload))
 	putFrameHeader(frame[:frameHeader], payload)
 	copy(frame[frameHeader:], payload)
-	return w.submit(&request{frame: frame, errc: make(chan error, 1)})
+	return frame, nil
+}
+
+// DecodeFrame verifies and decodes one frame produced by EncodeFrame.
+// The CRC is checked end-to-end, so a frame that crossed a network
+// carries the same integrity guarantee as one read back from disk.
+func DecodeFrame(frame []byte) (*Record, error) {
+	if len(frame) < frameHeader {
+		return nil, fmt.Errorf("wal: frame shorter than header: %d bytes", len(frame))
+	}
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	if int(n) != len(frame)-frameHeader {
+		return nil, fmt.Errorf("wal: frame length %d disagrees with header %d", len(frame)-frameHeader, n)
+	}
+	payload := frame[frameHeader:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(frame[4:8]); got != want {
+		return nil, fmt.Errorf("wal: frame CRC mismatch: %08x != %08x", got, want)
+	}
+	return decodePayload(payload)
 }
 
 func (w *WAL) submit(req *request) error {
@@ -273,6 +350,14 @@ func (w *WAL) run() {
 		w.f.Sync()
 	}
 	w.f.Close()
+	// Detach every subscriber: the log is done, there is nothing more
+	// to stream.
+	w.subMu.Lock()
+	for _, s := range w.subs {
+		s.closeLocked()
+	}
+	w.subs = nil
+	w.subMu.Unlock()
 }
 
 // gather accumulates the requests already queued behind first, up to
@@ -339,11 +424,130 @@ func (w *WAL) commit(batch []*request) error {
 			return fmt.Errorf("wal: fsync segment: %w", err)
 		}
 	}
+	w.publish(batch)
 	if rotate || w.size >= w.opt.SegmentBytes {
 		return w.rotate()
 	}
 	return nil
 }
+
+// publish assigns commit sequence numbers to the batch's records and
+// fans them out to subscribers. It runs only after the batch is
+// durable: an fsync failure means the appenders saw an error, so the
+// records must not be replicated even if the frames reached the disk
+// (replicas pick them up from the next snapshot instead, where replay
+// has already applied them idempotently). A subscriber whose buffer
+// is full is overrun: its channel is closed and it must re-sync from
+// a snapshot — that bounds divergence without ever blocking the
+// commit path.
+func (w *WAL) publish(batch []*request) {
+	w.subMu.Lock()
+	defer w.subMu.Unlock()
+	for _, r := range batch {
+		if r.rotate {
+			continue
+		}
+		w.commitSeq++
+		r.seq = w.commitSeq
+	}
+	w.committed.Store(w.commitSeq)
+	if len(w.subs) == 0 {
+		return
+	}
+	live := w.subs[:0]
+	for _, s := range w.subs {
+		ok := true
+		for _, r := range batch {
+			if r.rotate {
+				continue
+			}
+			select {
+			case s.ch <- Committed{Seq: r.seq, Rec: r.rec, Frame: r.frame}:
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			live = append(live, s)
+		} else {
+			s.closeLocked()
+		}
+	}
+	w.subs = live
+}
+
+// Committed is one durably-committed record as delivered to
+// subscribers. Rec and Frame alias the writer's buffers and must be
+// treated as read-only; Frame is the exact on-disk frame (header +
+// payload) and round-trips through DecodeFrame/AppendFrame.
+type Committed struct {
+	Seq   uint64
+	Rec   *Record
+	Frame []byte
+}
+
+// Subscription is a live feed of committed records. The channel is
+// closed when the subscriber falls too far behind (buffer overrun),
+// when the subscription is Closed, or when the log itself closes; in
+// every case the consumer re-syncs from a snapshot.
+type Subscription struct {
+	w  *WAL
+	ch chan Committed
+	// closed is guarded by w.subMu.
+	closed bool
+}
+
+// C is the committed-record feed.
+func (s *Subscription) C() <-chan Committed { return s.ch }
+
+// Close detaches the subscription and closes its channel. Safe to
+// call concurrently with publication and more than once.
+func (s *Subscription) Close() {
+	s.w.subMu.Lock()
+	defer s.w.subMu.Unlock()
+	s.closeLocked()
+	for i, x := range s.w.subs {
+		if x == s {
+			s.w.subs = append(s.w.subs[:i], s.w.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// closeLocked closes the channel once. Caller holds w.subMu.
+func (s *Subscription) closeLocked() {
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// Subscribe registers a feed of every record committed after the
+// returned sequence number. buf bounds how far the subscriber may lag
+// before it is overrun (≤ 0 means 256). The returned seq is exact
+// under subMu: a state snapshot taken after Subscribe returns covers
+// every record at or below it, and the feed delivers every record
+// above it — together they form a gapless handoff for replica
+// catch-up.
+func (w *WAL) Subscribe(buf int) (*Subscription, uint64) {
+	if buf <= 0 {
+		buf = 256
+	}
+	s := &Subscription{w: w, ch: make(chan Committed, buf)}
+	w.subMu.Lock()
+	w.subs = append(w.subs, s)
+	seq := w.commitSeq
+	w.subMu.Unlock()
+	return s, seq
+}
+
+// CommittedSeq returns the sequence number of the most recently
+// committed record. The primary's value minus a follower's highest
+// acknowledged sequence is the follower's replication lag.
+func (w *WAL) CommittedSeq() uint64 { return w.committed.Load() }
 
 // repair restores the segment to the clean record boundary a failed
 // batch write started at. An unknown prefix of the batch may have

@@ -58,6 +58,29 @@ const (
 	OpRemapAck Opcode = 8
 	// OpError reports a typed failure on one stream.
 	OpError Opcode = 9
+	// OpRepHello opens a replication session (follower → primary:
+	// node index and current term). Replication opcodes are spoken
+	// only on the dedicated replication listener; the client-facing
+	// demultiplexer answers them with invalid_request.
+	OpRepHello Opcode = 10
+	// OpRepSnapshot carries the catch-up state snapshot (primary →
+	// follower: term, snapshot sequence, serialized state).
+	OpRepSnapshot Opcode = 11
+	// OpRepRecord ships one committed WAL frame (primary → follower:
+	// sequence number plus the verbatim on-disk frame bytes).
+	OpRepRecord Opcode = 12
+	// OpRepAck acknowledges durable application of every record up to
+	// a sequence number (follower → primary).
+	OpRepAck Opcode = 13
+	// OpRepHeartbeat renews the primary's lease and advertises its
+	// commit sequence for lag accounting (primary → follower).
+	OpRepHeartbeat Opcode = 14
+	// OpRepPropose asks the primary to consume and journal the pairs
+	// of a follower-sampled challenge (follower → primary).
+	OpRepPropose Opcode = 15
+	// OpRepGrant returns the primary-assigned challenge id for an
+	// accepted proposal (primary → follower).
+	OpRepGrant Opcode = 16
 )
 
 // String names the opcode as the v1 protocol spelled it.
@@ -81,6 +104,20 @@ func (op Opcode) String() string {
 		return "remap_ack"
 	case OpError:
 		return "error"
+	case OpRepHello:
+		return "rep_hello"
+	case OpRepSnapshot:
+		return "rep_snapshot"
+	case OpRepRecord:
+		return "rep_record"
+	case OpRepAck:
+		return "rep_ack"
+	case OpRepHeartbeat:
+		return "rep_heartbeat"
+	case OpRepPropose:
+		return "rep_propose"
+	case OpRepGrant:
+		return "rep_grant"
 	}
 	return fmt.Sprintf("wire.Opcode(%d)", uint8(op))
 }

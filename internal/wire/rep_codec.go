@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/crp"
+)
+
+// Replication payload encodings, big endian like everything else in
+// this package. Replication frames ride the same 11-byte header as
+// client frames but are spoken only on a node's dedicated replication
+// listener; the client-facing demultiplexer answers any of them with
+// a typed invalid_request error. Stream 0 carries the session-scoped
+// flow (hello, snapshot, records, acks, heartbeats); nonzero streams
+// multiplex concurrent challenge proposals.
+
+// RepHello opens a replication session: the follower identifies
+// itself and states the highest primary term it has observed, so a
+// deposed primary can be refused at the door.
+type RepHello struct {
+	NodeIndex uint32
+	Term      uint64
+}
+
+// AppendRepHello appends an OpRepHello frame on stream 0.
+func AppendRepHello(dst []byte, h RepHello) []byte {
+	dst, off := beginFrame(dst, 0, OpRepHello)
+	dst = binary.BigEndian.AppendUint32(dst, h.NodeIndex)
+	dst = binary.BigEndian.AppendUint64(dst, h.Term)
+	return endFrame(dst, off)
+}
+
+// DecodeRepHello parses an OpRepHello payload.
+func DecodeRepHello(p []byte) (RepHello, error) {
+	if len(p) != 12 {
+		return RepHello{}, errTruncated
+	}
+	return RepHello{
+		NodeIndex: binary.BigEndian.Uint32(p[0:4]),
+		Term:      binary.BigEndian.Uint64(p[4:12]),
+	}, nil
+}
+
+// RepSnapshot is the catch-up transfer: the primary's term, the
+// commit sequence the snapshot covers, and the serialized state. A
+// follower loads State, then applies the record feed from SnapSeq+1
+// on — the WAL's Subscribe boundary guarantees the handoff is
+// gapless.
+type RepSnapshot struct {
+	Term    uint64
+	SnapSeq uint64
+	// State aliases the payload; copy to keep it past the frame.
+	State []byte
+}
+
+// AppendRepSnapshot appends an OpRepSnapshot frame on stream 0.
+func AppendRepSnapshot(dst []byte, s RepSnapshot) []byte {
+	dst, off := beginFrame(dst, 0, OpRepSnapshot)
+	dst = binary.BigEndian.AppendUint64(dst, s.Term)
+	dst = binary.BigEndian.AppendUint64(dst, s.SnapSeq)
+	dst = append(dst, s.State...)
+	return endFrame(dst, off)
+}
+
+// DecodeRepSnapshot parses an OpRepSnapshot payload.
+func DecodeRepSnapshot(p []byte) (RepSnapshot, error) {
+	if len(p) < 16 {
+		return RepSnapshot{}, errTruncated
+	}
+	return RepSnapshot{
+		Term:    binary.BigEndian.Uint64(p[0:8]),
+		SnapSeq: binary.BigEndian.Uint64(p[8:16]),
+		State:   p[16:],
+	}, nil
+}
+
+// RepRecord ships one committed WAL frame: the primary's commit
+// sequence number plus the verbatim on-disk frame bytes (8-byte
+// length+CRC32C header and payload), so the follower's log stays
+// byte-identical and the CRC is verified end to end.
+type RepRecord struct {
+	Seq uint64
+	// Frame aliases the payload; copy to keep it past the frame.
+	Frame []byte
+}
+
+// AppendRepRecord appends an OpRepRecord frame on stream 0.
+func AppendRepRecord(dst []byte, r RepRecord) []byte {
+	dst, off := beginFrame(dst, 0, OpRepRecord)
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = append(dst, r.Frame...)
+	return endFrame(dst, off)
+}
+
+// DecodeRepRecord parses an OpRepRecord payload.
+func DecodeRepRecord(p []byte) (RepRecord, error) {
+	if len(p) < 8 {
+		return RepRecord{}, errTruncated
+	}
+	return RepRecord{
+		Seq:   binary.BigEndian.Uint64(p[0:8]),
+		Frame: p[8:],
+	}, nil
+}
+
+// AppendRepAck appends an OpRepAck frame on stream 0: every record up
+// to and including seq is durably applied on the follower.
+func AppendRepAck(dst []byte, seq uint64) []byte {
+	dst, off := beginFrame(dst, 0, OpRepAck)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return endFrame(dst, off)
+}
+
+// DecodeRepAck parses an OpRepAck payload.
+func DecodeRepAck(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, errTruncated
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// RepHeartbeat renews the primary's lease and advertises its commit
+// sequence; a follower's lag is CommitSeq minus its applied sequence.
+type RepHeartbeat struct {
+	Term      uint64
+	CommitSeq uint64
+}
+
+// AppendRepHeartbeat appends an OpRepHeartbeat frame on stream 0.
+func AppendRepHeartbeat(dst []byte, h RepHeartbeat) []byte {
+	dst, off := beginFrame(dst, 0, OpRepHeartbeat)
+	dst = binary.BigEndian.AppendUint64(dst, h.Term)
+	dst = binary.BigEndian.AppendUint64(dst, h.CommitSeq)
+	return endFrame(dst, off)
+}
+
+// DecodeRepHeartbeat parses an OpRepHeartbeat payload.
+func DecodeRepHeartbeat(p []byte) (RepHeartbeat, error) {
+	if len(p) != 16 {
+		return RepHeartbeat{}, errTruncated
+	}
+	return RepHeartbeat{
+		Term:      binary.BigEndian.Uint64(p[0:8]),
+		CommitSeq: binary.BigEndian.Uint64(p[8:16]),
+	}, nil
+}
+
+// RepPropose asks the primary to validate, consume and journal the
+// physical pairs of a follower-sampled challenge. KeySum fingerprints
+// the remap key the follower sampled under, so a proposal that raced
+// a key rotation is refused rather than issued against a stale key.
+type RepPropose struct {
+	// ClientID aliases the payload on decode.
+	ClientID []byte
+	KeySum   uint64
+	Pairs    []crp.PairBit
+}
+
+// AppendRepPropose appends an OpRepPropose frame on the given
+// (nonzero) stream.
+func AppendRepPropose(dst []byte, stream uint32, pr RepPropose) []byte {
+	id := pr.ClientID
+	if len(id) > 0xFFFF {
+		id = id[:0xFFFF]
+	}
+	dst, off := beginFrame(dst, stream, OpRepPropose)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(id)))
+	dst = append(dst, id...)
+	dst = binary.BigEndian.AppendUint64(dst, pr.KeySum)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(pr.Pairs)))
+	for i := range pr.Pairs {
+		b := &pr.Pairs[i]
+		dst = binary.BigEndian.AppendUint32(dst, uint32(b.A))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(b.B))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(b.VddMV))
+	}
+	return endFrame(dst, off)
+}
+
+// DecodeRepPropose parses an OpRepPropose payload.
+func DecodeRepPropose(p []byte) (RepPropose, error) {
+	if len(p) < 2 {
+		return RepPropose{}, errTruncated
+	}
+	il := int(binary.BigEndian.Uint16(p[0:2]))
+	p = p[2:]
+	if len(p) < il+12 {
+		return RepPropose{}, errTruncated
+	}
+	pr := RepPropose{ClientID: p[:il]}
+	p = p[il:]
+	pr.KeySum = binary.BigEndian.Uint64(p[0:8])
+	n := int(binary.BigEndian.Uint32(p[8:12]))
+	p = p[12:]
+	if n < 0 || n > maxChallengeBits || len(p) != n*12 {
+		return RepPropose{}, fmt.Errorf("wire: proposal claims %d pairs in %d payload bytes", n, len(p))
+	}
+	pr.Pairs = make([]crp.PairBit, n)
+	for i := 0; i < n; i++ {
+		pr.Pairs[i] = crp.PairBit{
+			A:     int(binary.BigEndian.Uint32(p[0:4])),
+			B:     int(binary.BigEndian.Uint32(p[4:8])),
+			VddMV: int(binary.BigEndian.Uint32(p[8:12])),
+		}
+		p = p[12:]
+	}
+	return pr, nil
+}
+
+// AppendRepGrant appends an OpRepGrant frame answering a proposal on
+// its stream with the primary-assigned challenge id.
+func AppendRepGrant(dst []byte, stream uint32, challengeID uint64) []byte {
+	dst, off := beginFrame(dst, stream, OpRepGrant)
+	dst = binary.BigEndian.AppendUint64(dst, challengeID)
+	return endFrame(dst, off)
+}
+
+// DecodeRepGrant parses an OpRepGrant payload.
+func DecodeRepGrant(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, errTruncated
+	}
+	return binary.BigEndian.Uint64(p), nil
+}

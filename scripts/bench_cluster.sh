@@ -1,0 +1,48 @@
+#!/bin/sh
+# Regenerates BENCH_cluster.json from BenchmarkClusterAuth (end-to-end
+# replicated vs single-node throughput) and BenchmarkClusterPrimaryCost
+# (the primary's per-issuance serial cost, full vs burn-only — the
+# follower read-scaling headroom).
+#
+# Challenge pairs burn forever in the no-reuse registry, so the bench
+# runs a fixed iteration count (-benchtime Nx), never wall time: a
+# time-based count on a fast machine could exhaust the hot client's
+# pair space mid-run.
+#
+#   scripts/bench_cluster.sh         # full run, 1000 iterations
+#   scripts/bench_cluster.sh 100     # smoke run (CI uses this)
+#
+# Run from the repo root (make bench-cluster and scripts/check.sh do).
+set -eu
+
+iters="${1:-1000}"
+out="BENCH_cluster.json"
+
+raw="$(go test -run '^$' -bench 'BenchmarkClusterAuth|BenchmarkClusterPrimaryCost' \
+	-benchtime "${iters}x" -count=1 ./)"
+printf '%s\n' "$raw"
+
+# Each bench line looks like:
+#   BenchmarkClusterAuth/replicated-3/primary  1000  785676 ns/op  1273 tx/s
+printf '%s\n' "$raw" | awk -v iters="$iters" '
+/^BenchmarkCluster(Auth|PrimaryCost)\// {
+	for (i = 2; i <= NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "tx/s") tx = $i
+	}
+	# Strip the trailing -N GOMAXPROCS suffix if present.
+	sub(/-[0-9]+$/, "", $1)
+	sub(/^Benchmark/, "", $1)
+	lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"tx_per_sec\": %s}", $1, ns, tx)
+}
+END {
+	if (n == 0) { print "bench_cluster: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+	print "{"
+	printf "  \"iterations\": %d,\n", iters
+	print "  \"results\": ["
+	for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+	print "  ]"
+	print "}"
+}' >"$out"
+
+echo "bench_cluster: wrote $out"

@@ -52,4 +52,10 @@ go test -count=1 -run 'TestVerifyPathZeroAlloc' ./internal/wire/
 echo "== wire bench smoke (fixed 50 iterations) =="
 sh scripts/bench_wire.sh 50
 
+echo "== cluster replication and failover (race) =="
+go test -race -count=1 -run 'TestReplicationAndFollowerReads|TestPrimaryWithoutQuorumCannotAck|TestFailoverPromotesSuccessor|TestFollowerResyncAfterPartition|TestDeposedPrimaryStepsDownOnHigherTerm' ./internal/cluster/
+
+echo "== cluster bench smoke (fixed 100 iterations) =="
+sh scripts/bench_cluster.sh 100
+
 echo "check: all green"
