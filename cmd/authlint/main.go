@@ -7,12 +7,14 @@
 //	authlint ./...            # lint the current module
 //	authlint -dir /path ./... # lint another module
 //	authlint -json ./...      # one JSON object per diagnostic
+//	authlint -sarif ./...     # one SARIF 2.1.0 log on stdout
 //
 // Diagnostics print as file:line:col: message (analyzer) — or, with
 // -json, as one machine-readable object per line ({"file", "line",
 // "col", "analyzer", "message"}), the format CI turns into source
-// annotations. The exit status is 1 when anything is reported, 2 when
-// loading fails.
+// annotations; or, with -sarif, as a single SARIF 2.1.0 log that CI
+// uploads to GitHub code scanning. The exit status is 1 when anything
+// is reported, 2 when loading fails.
 //
 // As a vet tool:
 //
@@ -33,6 +35,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -69,14 +72,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", ".", "module directory to lint")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic instead of text")
+	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 log (GitHub code scanning) instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: authlint [-dir module] [-json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: authlint [-dir module] [-json|-sarif] [packages]\n\nAnalyzers:\n")
 		for _, a := range suite {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "authlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -97,7 +105,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		for _, d := range diags {
 			if err := enc.Encode(jsonDiag{
@@ -111,7 +120,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 		}
-	} else {
+	case *sarifOut:
+		if err := writeSARIF(stdout, *dir, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -133,6 +147,117 @@ type jsonDiag struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+}
+
+// SARIF 2.1.0 output, the subset GitHub code scanning ingests: one
+// run, one rule per registered analyzer, one result per diagnostic
+// with a physical location. CI uploads this via
+// github/codeql-action/upload-sarif.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders the diagnostics as one SARIF run. File URIs are
+// made relative to the linted module root when possible, which is
+// what lets GitHub anchor alerts onto checkout paths.
+func writeSARIF(w io.Writer, dir string, diags []lint.Diagnostic) error {
+	rules := make([]sarifRule, 0, len(suite))
+	for _, a := range suite {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(dir, d.Pos.Filename)},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "authlint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}
+
+// sarifURI relativizes file against the module root; failing that, it
+// falls back to the slash-separated original.
+func sarifURI(dir, file string) string {
+	absDir, err1 := filepath.Abs(dir)
+	absFile, err2 := filepath.Abs(file)
+	if err1 == nil && err2 == nil {
+		if rel, err := filepath.Rel(absDir, absFile); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
 }
 
 // vetConfig is the subset of cmd/go's vet configuration file the

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -81,14 +82,19 @@ func TestStandaloneFindsSeededViolations(t *testing.T) {
 }
 
 // jsonWantCounts is the number of seeded fixture violations per
-// analyzer: one each, except errtaxonomy, which seeds both a bare
-// errors.New return and a non-exhaustive Retryable switch.
+// analyzer: one each, except errtaxonomy (a bare errors.New return
+// plus a non-exhaustive Retryable switch), secretflow (a chained
+// secret-to-log flow, a dangling //lint:secret, a reason-less
+// //lint:sanitizes), and repinvariant (a stale-term accept, a
+// Journal* path skipping the quorum ack, an unaccounted goroutine).
 func jsonWantCounts() map[string]int {
 	want := make(map[string]int)
 	for _, name := range allAnalyzerNames() {
 		want[name] = 1
 	}
 	want["errtaxonomy"] = 2
+	want["secretflow"] = 3
+	want["repinvariant"] = 3
 	return want
 }
 
@@ -142,6 +148,159 @@ func TestVettoolFindsSeededViolations(t *testing.T) {
 		if !strings.Contains(string(out), "("+analyzer+")") {
 			t.Errorf("vettool output lacks a %s finding:\n%s", analyzer, out)
 		}
+	}
+}
+
+// TestSARIFOutput runs the driver in-process with -sarif over the
+// fixture module and checks the code-scanning contract: a valid
+// SARIF 2.1.0 envelope, one rule per registered analyzer, and one
+// result per seeded finding with a physical location whose URI is
+// relative to the module root.
+func TestSARIFOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", "testdata/fixture", "-sarif", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (findings)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("envelope version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "authlint" {
+		t.Errorf("driver name %q, want authlint", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+	}
+	got := make(map[string]int)
+	for _, res := range run.Results {
+		got[res.RuleID]++
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result ruleId %q is not a declared rule", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("result level %q, want error", res.Level)
+		}
+		if len(res.Locations) != 1 {
+			t.Errorf("result has %d locations, want 1", len(res.Locations))
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.Region.StartLine == 0 || loc.Region.StartColumn == 0 {
+			t.Errorf("result for %s lacks a region: %+v", res.RuleID, loc.Region)
+		}
+		uri := loc.ArtifactLocation.URI
+		if uri == "" || strings.HasPrefix(uri, "/") || strings.Contains(uri, "testdata/fixture") {
+			t.Errorf("artifact URI %q is not relative to the module root", uri)
+		}
+	}
+	for _, a := range allAnalyzerNames() {
+		if !ruleIDs[a] {
+			t.Errorf("rules lack registered analyzer %s", a)
+		}
+	}
+	for analyzer, want := range jsonWantCounts() {
+		if got[analyzer] != want {
+			t.Errorf("-sarif emitted %d %s results, want exactly %d", got[analyzer], analyzer, want)
+		}
+	}
+}
+
+// TestSecretToLogInAuthRejected is the acceptance check for the taint
+// engine's built-in seeds: a scratch module that mimics the repo's
+// import paths gets a deliberate error-map-to-log write in its
+// internal/auth package, and the driver must reject it — no directive
+// in the scratch module, only the built-in seed list.
+func TestSecretToLogInAuthRejected(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/errormap/errormap.go": `// Package errormap mimics the repo's error-map container.
+package errormap
+
+// Plane is a single-voltage error map.
+type Plane struct{ Words []uint64 }
+`,
+		"internal/auth/auth.go": `// Package auth deliberately logs a raw error map.
+package auth
+
+import (
+	"log"
+
+	"repro/internal/errormap"
+)
+
+// Dump leaks the client's physical error map into the server log.
+func Dump(p *errormap.Plane) {
+	log.Printf("map=%v", p)
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (secret-to-log rejected)\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "(secretflow)") ||
+		!strings.Contains(text, "raw error map") ||
+		!strings.Contains(text, "log output (log.Printf)") {
+		t.Fatalf("driver did not report the seeded secret-to-log flow:\n%s", text)
 	}
 }
 

@@ -1,0 +1,49 @@
+// Package rep seeds three repinvariant violations: a stale-term
+// equality accept, a Journal* mutation that never waits for the
+// quorum ack, and an unaccounted goroutine launch. Declaring
+// waitReplicated opts the package into the replication checks.
+package rep
+
+import "sync"
+
+type node struct {
+	wg   sync.WaitGroup
+	acks chan int
+	term uint64
+}
+
+// waitReplicated blocks until the quorum acknowledged.
+func (n *node) waitReplicated() {
+	<-n.acks
+}
+
+// Stale accepts exactly one term instead of fencing stale ones.
+func (n *node) Stale(msgTerm uint64) bool {
+	return n.term == msgTerm
+}
+
+// JournalEnroll journals without waiting for follower acks.
+func (n *node) JournalEnroll() {}
+
+// JournalBurn is the compliant path.
+func (n *node) JournalBurn() {
+	n.waitReplicated()
+}
+
+// Sweep fires an unaccounted goroutine: Close cannot wait for it.
+func (n *node) Sweep() {
+	go n.step()
+}
+
+// step advances bookkeeping and terminates; the accounted launch
+// below keeps the WaitGroup honest.
+func (n *node) step() { n.term++ }
+
+// Accounted is the required launch shape. No finding.
+func (n *node) Accounted() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.step()
+	}()
+}

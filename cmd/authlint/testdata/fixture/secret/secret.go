@@ -1,0 +1,50 @@
+// Package secret seeds three secretflow violations: a declared
+// secret reaching the log through a helper (reported with the call
+// chain), a dangling //lint:secret directive, and a //lint:sanitizes
+// without a reason. The digest flow through Fingerprint stays
+// silent: crypto/sha256 is a built-in sanitizer.
+package secret
+
+import (
+	"crypto/sha256"
+	"log"
+)
+
+// Key is raw fixture key material.
+//
+//lint:secret raw fixture key
+type Key struct {
+	bits []byte
+}
+
+// logf forwards to the logger; the violation belongs to the caller.
+func logf(v any) {
+	log.Println(v)
+}
+
+// Leak logs the key through the helper.
+func Leak(k Key) {
+	logf(k)
+}
+
+// Fingerprint logs only the digest. No finding: sha256 sanitizes.
+func Fingerprint(k Key) {
+	log.Printf("%x", sha256.Sum256(k.bits))
+}
+
+// Scrub zeroes the buffer but gives no reason for the claim.
+//
+//lint:sanitizes
+func Scrub(b []byte) []byte {
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// misuse anchors a directive to a statement: annotations on
+// non-declarations protect nothing and must be reported.
+func misuse() int {
+	//lint:secret dangling
+	return 1
+}

@@ -68,6 +68,14 @@ func (ws *WireServer) handleV2(ctx context.Context, conn net.Conn, br *bufio.Rea
 
 // readLoop reads frames until the peer breaks, stalls, or exhausts
 // the connection's transaction budget.
+//
+// This is the client-facing demultiplexer: PROTOCOL.md confines the
+// rep_* opcodes to a node's dedicated replication listener, and the
+// repinvariant fence below pins this file's dispatch against the
+// protocol's opcode table — a case arm accepting a rep_* opcode (by
+// constant or by value) fails make lint.
+//
+//lint:repfence ../../docs/PROTOCOL.md#framing-v2-opcode-table
 func (c *v2conn) readLoop(ctx context.Context) {
 	for {
 		if err := c.conn.SetReadDeadline(time.Now().Add(c.ws.cfg.IdleTimeout)); err != nil {
@@ -223,6 +231,9 @@ func (c *v2conn) runStream(ctx context.Context, st *v2stream, open *wire.Buf) {
 		c.streamAuthenticate(ctx, st, id)
 	case wire.OpRemap:
 		c.streamRemap(ctx, st, id)
+	default:
+		// Unreachable: readLoop only opens streams for the two opening
+		// opcodes. The arm keeps the dispatch total for the repfence.
 	}
 }
 

@@ -165,6 +165,11 @@ type Node struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// The replication layer nests locks in a fixed order: Node.mu is
+	// taken first (role/term transitions), then per-structure locks,
+	// with the WAL's subscriber registry innermost (Subscribe runs
+	// under Node.mu during follower attach).
+	//lint:lockorder Node.mu < Router.mu < nodeBackend.mu < primaryLink.mu < primaryLink.sendMu < followerConn.sendMu < WAL.subMu
 	mu          sync.Mutex
 	started     bool
 	closed      bool
@@ -202,20 +207,20 @@ func Open(cfg Config) (*Node, error) {
 		cfg.Peers = []string{""}
 	}
 	if cfg.NodeIndex < 0 || cfg.NodeIndex >= len(cfg.Peers) {
-		return nil, fmt.Errorf("cluster: node index %d outside peers [0,%d)", cfg.NodeIndex, len(cfg.Peers))
+		return nil, configErrf("node index %d outside peers [0,%d)", cfg.NodeIndex, len(cfg.Peers))
 	}
 	if cfg.PrimaryIndex < 0 || cfg.PrimaryIndex >= len(cfg.Peers) {
-		return nil, fmt.Errorf("cluster: primary index %d outside peers [0,%d)", cfg.PrimaryIndex, len(cfg.Peers))
+		return nil, configErrf("primary index %d outside peers [0,%d)", cfg.PrimaryIndex, len(cfg.Peers))
 	}
 	if len(cfg.ClientPeers) != 0 && len(cfg.ClientPeers) != len(cfg.Peers) {
-		return nil, fmt.Errorf("cluster: %d client peers for %d peers", len(cfg.ClientPeers), len(cfg.Peers))
+		return nil, configErrf("%d client peers for %d peers", len(cfg.ClientPeers), len(cfg.Peers))
 	}
 	replicated := len(cfg.Peers) > 1
 	if cfg.ReplicaAcks == 0 && replicated {
 		cfg.ReplicaAcks = 1
 	}
 	if cfg.ReplicaAcks > len(cfg.Peers)-1 {
-		return nil, fmt.Errorf("cluster: %d replica acks from %d followers", cfg.ReplicaAcks, len(cfg.Peers)-1)
+		return nil, configErrf("%d replica acks from %d followers", cfg.ReplicaAcks, len(cfg.Peers)-1)
 	}
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 2 * time.Second
@@ -302,11 +307,11 @@ func (n *Node) Start(ctx context.Context) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
-		return fmt.Errorf("cluster: node %d is closed", n.cfg.NodeIndex)
+		return unavailErrf("", "node %d is closed", n.cfg.NodeIndex)
 	}
 	if n.started {
 		n.mu.Unlock()
-		return fmt.Errorf("cluster: node %d already started", n.cfg.NodeIndex)
+		return configErrf("node %d already started", n.cfg.NodeIndex)
 	}
 	n.started = true
 	role := n.role

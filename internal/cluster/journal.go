@@ -163,6 +163,16 @@ func notPrimaryErr(id string) error {
 	}
 }
 
+// configErrf reports a misconfigured or misused node as a typed,
+// non-retryable *AuthError, so cluster constructors and lifecycle
+// entry points obey the same taxonomy as the serving paths.
+func configErrf(format string, args ...any) error {
+	return &auth.AuthError{
+		Code: auth.CodeInvalidRequest,
+		Err:  fmt.Errorf("cluster: "+format, args...),
+	}
+}
+
 // unavailErrf is a retryable cluster-level failure.
 func unavailErrf(id string, format string, args ...any) error {
 	return &auth.AuthError{

@@ -39,7 +39,7 @@ func (n *Node) startPrimary(ctx context.Context) error {
 	if n.closed {
 		n.mu.Unlock()
 		l.Close()
-		return errors.New("cluster: node closed")
+		return unavailErrf("", "node %d closed", n.cfg.NodeIndex)
 	}
 	n.repln = l
 	n.mu.Unlock()

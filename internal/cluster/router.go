@@ -26,6 +26,9 @@ type Router struct {
 	relays map[int]*auth.RelayClient
 	auths  map[authTxKey]pendingAuthTx
 	remaps map[auth.ClientID]pendingRemapTx
+	// wg accounts the sweep's fire-and-forget Abandon goroutines so
+	// Close does not race them against relay teardown.
+	wg sync.WaitGroup
 }
 
 // RouterConfig describes the fleet a Router forwards into.
@@ -206,6 +209,7 @@ func (r *Router) Close() error {
 	for _, tx := range remaps {
 		tx.Abandon()
 	}
+	r.wg.Wait()
 	for _, rc := range rcs {
 		rc.Close()
 	}
@@ -265,13 +269,23 @@ func (r *Router) sweepLocked(now time.Time) {
 	for k, p := range r.auths {
 		if now.Sub(p.at) > r.cfg.TxTTL {
 			delete(r.auths, k)
-			go p.tx.Abandon()
+			tx := p.tx
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				tx.Abandon()
+			}()
 		}
 	}
 	for k, p := range r.remaps {
 		if now.Sub(p.at) > r.cfg.TxTTL {
 			delete(r.remaps, k)
-			go p.tx.Abandon()
+			tx := p.tx
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				tx.Abandon()
+			}()
 		}
 	}
 }

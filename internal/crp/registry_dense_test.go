@@ -179,6 +179,7 @@ func TestDenseExportRestoreRoundTrip(t *testing.T) {
 	exported := reg.Export()
 
 	restored := RestoreRegistryLines(denseLines, exported)
+	//lint:ignore lockcheck restored is freshly built and test-local; lines is read only to assert the dense representation survived
 	if restored.lines == 0 {
 		t.Fatal("restore did not keep the dense representation")
 	}

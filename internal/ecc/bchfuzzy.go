@@ -39,6 +39,8 @@ func GenerateBCHHelper(code *BCH, response, secret []byte) (BCHHelper, error) {
 // ReproduceBCH recovers the secret from a noisy response and the
 // helper data, provided the response differs from the reference in at
 // most code.T positions.
+//
+//lint:secret reproduced raw key bits
 func ReproduceBCH(helper BCHHelper, noisyResponse []byte) ([]byte, error) {
 	code, err := NewBCH(helper.M, helper.T)
 	if err != nil {

@@ -70,6 +70,8 @@ func GenerateHelper(response []byte, keyBits int, secretBits []byte) (HelperData
 // Reproduce runs the fuzzy-extractor "reproduce" step on the client's
 // noisy response, recovering the secret bits by majority vote. It
 // fails only if the helper data is malformed.
+//
+//lint:secret reproduced raw key bits
 func Reproduce(noisyResponse []byte, helper HelperData) ([]byte, error) {
 	need := bitsNeeded(helper.KeyBits)
 	if helper.KeyBits <= 0 {

@@ -14,6 +14,8 @@ import (
 	"repro/internal/lint/goroleak"
 	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/lockorder"
+	"repro/internal/lint/repinvariant"
+	"repro/internal/lint/secretflow"
 	"repro/internal/lint/waldrift"
 )
 
@@ -27,6 +29,8 @@ func All() []*lint.Analyzer {
 		goroleak.Analyzer,
 		lockcheck.Analyzer,
 		lockorder.Analyzer,
+		repinvariant.Analyzer,
+		secretflow.Analyzer,
 		waldrift.Analyzer,
 	}
 }

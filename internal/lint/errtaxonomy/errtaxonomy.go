@@ -1,7 +1,9 @@
 // Package errtaxonomy enforces the typed-error contract on the API
-// boundary packages (internal/auth and the root facade): every error
-// those packages return must wrap the *AuthError taxonomy so that
-// errors.Is holds identically in-process and across the TCP wire.
+// boundary packages (internal/auth, internal/cluster and the root
+// facade): every error those packages return must wrap the *AuthError
+// taxonomy so that errors.Is holds identically in-process and across
+// the TCP wire — replication errors included, since a router or
+// follower surfaces them to the same clients.
 //
 // Two rule groups:
 //
@@ -51,6 +53,7 @@ var Analyzer = &lint.Analyzer{
 var taxonomyPackages = map[string]bool{
 	"auth":          true,
 	"authenticache": true,
+	"cluster":       true,
 }
 
 func run(pass *lint.Pass) error {

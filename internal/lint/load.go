@@ -34,6 +34,9 @@ type Package struct {
 	// cg is the lazily built call graph, shared by every analyzer of
 	// this package via Pass.CallGraph().
 	cg *CallGraph
+	// df is the lazily built taint dataflow, shared the same way via
+	// Pass.Dataflow().
+	df *Dataflow
 }
 
 // listedPackage is the subset of `go list -json` output the loader

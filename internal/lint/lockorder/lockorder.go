@@ -71,9 +71,14 @@ var externalAcquires = map[string]map[string]string{
 	},
 	"WAL": {
 		"Append": "WAL.closedMu", "Compact": "WAL.closedMu", "Close": "WAL.closedMu",
+		"AppendRecord": "WAL.closedMu", "AppendFrame": "WAL.closedMu",
 		"JournalEnroll": "WAL.closedMu", "JournalBurn": "WAL.closedMu",
 		"JournalRemap": "WAL.closedMu", "JournalCounter": "WAL.closedMu",
 		"JournalDelete": "WAL.closedMu",
+		"Subscribe":     "WAL.subMu",
+	},
+	"Subscription": {
+		"Close": "WAL.subMu",
 	},
 }
 

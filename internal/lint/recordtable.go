@@ -1,0 +1,129 @@
+package lint
+
+// Shared markdown-table machinery: waldrift pins record/opcode tables
+// in the docs against declared constants, and repinvariant pins the
+// client port's replication-opcode rejection against the same
+// PROTOCOL.md table. Both read `| name | value |` rows from a
+// markdown section addressed GitHub-anchor style.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ErrNoSection reports that a markdown file exists but lacks the
+// requested #section.
+var ErrNoSection = errors.New("section not found")
+
+// MarkdownSection reads path and returns its lines, narrowed to the
+// section whose heading slugifies to section (the whole file when
+// section is empty). The returned error wraps ErrNoSection when the
+// file is readable but the heading is missing.
+func MarkdownSection(path, section string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	if section == "" {
+		return lines, nil
+	}
+	scoped, ok := sectionLines(lines, section)
+	if !ok {
+		return nil, fmt.Errorf("%w: #%s", ErrNoSection, section)
+	}
+	return scoped, nil
+}
+
+// sectionLines narrows the markdown to the section whose heading
+// slugifies to want: from that heading to the next heading of the
+// same or higher level. The second result reports whether the
+// section exists.
+func sectionLines(lines []string, want string) ([]string, bool) {
+	level := 0
+	start := -1
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		l := 0
+		for l < len(trimmed) && trimmed[l] == '#' {
+			l++
+		}
+		if start >= 0 && l <= level {
+			return lines[start:i], true
+		}
+		if start < 0 && Slugify(trimmed[l:]) == want {
+			start, level = i, l
+		}
+	}
+	if start < 0 {
+		return nil, false
+	}
+	return lines[start:], true
+}
+
+// tableRowRE matches one record-table row: a name cell (optionally
+// backticked) followed by an integer value cell. The integer
+// requirement keeps prose tables (e.g. error-code tables with text
+// columns) from matching.
+var tableRowRE = regexp.MustCompile("^\\|\\s*`?([a-z][a-z0-9_-]*)`?\\s*\\|\\s*(\\d+)\\s*\\|")
+
+// TableRows extracts the `| name | value |` rows from markdown lines,
+// returning the name-to-value map and first-appearance order.
+func TableRows(lines []string) (map[string]int64, []string) {
+	rows := make(map[string]int64)
+	var order []string
+	for _, line := range lines {
+		m := tableRowRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		if _, dup := rows[m[1]]; !dup {
+			order = append(order, m[1])
+		}
+		rows[m[1]] = v
+	}
+	return rows, order
+}
+
+// CamelToSnake maps a trimmed constant name onto its wire/doc
+// spelling: RemapChallenge → remap_challenge.
+func CamelToSnake(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Slugify maps a markdown heading onto its GitHub-style anchor:
+// lowercased, spaces to dashes, everything else non-alphanumeric
+// dropped.
+func Slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

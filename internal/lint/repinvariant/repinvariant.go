@@ -1,0 +1,486 @@
+// Package repinvariant checks the cluster replication protocol's
+// structural invariants — the properties PROTOCOL.md's replication
+// section promises and a code review can silently lose:
+//
+//   - Term monotonicity: a replication term is a fencing token, so
+//     comparing two terms with == or != accepts (or rejects) exactly
+//     one history and breaks monotonic takeover. Every term
+//     comparison must be ordered (<, <=, >, >=); equality acceptance
+//     of a stale term is how a deposed primary keeps writing.
+//
+//   - Quorum journalling: in a package that implements the
+//     replication wait (declares waitReplicated), every Journal*
+//     mutation path must transitively reach waitReplicated before it
+//     can return — a journal method that skips the quorum ack
+//     acknowledges writes a failover can lose.
+//
+//   - Client-port fencing: replication opcodes are spoken only on the
+//     dedicated replication listener. A
+//     //lint:repfence <path>#<section> [type=] [prefix=] [reject=]
+//     directive pins a client-facing dispatch file against the
+//     PROTOCOL.md opcode table: no case in the file's switches over
+//     the opcode type may match a rejected (rep_*) table row, and the
+//     dispatch must keep a default arm so unknown opcodes are
+//     refused, not ignored.
+//
+//   - Goroutine lifecycle: in a replication package (one declaring
+//     waitReplicated), every goroutine launch must be accounted —
+//     wg.Add(1) immediately before the go statement and a deferred
+//     wg.Done() in the launched body — so Close can actually wait for
+//     heartbeat/lease/stream goroutines to terminate (goroleak's
+//     termination rules, made structural).
+//
+// Test files are exempt throughout: tests legitimately pin exact
+// terms and launch helper goroutines.
+package repinvariant
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the repinvariant entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "repinvariant",
+	Doc:  "replication invariants: monotonic term comparisons, Journal* paths reach the quorum ack, rep opcodes fenced off the client port, accounted goroutine lifecycles",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	checkTermComparisons(pass)
+	checkQuorumJournal(pass)
+	checkRepFences(pass)
+	return nil
+}
+
+func testFile(pass *lint.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// --- Term monotonicity -----------------------------------------------------
+
+// termLike reports whether e names a replication term: an identifier
+// or field selector whose final name is "term" or ends in "Term".
+func termLike(e ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return lower == "term" || strings.HasSuffix(lower, "term")
+}
+
+// checkTermComparisons flags ==/!= between two term-named values.
+func checkTermComparisons(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		if testFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !termLike(be.X) || !termLike(be.Y) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"term comparison with %s is not monotonic: a term is a fencing token, compare with an ordering (>=, >) so stale terms are rejected and newer ones win",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// --- Quorum journalling ----------------------------------------------------
+
+// quorumAnchor is the function every mutation path must reach before
+// replying; declaring it marks a package as a replication
+// implementation.
+const quorumAnchor = "waitReplicated"
+
+// replicationPackage reports whether the package declares the quorum
+// anchor, returning its call-graph presence.
+func replicationPackage(cg *lint.CallGraph) bool {
+	for _, node := range cg.All() {
+		if node.Func.Name() == quorumAnchor {
+			return true
+		}
+	}
+	return false
+}
+
+// checkQuorumJournal requires every Journal* method in a replication
+// package to transitively reach waitReplicated, and polices goroutine
+// lifecycles in the same scope.
+func checkQuorumJournal(pass *lint.Pass) {
+	cg := pass.CallGraph()
+	if !replicationPackage(cg) {
+		return
+	}
+	// reaches memoises "can this function reach the anchor".
+	reaches := make(map[*types.Func]bool)
+	var walk func(fn *types.Func, seen map[*types.Func]bool) bool
+	walk = func(fn *types.Func, seen map[*types.Func]bool) bool {
+		if done, ok := reaches[fn]; ok {
+			return done
+		}
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		node := cg.Nodes[fn]
+		if node == nil {
+			return false
+		}
+		for _, site := range node.Sites {
+			if site.Callee.Name() == quorumAnchor {
+				reaches[fn] = true
+				return true
+			}
+			for _, t := range site.Targets {
+				if walk(t, seen) {
+					reaches[fn] = true
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, node := range cg.All() {
+		if !strings.HasPrefix(node.Func.Name(), "Journal") {
+			continue
+		}
+		if testFile(pass, node.Decl) {
+			continue
+		}
+		if !walk(node.Func, make(map[*types.Func]bool)) {
+			pass.Reportf(node.Decl.Pos(),
+				"mutation path %s never reaches %s: replies must wait for the quorum-ack cluster journal, or a failover loses the write",
+				node.Func.Name(), quorumAnchor)
+		}
+	}
+	checkGoroutineLifecycles(pass, cg)
+}
+
+// checkGoroutineLifecycles enforces wg.Add(1)-before-go and deferred
+// wg.Done() inside launched bodies, in replication packages only.
+func checkGoroutineLifecycles(pass *lint.Pass, cg *lint.CallGraph) {
+	for _, f := range pass.Files {
+		if testFile(pass, f) {
+			continue
+		}
+		// Map each go statement to the statement preceding it in its
+		// block.
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, st := range block.List {
+				gs, ok := st.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				var prev ast.Stmt
+				if i > 0 {
+					prev = block.List[i-1]
+				}
+				checkOneLaunch(pass, cg, gs, prev)
+			}
+			return true
+		})
+		// go statements that are not direct block members (e.g. inside
+		// an if without braces — impossible in Go — or case clauses).
+		ast.Inspect(f, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok {
+				return true
+			}
+			for i, st := range cc.Body {
+				gs, ok := st.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				var prev ast.Stmt
+				if i > 0 {
+					prev = cc.Body[i-1]
+				}
+				checkOneLaunch(pass, cg, gs, prev)
+			}
+			return true
+		})
+	}
+}
+
+// checkOneLaunch validates one go statement's accounting.
+func checkOneLaunch(pass *lint.Pass, cg *lint.CallGraph, gs *ast.GoStmt, prev ast.Stmt) {
+	if !isWaitGroupCallStmt(pass.TypesInfo, prev, "Add") {
+		pass.Reportf(gs.Pos(),
+			"goroutine launched without lifecycle accounting: precede the go statement with wg.Add(1) so Close can wait for termination")
+		return
+	}
+	if !launchDefersDone(pass.TypesInfo, cg, gs.Call) {
+		pass.Reportf(gs.Pos(),
+			"launched goroutine never defers wg.Done(): the matching wg.Add(1) makes Close wait forever")
+	}
+}
+
+// isWaitGroupCallStmt reports whether st is a bare call to
+// (*sync.WaitGroup).<name>.
+func isWaitGroupCallStmt(info *types.Info, st ast.Stmt, name string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isWaitGroupCall(info, call, name)
+}
+
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	obj := lint.CalleeObject(info, call)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		obj.Name() == name
+}
+
+// launchDefersDone reports whether the launched call's body defers
+// wg.Done(): a function literal is inspected directly, a named
+// in-package callee through the call graph. Unresolvable callees
+// (external functions, func values) pass — the launch was accounted,
+// and the body is outside this package's view.
+func launchDefersDone(info *types.Info, cg *lint.CallGraph, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			ds, ok := n.(*ast.DeferStmt)
+			if ok && isWaitGroupCall(info, ds.Call, "Done") {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	obj := lint.CalleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return true
+	}
+	node := cg.Nodes[fn]
+	if node == nil {
+		return true
+	}
+	for _, site := range node.Sites {
+		if site.Defer && site.Callee.Pkg() != nil &&
+			site.Callee.Pkg().Path() == "sync" && site.Callee.Name() == "Done" {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Client-port fencing ---------------------------------------------------
+
+// fencePrefix introduces a client-port fence directive.
+const fencePrefix = "//lint:repfence "
+
+// fenceDirective is one parsed //lint:repfence comment.
+type fenceDirective struct {
+	rel      string // markdown path relative to the directive's file
+	section  string // heading slug scoping the scan; "" = whole file
+	typeName string // opcode type the dispatch switches on (default "Opcode")
+	prefix   string // constant prefix (default "Op")
+	reject   string // table-row prefix that must be fenced (default "rep_")
+}
+
+// parseFence splits
+// `<path>[#section] [type=T] [prefix=P] [reject=R]`.
+func parseFence(rest string) (fenceDirective, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fenceDirective{}, fmt.Errorf("expected //lint:repfence <path>[#section] [type=TypeName] [prefix=Prefix] [reject=row_prefix]")
+	}
+	d := fenceDirective{typeName: "Opcode", prefix: "Op", reject: "rep_"}
+	d.rel, d.section, _ = strings.Cut(fields[0], "#")
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || val == "" {
+			return fenceDirective{}, fmt.Errorf("malformed option %q: want key=value", f)
+		}
+		switch key {
+		case "type":
+			d.typeName = val
+		case "prefix":
+			d.prefix = val
+		case "reject":
+			d.reject = val
+		default:
+			return fenceDirective{}, fmt.Errorf("unknown option %q: want type=, prefix= or reject=", key)
+		}
+	}
+	return d, nil
+}
+
+// checkRepFences validates every //lint:repfence directive: the
+// directive's file is a client-facing dispatch, and none of its
+// switches over the opcode type may accept a fenced table row.
+func checkRepFences(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		if testFile(pass, f) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, fencePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, fencePrefix))
+				d, err := parseFence(rest)
+				if err != nil {
+					pass.Reportf(c.Pos(), "malformed repfence directive: %v", err)
+					continue
+				}
+				checkOneFence(pass, f, c, d)
+			}
+		}
+	}
+}
+
+// checkOneFence applies one directive to its file.
+func checkOneFence(pass *lint.Pass, f *ast.File, c *ast.Comment, d fenceDirective) {
+	dir := filepath.Dir(pass.Fset.Position(c.Pos()).Filename)
+	lines, err := lint.MarkdownSection(filepath.Join(dir, d.rel), d.section)
+	if err != nil {
+		if errors.Is(err, lint.ErrNoSection) {
+			pass.Reportf(c.Pos(), "repfence target %s has no section #%s", d.rel, d.section)
+		} else {
+			pass.Reportf(c.Pos(), "repfence target %s is unreadable: %v", d.rel, err)
+		}
+		return
+	}
+	rows, order := lint.TableRows(lines)
+	// The fenced rows: table entries the client port must reject.
+	fenced := make(map[string]int64)
+	for _, name := range order {
+		if strings.HasPrefix(name, d.reject) {
+			fenced[name] = rows[name]
+		}
+	}
+	if len(fenced) == 0 {
+		pass.Reportf(c.Pos(), "repfence target %s lists no %s* rows: nothing to fence", d.rel, d.reject)
+		return
+	}
+
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sw.Tag]
+		if !ok || !namedTypeIs(tv.Type, d.typeName) {
+			return true
+		}
+		found = true
+		fenceSwitch(pass, sw, d, fenced)
+		return true
+	})
+	if !found {
+		pass.Reportf(c.Pos(), "repfence directive fences nothing: no switch over %s in this file", d.typeName)
+	}
+}
+
+// namedTypeIs reports whether t (or its pointee) is a named type
+// called name.
+func namedTypeIs(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// fenceSwitch checks one dispatch switch against the fenced rows.
+func fenceSwitch(pass *lint.Pass, sw *ast.SwitchStmt, d fenceDirective, fenced map[string]int64) {
+	hasDefault := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			name, val := caseConstant(pass.TypesInfo, e)
+			for row, rowVal := range fenced {
+				wantConst := d.prefix + snakeToCamel(row)
+				if name == wantConst || (val != nil && constant.Compare(*val, token.EQL, constant.MakeInt64(rowVal))) {
+					pass.Reportf(e.Pos(),
+						"client port accepts replication opcode %s (%s = %d): PROTOCOL.md confines %s* opcodes to the replication listener; reject them with the default arm",
+						row, wantConst, rowVal, d.reject)
+				}
+			}
+		}
+	}
+	if !hasDefault {
+		pass.Reportf(sw.Pos(),
+			"client-port dispatch on %s has no default arm: unknown and replication opcodes must be rejected, not ignored",
+			d.typeName)
+	}
+}
+
+// caseConstant resolves a case expression to its constant name and
+// value (either may be missing).
+func caseConstant(info *types.Info, e ast.Expr) (string, *constant.Value) {
+	name := ""
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			name = obj.Name()
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[x.Sel]; obj != nil {
+			name = obj.Name()
+		}
+	}
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return name, &tv.Value
+	}
+	return name, nil
+}
+
+// snakeToCamel maps a table-row name onto its constant spelling:
+// rep_hello → RepHello.
+func snakeToCamel(s string) string {
+	var b strings.Builder
+	up := true
+	for _, r := range s {
+		if r == '_' || r == '-' {
+			up = true
+			continue
+		}
+		if up && r >= 'a' && r <= 'z' {
+			r -= 'a' - 'A'
+		}
+		up = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}

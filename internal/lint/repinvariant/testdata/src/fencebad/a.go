@@ -1,0 +1,17 @@
+// Package fencebad carries the repfence directive failure modes: an
+// unreadable target, a missing section, and a directive over a file
+// with no Opcode switch. All three anchor on the directive comment,
+// so they are asserted programmatically in TestFenceDirectiveErrors.
+package fencebad
+
+//lint:repfence missing.md#opcode-table
+
+//lint:repfence table.md#no-such-section
+
+//lint:repfence table.md#opcode-table
+
+// Opcode exists, but no function switches over it.
+type Opcode uint8
+
+// Consume keeps the type used without a dispatch.
+func Consume(op Opcode) uint8 { return uint8(op) }

@@ -1,0 +1,50 @@
+// Package fencepkg exercises the client-port fence: the directive
+// below pins every switch over Opcode in this file against the
+// rep_* rows of table.md's opcode table.
+package fencepkg
+
+//lint:repfence table.md#opcode-table
+
+// Opcode discriminates fixture frames.
+type Opcode uint8
+
+const (
+	OpAuth     Opcode = 1
+	OpRepHello Opcode = 10
+	OpRepAck   Opcode = 13
+)
+
+// Dispatch fences correctly: client opcodes only, default rejects.
+// No finding.
+func Dispatch(op Opcode) int {
+	switch op {
+	case OpAuth:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Leaky accepts a replication opcode by constant name, and its
+// missing default arm ignores unknown opcodes instead of rejecting
+// them.
+func Leaky(op Opcode) int {
+	switch op { // want "client-port dispatch on Opcode has no default arm"
+	case OpAuth:
+		return 1
+	case OpRepHello: // want "client port accepts replication opcode rep_hello"
+		return 2
+	}
+	return 0
+}
+
+// ByValue accepts a fenced row by literal value: renaming the
+// constant must not open the port.
+func ByValue(op Opcode) int {
+	switch op {
+	case 13: // want "client port accepts replication opcode rep_ack"
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,56 @@
+// Package quorumpkg exercises the quorum-journal and goroutine
+// lifecycle checks. Declaring waitReplicated opts the package in:
+// every Journal* path must reach it, and every goroutine launch must
+// be accounted with wg.Add(1) before and a deferred wg.Done inside.
+package quorumpkg
+
+import "sync"
+
+type node struct {
+	wg   sync.WaitGroup
+	acks chan int
+}
+
+// waitReplicated is the quorum anchor: it blocks until enough
+// followers acknowledged.
+func (n *node) waitReplicated() {
+	<-n.acks
+}
+
+// JournalEnroll reaches the anchor through a helper. No finding.
+func (n *node) JournalEnroll() {
+	n.commit()
+}
+
+func (n *node) commit() {
+	n.waitReplicated()
+}
+
+// JournalBurn replies without waiting for the quorum: a failover can
+// lose the write.
+func (n *node) JournalBurn() {} // want "mutation path JournalBurn never reaches waitReplicated"
+
+// accounted is the required launch shape. No finding.
+func (n *node) accounted() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.waitReplicated()
+	}()
+}
+
+// unaccounted launches without wg.Add(1): Close cannot wait for it.
+func (n *node) unaccounted() {
+	go func() { // want "goroutine launched without lifecycle accounting"
+		n.waitReplicated()
+	}()
+}
+
+// neverDone adds to the group but the body never defers Done: Close
+// waits forever.
+func (n *node) neverDone() {
+	n.wg.Add(1)
+	go func() { // want "launched goroutine never defers wg\.Done"
+		n.waitReplicated()
+	}()
+}

@@ -1,0 +1,31 @@
+// Package termpkg exercises the term-monotonicity check: equality
+// comparisons between term-named values are flagged, ordered
+// comparisons and unrelated equalities stay silent.
+package termpkg
+
+type status struct {
+	term uint64
+}
+
+// Accept equality-matches the local term: exactly one history is
+// accepted, so a newer primary's records are refused.
+func Accept(s status, msgTerm uint64) bool {
+	return s.term == msgTerm // want "term comparison with == is not monotonic"
+}
+
+// Reject inverts the same bug.
+func Reject(s status, peerTerm uint64) bool {
+	return s.term != peerTerm // want "term comparison with != is not monotonic"
+}
+
+// Ordered is the fencing-token shape: stale rejected, newer wins. No
+// finding.
+func Ordered(s status, msgTerm uint64) bool {
+	return msgTerm >= s.term
+}
+
+// Same compares non-term values: equality is fine outside term logic.
+// No finding.
+func Same(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,25 @@
+// Package secretdirs carries the directive-hygiene failure modes:
+// a //lint:secret comment attached to nothing and a //lint:sanitizes
+// without a reason. Both diagnostics anchor on the directive comment
+// itself, so they are asserted programmatically in
+// TestDirectiveHygiene (a want comment cannot share a //-comment's
+// line).
+package secretdirs
+
+// doWork has a dangling directive inside its body: statements are not
+// declarations, so the annotation protects nothing.
+func doWork() int {
+	//lint:secret dangling annotation
+	x := 1
+	return x
+}
+
+// Scrub claims to sanitize but gives no reason.
+//
+//lint:sanitizes
+func Scrub(b []byte) []byte {
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+// Package secretpkg exercises secretflow: directive-seeded secrets
+// flowing into log, fmt, and error-payload sinks — directly, through
+// a helper (chain reporting), and from a secret package var — plus
+// the flows that must stay silent: hashing through a built-in
+// sanitizer package and a declared //lint:sanitizes redactor.
+package secretpkg
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"log"
+)
+
+// Token is raw authentication key material.
+//
+//lint:secret raw device token
+type Token struct {
+	bits []byte
+}
+
+// masterSeed provisions fixture devices.
+//
+//lint:secret provisioning master seed
+var masterSeed = []byte{1, 2, 3}
+
+// Emit logs the token itself: a direct source-to-sink flow.
+func Emit(t Token) {
+	log.Printf("token=%v", t) // want "secret Token value \(declared //lint:secret\) reaches log output \(log\.Printf\)"
+}
+
+// logIt only forwards to the logger; the violation belongs to its
+// callers, reported with the call chain.
+func logIt(v any) {
+	log.Println(v)
+}
+
+// EmitVia reaches the logger through a helper: the finding carries
+// the chain.
+func EmitVia(t Token) {
+	logIt(t) // want "secret Token value \(declared //lint:secret\) reaches log output \(log\.Println\) via logIt"
+}
+
+// Describe puts key material into an error payload, which travels to
+// clients inside wire error frames.
+func Describe(t Token) error {
+	return fmt.Errorf("bad token %v", t.bits) // want "secret Token value \(declared //lint:secret\) reaches error payload \(fmt\.Errorf\)"
+}
+
+// DumpSeed prints the seeded package var.
+func DumpSeed() {
+	fmt.Println(masterSeed) // want "secret masterSeed \(declared //lint:secret\) reaches fmt output \(fmt\.Println\)"
+}
+
+// Digest may log the hash: crypto/sha256 is a built-in sanitizer, so
+// the digest is clean. No finding.
+func Digest(t Token) {
+	sum := sha256.Sum256(t.bits)
+	log.Printf("digest=%x", sum)
+}
+
+// Redact replaces the token with a constant placeholder.
+//
+//lint:sanitizes output is a fixed placeholder, no key bits survive
+func Redact(t Token) string {
+	_ = t
+	return "<token>"
+}
+
+// Show logs only the redacted form. No finding.
+func Show(t Token) {
+	log.Println(Redact(t))
+}
+
+// Sentinel returns a fixed error: errors.New is an error-payload
+// sink, but nothing secret reaches it. No finding.
+func Sentinel() error {
+	return errors.New("fixture: static message")
+}

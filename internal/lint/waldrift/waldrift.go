@@ -34,16 +34,14 @@
 package waldrift
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
 	"go/types"
-	"os"
 	"path/filepath"
-	"regexp"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/lint"
@@ -256,12 +254,6 @@ func exprObject(info *types.Info, e ast.Expr) types.Object {
 	return nil
 }
 
-// tableRowRE matches one record-table row: a name cell (optionally
-// backticked) followed by an integer value cell. The integer
-// requirement keeps prose tables (e.g. error-code tables with text
-// columns) from matching.
-var tableRowRE = regexp.MustCompile("^\\|\\s*`?([a-z][a-z0-9_-]*)`?\\s*\\|\\s*(\\d+)\\s*\\|")
-
 // checkRecordTables validates every //lint:recordtable directive in
 // the package against the local discriminator constants it names.
 func checkRecordTables(pass *lint.Pass) {
@@ -317,107 +309,28 @@ func directiveConstants(pass *lint.Pass, d tableDirective) ([]*types.Const, erro
 	return consts, nil
 }
 
-// camelToSnake maps a trimmed constant name onto its wire/doc
-// spelling: RemapChallenge → remap_challenge.
-func camelToSnake(s string) string {
-	var b strings.Builder
-	for i, r := range s {
-		if r >= 'A' && r <= 'Z' {
-			if i > 0 {
-				b.WriteByte('_')
-			}
-			r += 'a' - 'A'
-		}
-		b.WriteRune(r)
-	}
-	return b.String()
-}
-
-// slugify maps a markdown heading onto its GitHub-style anchor:
-// lowercased, spaces to dashes, everything else non-alphanumeric
-// dropped.
-func slugify(heading string) string {
-	var b strings.Builder
-	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
-		switch {
-		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-':
-			b.WriteRune(r)
-		case r == ' ':
-			b.WriteByte('-')
-		}
-	}
-	return b.String()
-}
-
-// sectionLines narrows the markdown to the section whose heading
-// slugifies to want: from that heading to the next heading of the
-// same or higher level. The second result reports whether the
-// section exists.
-func sectionLines(lines []string, want string) ([]string, bool) {
-	level := 0
-	start := -1
-	for i, line := range lines {
-		trimmed := strings.TrimSpace(line)
-		if !strings.HasPrefix(trimmed, "#") {
-			continue
-		}
-		l := 0
-		for l < len(trimmed) && trimmed[l] == '#' {
-			l++
-		}
-		if start >= 0 && l <= level {
-			return lines[start:i], true
-		}
-		if start < 0 && slugify(trimmed[l:]) == want {
-			start, level = i, l
-		}
-	}
-	if start < 0 {
-		return nil, false
-	}
-	return lines[start:], true
-}
-
 // checkOneTable diffs one markdown table against the constants and
 // reports all drift in a single diagnostic at the directive.
 func checkOneTable(pass *lint.Pass, pos token.Pos, path string, d tableDirective, consts []*types.Const) {
-	data, err := os.ReadFile(path)
+	lines, err := lint.MarkdownSection(path, d.section)
 	if err != nil {
-		pass.Reportf(pos, "recordtable target %s is unreadable: %v", d.rel, err)
+		if errors.Is(err, lint.ErrNoSection) {
+			pass.Reportf(pos, "recordtable target %s has no section #%s", d.rel, d.section)
+		} else {
+			pass.Reportf(pos, "recordtable target %s is unreadable: %v", d.rel, err)
+		}
 		return
 	}
-	lines := strings.Split(string(data), "\n")
 	where := d.rel
 	if d.section != "" {
-		scoped, ok := sectionLines(lines, d.section)
-		if !ok {
-			pass.Reportf(pos, "recordtable target %s has no section #%s", d.rel, d.section)
-			return
-		}
-		lines = scoped
 		where = d.rel + "#" + d.section
 	}
-	rows := make(map[string]int64)
-	var rowOrder []string
-	for _, line := range lines {
-		m := tableRowRE.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
-		}
-		v, convErr := strconv.ParseInt(m[2], 10, 64)
-		if convErr != nil {
-			continue
-		}
-		if _, dup := rows[m[1]]; !dup {
-			rowOrder = append(rowOrder, m[1])
-		}
-		rows[m[1]] = v
-	}
+	rows, rowOrder := lint.TableRows(lines)
 	schema := pass.Pkg.Name() + "." + d.typeName
 	var drift []string
 	seen := make(map[string]bool)
 	for _, c := range consts {
-		name := camelToSnake(strings.TrimPrefix(c.Name(), d.prefix))
+		name := lint.CamelToSnake(strings.TrimPrefix(c.Name(), d.prefix))
 		seen[name] = true
 		val, _ := constant.Int64Val(c.Val())
 		got, ok := rows[name]

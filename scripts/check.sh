@@ -13,6 +13,9 @@ go build ./...
 echo "== authlint (invariant analyzers) =="
 go run ./cmd/authlint ./...
 
+echo "== authlint latency budget (suite < 250ms) =="
+sh scripts/lint_budget.sh 250
+
 echo "== staticcheck (if installed) =="
 if command -v staticcheck >/dev/null 2>&1; then
 	staticcheck ./...

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Lint latency budget: the full authlint suite must analyze the whole
+# repository module in under BUDGET_MS per pass, so the vet hook and
+# the pre-commit path stay cheap. Runs BenchmarkAuthlint/suite (load
+# cost excluded — it's paid once per go vet invocation, not per
+# analyzer) and fails when ns/op crosses the budget.
+#
+# Usage: sh scripts/lint_budget.sh [budget_ms]
+set -eu
+
+BUDGET_MS="${1:-250}"
+
+out=$(go test -run '^$' -bench '^BenchmarkAuthlint$/^suite$' -benchtime 3x ./internal/lint/analyzers/)
+echo "$out"
+
+ns=$(echo "$out" | awk '/BenchmarkAuthlint\/suite/ { print int($3); exit }')
+if [ -z "$ns" ]; then
+	echo "lint_budget: no BenchmarkAuthlint/suite result in bench output" >&2
+	exit 1
+fi
+
+budget_ns=$((BUDGET_MS * 1000000))
+ms=$((ns / 1000000))
+if [ "$ns" -gt "$budget_ns" ]; then
+	echo "lint_budget: suite took ${ms}ms/op, over the ${BUDGET_MS}ms budget" >&2
+	exit 1
+fi
+echo "lint_budget: suite ${ms}ms/op, within the ${BUDGET_MS}ms budget"
