@@ -317,3 +317,79 @@ func TestStandaloneCleanModuleExitsZero(t *testing.T) {
 		t.Fatalf("driver printed diagnostics on a clean subtree:\n%s", out)
 	}
 }
+
+// TestPooledBufLeakInWireRejected is the acceptance check for
+// poolsafe's built-in seeds: a scratch module that mimics the repo's
+// import paths leaks a pooled wire.Buf on an error path in its
+// internal/auth package, and the driver must reject it — no
+// //lint:pool directive in the scratch module, only the path-matched
+// wire.GetBuf/PutBuf pair.
+func TestPooledBufLeakInWireRejected(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module repro\n\ngo 1.22\n",
+		"internal/wire/wire.go": `// Package wire mimics the repo's buffer pool.
+package wire
+
+// Buf is a pooled frame buffer.
+type Buf struct{ B []byte }
+
+var pool []*Buf
+
+// GetBuf hands out a buffer.
+func GetBuf() *Buf {
+	if n := len(pool); n > 0 {
+		b := pool[n-1]
+		pool = pool[:n-1]
+		return b
+	}
+	return &Buf{}
+}
+
+// PutBuf returns a buffer to the pool.
+func PutBuf(b *Buf) { pool = append(pool, b) }
+`,
+		"internal/auth/auth.go": `// Package auth deliberately leaks a pooled buffer on an error path.
+package auth
+
+import (
+	"errors"
+
+	"repro/internal/wire"
+)
+
+// Frame builds a frame but forgets the buffer when the payload is
+// oversized.
+func Frame(payload []byte) ([]byte, error) {
+	b := wire.GetBuf()
+	if len(payload) > 1<<16 {
+		return nil, errors.New("payload too large")
+	}
+	b.B = append(b.B[:0], payload...)
+	out := append([]byte(nil), b.B...)
+	wire.PutBuf(b)
+	return out, nil
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (pooled-buffer leak rejected)\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "(poolsafe)") ||
+		!strings.Contains(text, "not returned to the pool on every path") {
+		t.Fatalf("driver did not report the seeded pooled-buffer leak:\n%s", text)
+	}
+}

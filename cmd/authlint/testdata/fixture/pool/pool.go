@@ -1,0 +1,21 @@
+// Package pool seeds exactly one poolsafe violation: a directive-
+// pinned pooled value that escapes the function on one branch without
+// reaching the pool's put.
+package pool
+
+//lint:pool get=grab put=release
+
+type entry struct{ b []byte }
+
+func grab() *entry     { return &entry{} }
+func release(e *entry) {}
+
+// Use leaks the pooled entry when fast is set: the early return skips
+// release.
+func Use(fast bool) {
+	e := grab()
+	if fast {
+		return
+	}
+	release(e)
+}

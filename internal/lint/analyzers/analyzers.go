@@ -9,12 +9,15 @@ package analyzers
 import (
 	"repro/internal/lint"
 	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/codecsym"
 	"repro/internal/lint/ctxcheck"
 	"repro/internal/lint/errtaxonomy"
 	"repro/internal/lint/goroleak"
 	"repro/internal/lint/lockcheck"
 	"repro/internal/lint/lockorder"
+	"repro/internal/lint/poolsafe"
 	"repro/internal/lint/repinvariant"
+	"repro/internal/lint/resleak"
 	"repro/internal/lint/secretflow"
 	"repro/internal/lint/waldrift"
 )
@@ -24,12 +27,15 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		atomicwrite.Analyzer,
+		codecsym.Analyzer,
 		ctxcheck.Analyzer,
 		errtaxonomy.Analyzer,
 		goroleak.Analyzer,
 		lockcheck.Analyzer,
 		lockorder.Analyzer,
+		poolsafe.Analyzer,
 		repinvariant.Analyzer,
+		resleak.Analyzer,
 		secretflow.Analyzer,
 		waldrift.Analyzer,
 	}

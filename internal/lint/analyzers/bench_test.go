@@ -1,6 +1,7 @@
 package analyzers_test
 
 import (
+	"go/ast"
 	"testing"
 
 	"repro/internal/lint"
@@ -9,9 +10,12 @@ import (
 
 // BenchmarkAuthlint times the full analyzer suite over the entire
 // repository module (load cost excluded), then each analyzer alone —
-// the per-analyzer breakdown recorded in EXPERIMENTS.md. Loading
-// (parse + type-check) happens once per benchmark; the measured
-// region is pure analysis.
+// the per-analyzer breakdown recorded in EXPERIMENTS.md — and finally
+// raw CFG construction for every function in the module, which is the
+// shared fixed cost behind the flow-sensitive analyzers (the Package
+// caches CFGs, so the per-analyzer rows pay it only on their first
+// iteration). Loading (parse + type-check) happens once per
+// benchmark; the measured region is pure analysis.
 func BenchmarkAuthlint(b *testing.B) {
 	pkgs, err := lint.Load("../../..", "./...")
 	if err != nil {
@@ -33,4 +37,26 @@ func BenchmarkAuthlint(b *testing.B) {
 			}
 		})
 	}
+	b.Run("cfg-construction", func(b *testing.B) {
+		funcs := 0
+		blocks := 0
+		for i := 0; i < b.N; i++ {
+			funcs, blocks = 0, 0
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Body == nil {
+							continue
+						}
+						cfg := lint.NewCFG(fd, pkg.Info)
+						funcs++
+						blocks += len(cfg.Blocks)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(funcs), "funcs")
+		b.ReportMetric(float64(blocks), "blocks")
+	})
 }

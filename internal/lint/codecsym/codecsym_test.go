@@ -1,0 +1,32 @@
+package codecsym_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/codecsym"
+	"repro/internal/lint/linttest"
+)
+
+// TestCodecSym runs the golden fixture: pairing, symmetry, and table
+// drift, with clean u32/rep-group round-trips interleaved.
+func TestCodecSym(t *testing.T) {
+	linttest.Run(t, codecsym.Analyzer, "testdata/src/codecfix")
+}
+
+// TestNonCodecPackageSilent asserts the activation gate: a package
+// with Append* helpers but no beginFrame is not a codec package and
+// produces nothing.
+func TestNonCodecPackageSilent(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/plainpkg")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{codecsym.Analyzer})
+	if err != nil {
+		t.Fatalf("run codecsym: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("non-codec package should be silent, got %v", diags)
+	}
+}

@@ -10,9 +10,14 @@ package lint
 // the call graph, so one fixed point serves every analyzer of a
 // package.
 //
-// The analysis is flow-insensitive inside a function (assignment
-// order is ignored; taint only accumulates) and summary-based across
-// functions: each declared function gets a FuncFlow summary — which
+// The analysis is flow-sensitive inside a function: each basic block
+// of the Pass.CFG is solved with its own variable→taint state, a
+// plain-identifier assignment strongly updates (reassigning to clean
+// data kills taint, and a sanitize on one branch no longer clears the
+// sibling branch), and sinks are judged under the state of the block
+// they sit in. Stores through fields and the bodies of function
+// literals merge weakly. Across functions it is summary-based: each
+// declared function gets a FuncFlow summary — which
 // formals reach each result, which formals reach a sink, and whether
 // a result is secret regardless of inputs — and the package iterates
 // summaries to a fixed point over Pass.CallGraph()'s edges. Bits are
@@ -167,10 +172,10 @@ func (d *Dataflow) All() []*FuncFlow { return d.order }
 // use and sharing it across every analyzer of the package.
 func (p *Pass) Dataflow() *Dataflow {
 	if p.pkg == nil {
-		return buildDataflow(p.Files, p.TypesInfo, p.Pkg, p.PkgPath, p.CallGraph())
+		return buildDataflow(p.Files, p.TypesInfo, p.Pkg, p.PkgPath, p.CallGraph(), p.CFG)
 	}
 	if p.pkg.df == nil {
-		p.pkg.df = buildDataflow(p.pkg.Files, p.pkg.Info, p.pkg.Types, p.pkg.PkgPath, p.CallGraph())
+		p.pkg.df = buildDataflow(p.pkg.Files, p.pkg.Info, p.pkg.Types, p.pkg.PkgPath, p.CallGraph(), p.CFG)
 	}
 	return p.pkg.df
 }
@@ -535,7 +540,7 @@ func sinkOf(pkgPath string, obj types.Object) (string, bool) {
 // --- Engine ----------------------------------------------------------------
 
 // buildDataflow runs the package fixed point.
-func buildDataflow(files []*ast.File, info *types.Info, pkg *types.Package, pkgPath string, cg *CallGraph) *Dataflow {
+func buildDataflow(files []*ast.File, info *types.Info, pkg *types.Package, pkgPath string, cg *CallGraph, cfgOf func(*ast.FuncDecl) *CFG) *Dataflow {
 	df := &Dataflow{Funcs: make(map[*types.Func]*FuncFlow), pkgPath: pkgPath}
 	df.secrets = collectSecretDecls(files, info, df)
 
@@ -556,7 +561,7 @@ func buildDataflow(files []*ast.File, info *types.Info, pkg *types.Package, pkgP
 		df.order = append(df.order, ff)
 	}
 
-	an := &flowAnalyzer{df: df, info: info, pkg: pkg, pkgPath: pkgPath}
+	an := &flowAnalyzer{df: df, info: info, pkg: pkg, pkgPath: pkgPath, cfgOf: cfgOf}
 	// Summary fixed point: re-analyze every function until no summary
 	// grows. Taint bits and sink keys are monotone, so this
 	// terminates; the bound is a belt against bugs, not a semantics.
@@ -585,9 +590,11 @@ type flowAnalyzer struct {
 	info    *types.Info
 	pkg     *types.Package
 	pkgPath string
+	cfgOf   func(*ast.FuncDecl) *CFG
 
 	// per-function state, reset by analyze
 	ff   *FuncFlow
+	seed map[types.Object]taintVal
 	vars map[types.Object]taintVal
 }
 
@@ -610,15 +617,23 @@ func cleanType(t types.Type) bool {
 	return types.Identical(t, types.Universe.Lookup("error").Type())
 }
 
-// analyze computes one function's summary; with report set it also
-// appends the unconditional findings. It returns whether the summary
-// grew.
+// analyze computes one function's summary over its control-flow
+// graph; with report set it also appends the unconditional findings.
+// It returns whether the summary grew.
+//
+// The analysis is flow-sensitive: each basic block is solved with its
+// own state, a plain-identifier assignment strongly updates (so
+// reassigning a variable to clean data kills its taint, and
+// sanitizing on one branch no longer launders the sibling branch),
+// while stores through fields and the effects of function literals
+// merge weakly. Sinks and returns are judged under the state of the
+// block they sit in.
 func (a *flowAnalyzer) analyze(ff *FuncFlow, report bool) bool {
 	if ff.Decl == nil || ff.Decl.Body == nil {
 		return false
 	}
 	a.ff = ff
-	a.vars = make(map[types.Object]taintVal)
+	a.seed = make(map[types.Object]taintVal)
 	for i, p := range ff.Params {
 		v := taintVal{bits: ParamBit(i)}
 		if desc, ok := a.df.secrets.typeSecret(p.Type()); ok {
@@ -627,61 +642,243 @@ func (a *flowAnalyzer) analyze(ff *FuncFlow, report bool) bool {
 		if desc, ok := a.df.secrets.vars[p]; ok {
 			v = v.union(taintVal{bits: AlwaysSecret, src: desc})
 		}
-		a.vars[p] = v
+		a.seed[p] = v
 	}
 
-	// Local fixed point over the body's assignments.
-	for iter := 0; iter < 32; iter++ {
-		if !a.propagate(ff.Decl.Body) {
-			break
-		}
+	cfg := a.cfgOf(ff.Decl)
+	if cfg == nil {
+		return false
 	}
+	sol := cfg.Solve((*taintFlow)(a), false)
 
 	changed := false
 	if report {
 		ff.Findings = ff.Findings[:0]
 	}
-	// Returns.
-	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
-		if _, isLit := n.(*ast.FuncLit); isLit {
-			return false // a literal's returns are not ours
-		}
-		ret, ok := n.(*ast.ReturnStmt)
+	// Deterministic reporting walk: re-run each block's transfer from
+	// its solved in-state, judging sinks and returns along the way.
+	for _, b := range cfg.Blocks {
+		in, ok := sol[b]
 		if !ok {
-			return true
+			continue // unreachable
 		}
-		vals := a.returnValues(ret)
-		for j, v := range vals {
-			if j >= len(ff.Results) {
-				break
+		st := cloneTaint(in.(map[types.Object]taintVal))
+		a.vars = st
+		for _, n := range b.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet {
+				if a.mergeReturn(ret) {
+					changed = true
+				}
 			}
-			if ff.Sanitizer {
-				continue
-			}
-			if nb := ff.Results[j] | v.bits; nb != ff.Results[j] {
-				ff.Results[j] = nb
+			if a.scanSinks(n, report) {
 				changed = true
 			}
-			if v.bits&AlwaysSecret != 0 && ff.ResultSrc[j] == "" {
-				ff.ResultSrc[j] = v.src
-			}
+			a.stepTaint(st, n)
 		}
-		return true
-	})
-	// Sinks: every call in the body, including inside launched or
-	// assigned function literals (which share the flow-insensitive
-	// state).
-	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	}
+	return changed
+}
+
+// mergeReturn folds one return statement's taint into the result
+// summary under the current block state.
+func (a *flowAnalyzer) mergeReturn(ret *ast.ReturnStmt) bool {
+	ff := a.ff
+	if ff.Sanitizer {
+		return false
+	}
+	changed := false
+	for j, v := range a.returnValues(ret) {
+		if j >= len(ff.Results) {
+			break
 		}
-		if a.sinkCall(call, report) {
+		if nb := ff.Results[j] | v.bits; nb != ff.Results[j] {
+			ff.Results[j] = nb
 			changed = true
+		}
+		if v.bits&AlwaysSecret != 0 && ff.ResultSrc[j] == "" {
+			ff.ResultSrc[j] = v.src
+		}
+	}
+	return changed
+}
+
+// scanSinks judges every call in this node — including calls inside
+// function literals, whose bodies first fold their assignments into
+// the state weakly (the literal may run at any time).
+func (a *flowAnalyzer) scanSinks(n ast.Node, report bool) bool {
+	changed := false
+	ShallowInspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if a.sinkCall(x, report) {
+				changed = true
+			}
+		case *ast.FuncLit:
+			for iter := 0; iter < 32; iter++ {
+				if !a.propagate(x.Body) {
+					break
+				}
+			}
+			ast.Inspect(x.Body, func(bn ast.Node) bool {
+				if call, ok := bn.(*ast.CallExpr); ok {
+					if a.sinkCall(call, report) {
+						changed = true
+					}
+				}
+				return true
+			})
 		}
 		return true
 	})
 	return changed
+}
+
+// taintFlow adapts the analyzer to the CFG solver: states are
+// variable→taint maps, joined pointwise where branches meet.
+type taintFlow flowAnalyzer
+
+func (t *taintFlow) Boundary() any {
+	return cloneTaint((*flowAnalyzer)(t).seed)
+}
+
+func (t *taintFlow) Transfer(b *Block, in any) any {
+	a := (*flowAnalyzer)(t)
+	st := cloneTaint(in.(map[types.Object]taintVal))
+	for _, n := range b.Nodes {
+		a.stepTaint(st, n)
+	}
+	return st
+}
+
+func (t *taintFlow) Join(x, y any) any {
+	xs, ys := x.(map[types.Object]taintVal), y.(map[types.Object]taintVal)
+	out := cloneTaint(xs)
+	for obj, v := range ys {
+		out[obj] = out[obj].union(v)
+	}
+	return out
+}
+
+func (t *taintFlow) Equal(x, y any) bool {
+	xs, ys := x.(map[types.Object]taintVal), y.(map[types.Object]taintVal)
+	if len(xs) != len(ys) {
+		return false
+	}
+	for obj, v := range xs {
+		if w, ok := ys[obj]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneTaint(st map[types.Object]taintVal) map[types.Object]taintVal {
+	out := make(map[types.Object]taintVal, len(st))
+	for obj, v := range st {
+		out[obj] = v
+	}
+	return out
+}
+
+// stepTaint applies one block node's effect to the state. Plain
+// identifier targets of `=`/`:=` update strongly — assigning clean
+// data kills the old taint — while compound stores and the bodies of
+// function literals (which may run at any time) merge weakly.
+func (a *flowAnalyzer) stepTaint(st map[types.Object]taintVal, n ast.Node) {
+	a.vars = st
+	strong := func(target ast.Expr, v taintVal, replace bool) {
+		if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+			if id.Name == "_" {
+				return
+			}
+			obj := a.info.Defs[id]
+			if obj == nil {
+				obj = a.info.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if cleanType(obj.Type()) {
+				return
+			}
+			if !replace {
+				v = st[obj].union(v)
+			}
+			if v.bits == 0 {
+				delete(st, obj)
+			} else {
+				st[obj] = v
+			}
+			return
+		}
+		if v.bits == 0 {
+			return
+		}
+		// x.f = secret taints x: the struct now carries the secret.
+		if root := RootIdent(target); root != nil {
+			obj := a.info.Uses[root]
+			if obj == nil {
+				obj = a.info.Defs[root]
+			}
+			if obj != nil {
+				st[obj] = st[obj].union(v)
+			}
+		}
+	}
+	ShallowInspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			replace := x.Tok == token.ASSIGN || x.Tok == token.DEFINE
+			if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+				v := a.eval(x.Rhs[0])
+				for _, lhs := range x.Lhs {
+					strong(lhs, v, replace)
+				}
+				return true
+			}
+			// Evaluate every source before any target updates, so
+			// `x, y = y, x` reads the pre-state on both sides.
+			vals := make([]taintVal, 0, len(x.Rhs))
+			for _, rhs := range x.Rhs {
+				vals = append(vals, a.eval(rhs))
+			}
+			for i, lhs := range x.Lhs {
+				if i < len(vals) {
+					strong(lhs, vals[i], replace)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Values) == 1 && len(x.Names) > 1 {
+				v := a.eval(x.Values[0])
+				for _, name := range x.Names {
+					strong(name, v, true)
+				}
+				return true
+			}
+			for i, name := range x.Names {
+				if i < len(x.Values) {
+					strong(name, a.eval(x.Values[i]), true)
+				}
+			}
+		case *ast.RangeStmt:
+			v := a.eval(x.X)
+			if x.Key != nil && a.rangeKeyCarries(x.X) {
+				strong(x.Key, v, true)
+			}
+			if x.Value != nil {
+				strong(x.Value, v, true)
+			}
+		case *ast.FuncLit:
+			// The literal's assignments fold in weakly: it may run
+			// zero or many times, now or later.
+			for iter := 0; iter < 32; iter++ {
+				if !a.propagate(x.Body) {
+					break
+				}
+			}
+		}
+		return true
+	})
 }
 
 // returnValues evaluates a return statement's operands, falling back

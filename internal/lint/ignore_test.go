@@ -7,6 +7,8 @@ import (
 	"repro/internal/lint"
 	"repro/internal/lint/errtaxonomy"
 	"repro/internal/lint/lockcheck"
+	"repro/internal/lint/poolsafe"
+	"repro/internal/lint/resleak"
 )
 
 // TestUnusedIgnoreReported loads the ignore-lifecycle fixture and
@@ -52,5 +54,58 @@ func TestUnusedIgnoreGatedOnRanAnalyzers(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Fatalf("lockcheck-only run flagged directives for analyzers that never ran: %v", diags)
+	}
+}
+
+// TestUnusedIgnoreFlowAnalyzers runs the lifecycle against poolsafe:
+// the directive over a real leak suppresses it silently, the one over
+// clean pool discipline is reported as stale, and the resleak
+// directive stays untouched because resleak did not run.
+func TestUnusedIgnoreFlowAnalyzers(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/poolix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{poolsafe.Analyzer})
+	if err != nil {
+		t.Fatalf("run poolsafe: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale poolsafe directive: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "unused lint:ignore directive: poolsafe") {
+		t.Errorf("want the stale poolsafe directive reported by the framework, got %v", d)
+	}
+}
+
+// TestUnusedIgnoreFlowAnalyzersGate adds resleak to the run: now the
+// stale resleak directive is judged too, while the used poolsafe
+// suppression still holds.
+func TestUnusedIgnoreFlowAnalyzersGate(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/poolix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{poolsafe.Analyzer, resleak.Analyzer})
+	if err != nil {
+		t.Fatalf("run poolsafe+resleak: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want the two stale directives: %v", len(diags), diags)
+	}
+	for _, want := range []string{
+		"unused lint:ignore directive: poolsafe",
+		"unused lint:ignore directive: resleak",
+	} {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "lint" && strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no framework diagnostic matching %q in %v", want, diags)
+		}
 	}
 }

@@ -37,6 +37,9 @@ type Package struct {
 	// df is the lazily built taint dataflow, shared the same way via
 	// Pass.Dataflow().
 	df *Dataflow
+	// cfgs caches per-function control-flow graphs, shared the same
+	// way via Pass.CFG(fn).
+	cfgs map[*ast.FuncDecl]*CFG
 }
 
 // listedPackage is the subset of `go list -json` output the loader

@@ -1,0 +1,248 @@
+// Package poolsafe enforces the zero-alloc path's pool discipline
+// flow-sensitively: every value handed out by a pool's get function
+// must reach the pool's put function exactly once on every path —
+// error returns and panic exits included (a deferred put covers
+// both) — must never be used after it was put back, and must never be
+// put twice. Violations are reported with the branch condition of the
+// offending path, so "leaks when ReadFrameInto fails" is readable
+// straight off the finding.
+//
+// The built-in pool is the wire buffer pool (`wire.GetBuf` /
+// `wire.PutBuf`). Additional pools are pinned with a directive
+// anywhere in the package:
+//
+//	//lint:pool get=NewEntry put=ReleaseEntry
+//	//lint:pool get=cachepool.Get put=cachepool.Put
+//
+// Bare names resolve in the package scope; dotted names resolve
+// through the package's imports by package name. A directive that
+// does not parse or resolve is itself a finding — a misspelled pool
+// pin must not silently disable the check.
+package poolsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the poolsafe entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "poolsafe",
+	Doc:  "pooled values (wire.GetBuf, //lint:pool-pinned pools) must reach their put function exactly once on every path, never be used after put, and never be put twice",
+	Run:  run,
+}
+
+// wirePkg is the built-in pool's home package.
+const wirePkg = "repro/internal/wire"
+
+const directive = "//lint:pool "
+
+// pool is one get/put pair the analysis tracks.
+type pool struct {
+	get, put types.Object // nil for the built-in path-matched pair
+	getName  string       // display name for messages
+	putName  string
+	builtin  bool
+}
+
+func run(pass *lint.Pass) error {
+	pools := []pool{{getName: "wire.GetBuf", putName: "wire.PutBuf", builtin: true}}
+	pools = append(pools, parseDirectives(pass)...)
+
+	cfg := &lint.OwnershipConfig{
+		Exact: true,
+		Acquire: func(call *ast.CallExpr) (string, bool) {
+			for _, p := range pools {
+				if p.matchesGet(pass, call) {
+					return "pooled buffer from " + p.getName, true
+				}
+			}
+			return "", false
+		},
+		Release: func(call *ast.CallExpr) (ast.Expr, bool) {
+			for _, p := range pools {
+				if p.matchesPut(pass, call) && len(call.Args) > 0 {
+					return call.Args[0], true
+				}
+			}
+			return nil, false
+		},
+		Tracks: func(t types.Type) bool {
+			for _, p := range pools {
+				if p.tracksType(t) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+	for _, f := range lint.RunOwnership(pass, cfg) {
+		if testPos(pass, f.Pos) {
+			continue
+		}
+		switch f.Kind {
+		case lint.OwnLeak:
+			via := ""
+			if f.Via != "" {
+				via = " on the path via " + f.Via
+			}
+			pass.Reportf(f.Pos, "%s %q is not returned to the pool on every path%s", f.Desc, f.Name, via)
+		case lint.OwnDiscard:
+			pass.Reportf(f.Pos, "result of %s is discarded: the buffer can never be returned to the pool", f.Desc)
+		case lint.OwnDoubleRelease:
+			pass.Reportf(f.Pos, "%s %q is put back twice (previous release at %s)", f.Desc, f.Name, pass.Fset.Position(f.RelPos))
+		case lint.OwnUseAfterRelease:
+			pass.Reportf(f.Pos, "use of %q after it was returned to the pool at %s", f.Name, pass.Fset.Position(f.RelPos))
+		case lint.OwnReassign:
+			pass.Reportf(f.Pos, "%q is overwritten while still holding an unreleased %s (acquired at %s)", f.Name, f.Desc, pass.Fset.Position(f.AcqPos))
+		}
+	}
+	return nil
+}
+
+// matchesGet reports whether call's callee is this pool's get.
+func (p pool) matchesGet(pass *lint.Pass, call *ast.CallExpr) bool {
+	obj := lint.CalleeObject(pass.TypesInfo, call)
+	if p.builtin {
+		return isWireFunc(obj, "GetBuf")
+	}
+	return obj != nil && obj == p.get
+}
+
+func (p pool) matchesPut(pass *lint.Pass, call *ast.CallExpr) bool {
+	obj := lint.CalleeObject(pass.TypesInfo, call)
+	if p.builtin {
+		return isWireFunc(obj, "PutBuf")
+	}
+	return obj != nil && obj == p.put
+}
+
+func isWireFunc(obj types.Object, name string) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == wirePkg
+}
+
+// tracksType reports whether t is the pool's element type — what the
+// get function returns. Only formals of a pooled type join the
+// interprocedural analysis.
+func (p pool) tracksType(t types.Type) bool {
+	if p.builtin {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Buf" && obj.Pkg() != nil && obj.Pkg().Path() == wirePkg
+	}
+	fn, ok := p.get.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return types.Identical(t, sig.Results().At(0).Type())
+}
+
+// parseDirectives collects //lint:pool pins, reporting the broken
+// ones.
+func parseDirectives(pass *lint.Pass) []pool {
+	var out []pool
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directive) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directive))
+				p, err := resolveDirective(pass, rest)
+				if err != "" {
+					pass.Reportf(c.Pos(), "malformed //lint:pool directive: %s", err)
+					continue
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// resolveDirective parses `get=F put=G` and resolves both names to
+// function objects; a non-empty string return describes the failure.
+func resolveDirective(pass *lint.Pass, rest string) (pool, string) {
+	var p pool
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return p, "want exactly `get=F put=G`, got " + strings.Join(fields, " ")
+	}
+	for _, f := range fields {
+		key, name, ok := strings.Cut(f, "=")
+		if !ok || name == "" {
+			return p, "malformed field " + f
+		}
+		obj, err := resolveFunc(pass, name)
+		if err != "" {
+			return p, err
+		}
+		switch key {
+		case "get":
+			p.get, p.getName = obj, name
+		case "put":
+			p.put, p.putName = obj, name
+		default:
+			return p, "unknown key " + key + " (want get= and put=)"
+		}
+	}
+	if p.get == nil || p.put == nil {
+		return p, "both get= and put= are required"
+	}
+	return p, ""
+}
+
+// resolveFunc resolves a bare name in the package scope or a dotted
+// name through the imports (by package name).
+func resolveFunc(pass *lint.Pass, name string) (types.Object, string) {
+	if pass.Pkg == nil {
+		return nil, "package did not type-check"
+	}
+	pkgName, fnName, dotted := strings.Cut(name, ".")
+	scope := pass.Pkg.Scope()
+	if dotted {
+		scope = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil, "no imported package named " + pkgName
+		}
+	} else {
+		fnName = name
+	}
+	obj := scope.Lookup(fnName)
+	if obj == nil {
+		return nil, name + " does not resolve to a declaration"
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return nil, name + " is not a function"
+	}
+	return obj, ""
+}
+
+// testPos mirrors secretflow's exemption: the vettool driver feeds
+// test files into the pass, and tests exercise pool misuse on
+// purpose.
+func testPos(pass *lint.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,56 @@
+package poolsafe_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/poolsafe"
+)
+
+// TestBuiltinPool runs the golden fixture for the built-in
+// wire.GetBuf/PutBuf pair: the fixture package synthesizes the
+// repro/internal/wire import path, so the path-matched seeds fire
+// without the real module.
+func TestBuiltinPool(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "testdata/src/repro/internal/wire")
+}
+
+// TestDirectivePool covers the //lint:pool get=F put=G grammar on a
+// package-local pool.
+func TestDirectivePool(t *testing.T) {
+	linttest.Run(t, poolsafe.Analyzer, "testdata/src/pooldir")
+}
+
+// TestMalformedDirectives asserts the directive failure modes
+// programmatically (a want comment cannot share a line comment, and
+// the diagnostics anchor on the directives themselves).
+func TestMalformedDirectives(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/baddir")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{poolsafe.Analyzer})
+	if err != nil {
+		t.Fatalf("run poolsafe: %v", err)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for _, want := range []string{
+		"want exactly `get=F put=G`",
+		"missing does not resolve to a declaration",
+		"notAFunc is not a function",
+	} {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, "malformed //lint:pool directive") && strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in %v", want, diags)
+		}
+	}
+}

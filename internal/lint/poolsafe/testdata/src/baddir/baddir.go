@@ -1,0 +1,11 @@
+// Package baddir carries only broken //lint:pool directives; each one
+// must be reported rather than silently disabling the check.
+package baddir
+
+//lint:pool get=grab
+//lint:pool get=missing put=alsoMissing
+//lint:pool get=grab put=notAFunc
+
+func grab() *int { return new(int) }
+
+var notAFunc int

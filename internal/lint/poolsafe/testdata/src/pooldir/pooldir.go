@@ -1,0 +1,43 @@
+// Package pooldir pins a custom pool with a //lint:pool directive and
+// exercises the same discipline on it.
+package pooldir
+
+//lint:pool get=grab put=release
+
+type entry struct{ b []byte }
+
+var free []*entry
+
+func grab() *entry {
+	if n := len(free); n > 0 {
+		e := free[n-1]
+		free = free[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+func release(e *entry) { free = append(free, e) }
+
+// Leak loses the entry on the fast path.
+func Leak(fast bool) {
+	e := grab() // want "pooled buffer from grab \"e\" is not returned to the pool on every path on the path via fast"
+	if fast {
+		return
+	}
+	release(e)
+}
+
+// UseAfter reads the entry after handing it back.
+func UseAfter() int {
+	e := grab()
+	release(e)
+	return len(e.b) // want "use of \"e\" after it was returned to the pool"
+}
+
+// DeferOK is the canonical clean shape.
+func DeferOK() {
+	e := grab()
+	defer release(e)
+	e.b = e.b[:0]
+}

@@ -96,6 +96,85 @@ func TableRows(lines []string) (map[string]int64, []string) {
 	return rows, order
 }
 
+// TableCellsByName extracts every cell of each `| name | value | ... |`
+// data row, keyed by the (de-backticked) name cell, with
+// first-appearance order. Extra columns beyond the two TableRows
+// reads ride along verbatim (trimmed, backticks stripped) — the
+// codecsym analyzer reads payload grammars from a third column this
+// way without disturbing the value pinning.
+func TableCellsByName(lines []string) (map[string][]string, []string) {
+	rows := make(map[string][]string)
+	var order []string
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if tableRowRE.FindStringSubmatch(trimmed) == nil {
+			continue
+		}
+		var cells []string
+		for _, c := range strings.Split(strings.Trim(trimmed, "|"), "|") {
+			cells = append(cells, strings.Trim(strings.TrimSpace(c), "`"))
+		}
+		if len(cells) == 0 {
+			continue
+		}
+		if _, dup := rows[cells[0]]; !dup {
+			order = append(order, cells[0])
+			rows[cells[0]] = cells
+		}
+	}
+	return rows, order
+}
+
+// RecordTableDirective is one parsed //lint:recordtable comment —
+// the grammar is shared by waldrift (value pinning) and codecsym
+// (payload pinning):
+//
+//	//lint:recordtable <relpath>[#<section>] [type=TypeName] [prefix=Prefix]
+type RecordTableDirective struct {
+	// Rel is the markdown path relative to the directive's file.
+	Rel string
+	// Section scopes the scan to one slugified heading ("" = whole
+	// file).
+	Section string
+	// TypeName is the local discriminator type (default "Type").
+	TypeName string
+	// Prefix is the constant prefix (default: the type name).
+	Prefix string
+}
+
+// RecordTableDirectivePrefix introduces a record-table cross-check.
+const RecordTableDirectivePrefix = "//lint:recordtable "
+
+// ParseRecordTableDirective splits the directive's argument string.
+func ParseRecordTableDirective(rest string) (RecordTableDirective, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return RecordTableDirective{}, fmt.Errorf("expected //lint:recordtable <path>[#section] [type=TypeName] [prefix=Prefix]")
+	}
+	d := RecordTableDirective{TypeName: "Type"}
+	d.Rel, d.Section, _ = strings.Cut(fields[0], "#")
+	explicitPrefix := false
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || val == "" {
+			return RecordTableDirective{}, fmt.Errorf("malformed option %q: want key=value", f)
+		}
+		switch key {
+		case "type":
+			d.TypeName = val
+		case "prefix":
+			d.Prefix = val
+			explicitPrefix = true
+		default:
+			return RecordTableDirective{}, fmt.Errorf("unknown option %q: want type= or prefix=", key)
+		}
+	}
+	if !explicitPrefix {
+		d.Prefix = d.TypeName
+	}
+	return d, nil
+}
+
 // CamelToSnake maps a trimmed constant name onto its wire/doc
 // spelling: RemapChallenge → remap_challenge.
 func CamelToSnake(s string) string {

@@ -1,0 +1,154 @@
+// Package resleak enforces release-on-all-paths for OS-backed
+// resources: connections from net.Dial/DialTimeout, listeners from
+// net.Listen, conns from a listener's Accept, files from
+// os.Open/OpenFile/Create, and tickers/timers from
+// time.NewTicker/NewTimer must be Closed (or Stopped) on every path
+// out of the function that owns them — error returns included, with a
+// deferred Close covering panic exits too.
+//
+// Ownership transfers interprocedurally: a function that returns the
+// resource hands the obligation to its caller (constructor summary),
+// and a call that stores its argument into a struct field, channel,
+// or goroutine on every path consumes it (disposition summary), so a
+// `newConn`-style helper neither hides a leak nor causes a false one.
+// Unlike poolsafe, release here is idempotent (Close twice is legal),
+// so only leaks and discards are reported.
+package resleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the resleak entry point.
+var Analyzer = &lint.Analyzer{
+	Name: "resleak",
+	Doc:  "conns, listeners, files, tickers and timers (net.Dial, Accept, os.Open, time.NewTicker, ...) must be released on every path, interprocedurally via ownership-transfer summaries",
+	Run:  run,
+}
+
+// acquireFuncs maps std acquisition functions to a resource
+// description.
+var acquireFuncs = map[string]string{
+	"net.Dial":        "net.Conn from net.Dial",
+	"net.DialTimeout": "net.Conn from net.DialTimeout",
+	"net.Listen":      "net.Listener from net.Listen",
+	"os.Open":         "*os.File from os.Open",
+	"os.OpenFile":     "*os.File from os.OpenFile",
+	"os.Create":       "*os.File from os.Create",
+	"time.NewTicker":  "*time.Ticker from time.NewTicker",
+	"time.NewTimer":   "*time.Timer from time.NewTimer",
+}
+
+func run(pass *lint.Pass) error {
+	if edgePackage(pass.PkgPath) {
+		// CLIs and examples run to exit; the OS reclaims their
+		// handles. The invariant protects long-lived server code.
+		return nil
+	}
+	cfg := &lint.OwnershipConfig{
+		Acquire: func(call *ast.CallExpr) (string, bool) { return acquires(pass, call) },
+		Release: func(call *ast.CallExpr) (ast.Expr, bool) { return releases(pass, call) },
+		// Close/Stop-able values are the only ones whose flow through
+		// parameters matters for summaries.
+		Tracks: func(t types.Type) bool { return hasMethod(t, "Close") || hasMethod(t, "Stop") },
+	}
+	for _, f := range lint.RunOwnership(pass, cfg) {
+		if testPos(pass, f.Pos) {
+			continue
+		}
+		switch f.Kind {
+		case lint.OwnLeak:
+			via := ""
+			if f.Via != "" {
+				via = " on the path via " + f.Via
+			}
+			pass.Reportf(f.Pos, "%s %q is not released on every path%s", f.Desc, f.Name, via)
+		case lint.OwnDiscard:
+			pass.Reportf(f.Pos, "%s is discarded without being released", f.Desc)
+		case lint.OwnReassign:
+			pass.Reportf(f.Pos, "%q is overwritten while still holding an open %s (acquired at %s)", f.Name, f.Desc, pass.Fset.Position(f.AcqPos))
+		}
+	}
+	return nil
+}
+
+// acquires classifies resource-producing calls: the std constructor
+// list plus any method named Accept whose first result has a Close
+// method (the net.Listener shape, including wrappers).
+func acquires(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	fn, ok := lint.CalleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if desc, ok := acquireFuncs[fn.Pkg().Name()+"."+fn.Name()]; ok && isStdPkg(fn.Pkg()) {
+		return desc, true
+	}
+	if fn.Name() == "Accept" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && sig.Results().Len() > 0 {
+			if hasMethod(sig.Results().At(0).Type(), "Close") {
+				return "conn from " + fn.FullName(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// releases recognizes Close/Stop method calls with no arguments; the
+// released value is the receiver.
+func releases(pass *lint.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 0 {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Stop") {
+		return nil, false
+	}
+	fn, ok := lint.CalleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isStdPkg keeps the acquireFuncs match honest: the key uses package
+// *names*, so require a stdlib-shaped import path (no dot, no slash
+// before the name) to avoid matching a local package named os.
+func isStdPkg(pkg *types.Package) bool {
+	path := pkg.Path()
+	return !strings.Contains(path, ".") && (path == pkg.Name() || !strings.Contains(path, "/"))
+}
+
+// hasMethod reports whether t (or *t) has a method named name.
+// LookupFieldOrMethod with addressable=true folds in pointer-receiver
+// methods without materializing a full method set, which Tracks calls
+// far too often for NewMethodSet to be affordable.
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// edgePackage mirrors ctxcheck's and goroleak's exemption: any path
+// segment equal to cmd or examples.
+func edgePackage(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+// testPos: tests open and abandon resources on purpose, and the
+// vettool driver feeds test files into the pass.
+func testPos(pass *lint.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,31 @@
+package resleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/resleak"
+)
+
+// TestResleak runs the golden fixture: std acquisitions, the Accept
+// shape, and ownership transfer in both directions.
+func TestResleak(t *testing.T) {
+	linttest.Run(t, resleak.Analyzer, "testdata/src/resfix")
+}
+
+// TestEdgePackagesExempt asserts the cmd/examples exemption: the same
+// leak shape under a cmd/ path produces nothing.
+func TestEdgePackagesExempt(t *testing.T) {
+	pkg, err := lint.LoadDir("testdata/src/cmd/leaky")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := lint.RunPackage(pkg, []*lint.Analyzer{resleak.Analyzer})
+	if err != nil {
+		t.Fatalf("run resleak: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("cmd/ package should be exempt, got %v", diags)
+	}
+}

@@ -1,0 +1,49 @@
+// Branch sensitivity: these cases pin the CFG-backed engine's strong
+// updates. A reassignment to clean data kills taint on that path —
+// and only that path — so masking one branch neither silences the
+// sibling branch nor leaves ghost taint after both branches masked.
+package secretpkg
+
+import "log"
+
+// ReassignClean overwrites the secret with a constant before the
+// sink: the strong update kills the taint. No finding.
+func ReassignClean(t Token) {
+	b := t.bits
+	b = []byte("public")
+	log.Println(b)
+}
+
+// BranchLeak masks only the debug branch; the other branch still
+// holds key material when it logs.
+func BranchLeak(t Token, debug bool) {
+	b := t.bits
+	if debug {
+		b = []byte("masked")
+	} else {
+		log.Println(b) // want "secret Token value \(declared //lint:secret\) reaches log output \(log\.Println\)"
+	}
+	_ = b
+}
+
+// MaskBothBranches masks on every path, so the post-join state is
+// clean even though b was secret in between. No finding.
+func MaskBothBranches(t Token, debug bool) {
+	b := t.bits
+	if debug {
+		b = []byte("on")
+	} else {
+		b = []byte("off")
+	}
+	log.Println(b)
+}
+
+// SinkBeforeTaint logs b before the secret ever reaches it: under a
+// flow-insensitive analysis the later assignment would smear
+// backwards and produce a false positive here. No finding.
+func SinkBeforeTaint(t Token) {
+	var b []byte
+	log.Println(b)
+	b = t.bits
+	_ = b
+}

@@ -54,46 +54,10 @@ var Analyzer = &lint.Analyzer{
 	Run:  run,
 }
 
-// directivePrefix introduces a record-table cross-check.
-const directivePrefix = "//lint:recordtable "
-
-// tableDirective is one parsed //lint:recordtable comment.
-type tableDirective struct {
-	rel      string // markdown path relative to the directive's file
-	section  string // heading slug scoping the scan; "" = whole file
-	typeName string // local discriminator type (default "Type")
-	prefix   string // constant prefix (default: the type name)
-}
-
-// parseDirective splits `<path>[#<section>] [type=T] [prefix=P]`.
-func parseDirective(rest string) (tableDirective, error) {
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return tableDirective{}, fmt.Errorf("expected //lint:recordtable <path>[#section] [type=TypeName] [prefix=Prefix]")
-	}
-	d := tableDirective{typeName: "Type"}
-	d.rel, d.section, _ = strings.Cut(fields[0], "#")
-	explicitPrefix := false
-	for _, f := range fields[1:] {
-		key, val, ok := strings.Cut(f, "=")
-		if !ok || val == "" {
-			return tableDirective{}, fmt.Errorf("malformed option %q: want key=value", f)
-		}
-		switch key {
-		case "type":
-			d.typeName = val
-		case "prefix":
-			d.prefix = val
-			explicitPrefix = true
-		default:
-			return tableDirective{}, fmt.Errorf("unknown option %q: want type= or prefix=", key)
-		}
-	}
-	if !explicitPrefix {
-		d.prefix = d.typeName
-	}
-	return d, nil
-}
+// directivePrefix introduces a record-table cross-check. The grammar
+// lives in the lint framework (lint.ParseRecordTableDirective) so
+// codecsym's payload pinning reads the same pins.
+const directivePrefix = lint.RecordTableDirectivePrefix
 
 func run(pass *lint.Pass) error {
 	checkSwitches(pass)
@@ -270,7 +234,7 @@ func checkRecordTables(pass *lint.Pass) {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
-				d, err := parseDirective(rest)
+				d, err := lint.ParseRecordTableDirective(rest)
 				if err != nil {
 					pass.Reportf(c.Pos(), "malformed recordtable directive: %v", err)
 					continue
@@ -281,7 +245,7 @@ func checkRecordTables(pass *lint.Pass) {
 					continue
 				}
 				dir := filepath.Dir(pass.Fset.Position(c.Pos()).Filename)
-				checkOneTable(pass, c.Pos(), filepath.Join(dir, d.rel), d, consts)
+				checkOneTable(pass, c.Pos(), filepath.Join(dir, d.Rel), d, consts)
 			}
 		}
 	}
@@ -289,48 +253,48 @@ func checkRecordTables(pass *lint.Pass) {
 
 // directiveConstants resolves the directive's discriminator type in
 // the package scope and returns its prefix-named constants.
-func directiveConstants(pass *lint.Pass, d tableDirective) ([]*types.Const, error) {
-	tn, ok := pass.Pkg.Scope().Lookup(d.typeName).(*types.TypeName)
+func directiveConstants(pass *lint.Pass, d lint.RecordTableDirective) ([]*types.Const, error) {
+	tn, ok := pass.Pkg.Scope().Lookup(d.TypeName).(*types.TypeName)
 	if !ok {
-		return nil, fmt.Errorf("package %s declares no type %s", pass.Pkg.Name(), d.typeName)
+		return nil, fmt.Errorf("package %s declares no type %s", pass.Pkg.Name(), d.TypeName)
 	}
 	named, ok := tn.Type().(*types.Named)
 	if !ok {
-		return nil, fmt.Errorf("%s.%s is not a defined type", pass.Pkg.Name(), d.typeName)
+		return nil, fmt.Errorf("%s.%s is not a defined type", pass.Pkg.Name(), d.TypeName)
 	}
 	basic, ok := named.Underlying().(*types.Basic)
 	if !ok || basic.Info()&types.IsInteger == 0 {
-		return nil, fmt.Errorf("%s.%s is not an integer discriminator", pass.Pkg.Name(), d.typeName)
+		return nil, fmt.Errorf("%s.%s is not an integer discriminator", pass.Pkg.Name(), d.TypeName)
 	}
-	consts := schemaConstants(named, d.prefix)
+	consts := schemaConstants(named, d.Prefix)
 	if len(consts) == 0 {
-		return nil, fmt.Errorf("%s.%s has no %s* constants to pin", pass.Pkg.Name(), d.typeName, d.prefix)
+		return nil, fmt.Errorf("%s.%s has no %s* constants to pin", pass.Pkg.Name(), d.TypeName, d.Prefix)
 	}
 	return consts, nil
 }
 
 // checkOneTable diffs one markdown table against the constants and
 // reports all drift in a single diagnostic at the directive.
-func checkOneTable(pass *lint.Pass, pos token.Pos, path string, d tableDirective, consts []*types.Const) {
-	lines, err := lint.MarkdownSection(path, d.section)
+func checkOneTable(pass *lint.Pass, pos token.Pos, path string, d lint.RecordTableDirective, consts []*types.Const) {
+	lines, err := lint.MarkdownSection(path, d.Section)
 	if err != nil {
 		if errors.Is(err, lint.ErrNoSection) {
-			pass.Reportf(pos, "recordtable target %s has no section #%s", d.rel, d.section)
+			pass.Reportf(pos, "recordtable target %s has no section #%s", d.Rel, d.Section)
 		} else {
-			pass.Reportf(pos, "recordtable target %s is unreadable: %v", d.rel, err)
+			pass.Reportf(pos, "recordtable target %s is unreadable: %v", d.Rel, err)
 		}
 		return
 	}
-	where := d.rel
-	if d.section != "" {
-		where = d.rel + "#" + d.section
+	where := d.Rel
+	if d.Section != "" {
+		where = d.Rel + "#" + d.Section
 	}
 	rows, rowOrder := lint.TableRows(lines)
-	schema := pass.Pkg.Name() + "." + d.typeName
+	schema := pass.Pkg.Name() + "." + d.TypeName
 	var drift []string
 	seen := make(map[string]bool)
 	for _, c := range consts {
-		name := lint.CamelToSnake(strings.TrimPrefix(c.Name(), d.prefix))
+		name := lint.CamelToSnake(strings.TrimPrefix(c.Name(), d.Prefix))
 		seen[name] = true
 		val, _ := constant.Int64Val(c.Val())
 		got, ok := rows[name]
@@ -343,7 +307,7 @@ func checkOneTable(pass *lint.Pass, pos token.Pos, path string, d tableDirective
 	}
 	for _, name := range rowOrder {
 		if !seen[name] {
-			drift = append(drift, fmt.Sprintf("unknown record name %s (no %s constant)", name, d.typeName))
+			drift = append(drift, fmt.Sprintf("unknown record name %s (no %s constant)", name, d.TypeName))
 		}
 	}
 	if len(drift) > 0 {
