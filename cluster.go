@@ -1,6 +1,9 @@
 package authenticache
 
 import (
+	"context"
+	"net"
+
 	"repro/internal/auth"
 	"repro/internal/cluster"
 )
@@ -68,3 +71,27 @@ type Ring = cluster.Ring
 // NewRing builds a placement ring over nodes node indexes with vnodes
 // virtual points each (0 uses the default granularity).
 func NewRing(nodes, vnodes int) *Ring { return cluster.NewRing(nodes, vnodes) }
+
+// PeerStatus is the router's failure-detector view of one peer: probe
+// RTT and replication frontier from the background prober, circuit
+// state from the per-peer breaker.
+type PeerStatus = cluster.PeerStatus
+
+// DeadlineBudget splits a caller's context deadline across retry or
+// hedge attempts so one hung peer cannot consume the whole request
+// allowance.
+type DeadlineBudget = auth.DeadlineBudget
+
+// RelayClient is a pooled forwarding connection to one authd node's
+// client port; RouterConfig.Dial seams build these over custom
+// transports (fault gates, TLS).
+type RelayClient = auth.RelayClient
+
+// DialRelay connects a relay client to a node's client-facing address.
+func DialRelay(ctx context.Context, addr string) (*RelayClient, error) {
+	return auth.DialRelay(ctx, addr)
+}
+
+// NewRelayClient wraps an already-established connection as a relay
+// client, for callers that dial (or gate) the transport themselves.
+func NewRelayClient(conn net.Conn) (*RelayClient, error) { return auth.NewRelayClient(conn) }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -138,6 +139,164 @@ func benchPrimaryCost(b *testing.B, burnOnly bool) {
 		}
 	}
 	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+}
+
+// BenchmarkClusterFailover measures what a dead node costs the read
+// path, as a latency distribution rather than a throughput number:
+//
+//   - healthy: router-forwarded authentication against a 3-node
+//     fleet with every node answering — the routing baseline;
+//   - owner-stalled: the hot client's owner is black-holed (never
+//     answers, never errors) for the whole timed run. The first
+//     operations pay one hedge delay each while the failure detector
+//     gathers probe evidence; once the breaker opens the owner is
+//     skipped outright and operations run at successor speed, with
+//     periodic half-open trials re-paying the hedge.
+//
+// p50 is therefore the steady state after detection and p99 the
+// failover transient (hedge windows and half-open trials) — the
+// "node kill" tail a deadline-budgeted caller actually observes.
+// Fixed -benchtime only, like the other cluster benches.
+func BenchmarkClusterFailover(b *testing.B) {
+	b.Run("healthy", func(b *testing.B) { benchClusterFailover(b, false) })
+	b.Run("owner-stalled", func(b *testing.B) { benchClusterFailover(b, true) })
+}
+
+func benchClusterFailover(b *testing.B, stallOwner bool) {
+	acfg := authenticache.DefaultServerConfig()
+	acfg.ChallengeBits = 128
+	acfg.RemapAfterCRPs = 1 << 31
+	maxIters := int(authenticache.PossibleCRPs(clusterBenchLines)) / acfg.ChallengeBits / 2
+	if b.N > maxIters {
+		b.Skipf("b.N=%d would exhaust the CRP registry; use a fixed -benchtime (scripts/bench_cluster.sh)", b.N)
+	}
+
+	const nodeCount = 3
+	repl := make([]net.Listener, nodeCount)
+	client := make([]net.Listener, nodeCount)
+	replAddrs := make([]string, nodeCount)
+	clientAddrs := make([]string, nodeCount)
+	for i := 0; i < nodeCount; i++ {
+		for _, slot := range []*net.Listener{&repl[i], &client[i]} {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			*slot = l
+		}
+		replAddrs[i] = repl[i].Addr().String()
+		clientAddrs[i] = client[i].Addr().String()
+	}
+	dir := b.TempDir()
+	nodes := make([]*authenticache.ClusterNode, nodeCount)
+	for i := range nodes {
+		n, err := authenticache.OpenClusterNode(authenticache.ClusterConfig{
+			NodeIndex:         i,
+			Peers:             replAddrs,
+			ClientPeers:       clientAddrs,
+			Dir:               filepath.Join(dir, fmt.Sprintf("node-%d", i)),
+			Auth:              acfg,
+			Seed:              4242 + uint64(i),
+			ReplicaAcks:       1,
+			AckTimeout:        5 * time.Second,
+			HeartbeatInterval: 25 * time.Millisecond,
+			LeaseTimeout:      5 * time.Second,
+			RedialInterval:    25 * time.Millisecond,
+			ReplListener:      repl[i],
+			WAL:               authenticache.WALOptions{FlushInterval: 200 * time.Microsecond, FlushBatch: 8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Start(dctx); err != nil {
+			b.Fatal(err)
+		}
+		nodes[i] = n
+		defer n.Close()
+		ws, err := n.NewWireServer(authenticache.WireConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go ws.Serve(dctx, client[i])
+		defer ws.Close()
+	}
+	primary := nodes[0]
+
+	stalls := make([]*fault.Stall, nodeCount)
+	for i := range stalls {
+		stalls[i] = fault.NewStall()
+	}
+	router := authenticache.NewRouter(authenticache.RouterConfig{
+		ClientPeers:      clientAddrs,
+		Self:             -1,
+		Dial:             stalledRelayDial(clientAddrs, stalls),
+		HedgeDelay:       10 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  250 * time.Millisecond,
+		ProbeInterval:    25 * time.Millisecond,
+		Budget: authenticache.DeadlineBudget{
+			Attempts: 2,
+			Floor:    50 * time.Millisecond,
+			Default:  250 * time.Millisecond,
+		},
+		Seed: 4242,
+	})
+	defer router.Close()
+	router.Start(dctx)
+
+	const id = authenticache.ClientID("bench-hot")
+	m := chaosMap(clusterBenchLines, 100, 4242, 680)
+	key, err := primary.Server().Enroll(dctx, id, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := authenticache.NewResponder(id, authenticache.NewSimDevice(m), key)
+	for _, n := range nodes {
+		for !n.Server().Enrolled(id) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Warm the relay pool and the failure detector: every peer probed,
+	// one full transaction through the router.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		ps := router.Peers()
+		if ps[0].Known && ps[1].Known && ps[2].Known {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("prober never covered the fleet")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ok, err := routerAuth(dctx, router, r); err != nil || !ok {
+		b.Fatalf("warmup auth: ok=%v err=%v", ok, err)
+	}
+
+	owner := router.Owner(id)
+	if stallOwner {
+		stalls[owner].Block()
+		defer stalls[owner].Heal()
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ok, err := routerAuth(dctx, router, r)
+		if err != nil {
+			b.Fatalf("op %d: %v", i, err)
+		}
+		if !ok {
+			b.Fatalf("op %d: genuine device rejected", i)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(a, c int) bool { return lat[a] < lat[c] })
+	b.ReportMetric(float64(lat[len(lat)/2])/1e6, "p50_ms")
+	b.ReportMetric(float64(lat[len(lat)*99/100])/1e6, "p99_ms")
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
 }
 

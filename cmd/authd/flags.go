@@ -1,0 +1,48 @@
+package main
+
+import (
+	"flag"
+	"time"
+
+	authenticache "repro"
+)
+
+// resilienceFlags groups the control-plane tuning knobs the router
+// and cluster roles share. The zero value of each flag defers to the
+// library default; negative values disable the mechanism where the
+// library defines that (hedging, breaking, the staleness guard).
+type resilienceFlags struct {
+	hedgeDelay       time.Duration
+	breakerThreshold int
+	maxStaleness     int64
+}
+
+// registerResilience declares the resilience flags on fs and returns
+// the struct Parse fills. Split from main so tests can parse against
+// a private FlagSet.
+func registerResilience(fs *flag.FlagSet) *resilienceFlags {
+	rf := &resilienceFlags{}
+	fs.DurationVar(&rf.hedgeDelay, "hedge-delay", 0,
+		"how long a forwarded read may go unanswered before hedging to the ring successor (0 = library default, negative disables hedging)")
+	fs.IntVar(&rf.breakerThreshold, "breaker-threshold", 0,
+		"consecutive forward failures that open a peer's circuit breaker (0 = library default, negative disables breaking)")
+	fs.Int64Var(&rf.maxStaleness, "max-staleness", 0,
+		"how many records a follower may trail the commit frontier and still serve reads (0 = library default, negative disables the guard)")
+	return rf
+}
+
+// router applies the knobs to a forwarding tier's config.
+func (rf *resilienceFlags) router(cfg authenticache.RouterConfig) authenticache.RouterConfig {
+	cfg.HedgeDelay = rf.hedgeDelay
+	cfg.BreakerThreshold = rf.breakerThreshold
+	cfg.MaxStaleness = rf.maxStaleness
+	return cfg
+}
+
+// cluster applies the knobs a replicated node consumes; hedging and
+// breaking live in the router tier, so only the staleness bound (the
+// follower's own read guard) crosses over.
+func (rf *resilienceFlags) cluster(cfg authenticache.ClusterConfig) authenticache.ClusterConfig {
+	cfg.MaxStaleness = rf.maxStaleness
+	return cfg
+}

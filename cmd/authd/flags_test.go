@@ -1,0 +1,69 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	authenticache "repro"
+)
+
+func TestResilienceFlagParsing(t *testing.T) {
+	fs := flag.NewFlagSet("authd", flag.ContinueOnError)
+	rf := registerResilience(fs)
+	err := fs.Parse([]string{
+		"-hedge-delay", "35ms",
+		"-breaker-threshold", "7",
+		"-max-staleness", "128",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := rf.router(authenticache.RouterConfig{ClientPeers: []string{"a", "b"}, Self: -1})
+	if rcfg.HedgeDelay != 35*time.Millisecond {
+		t.Fatalf("HedgeDelay = %v, want 35ms", rcfg.HedgeDelay)
+	}
+	if rcfg.BreakerThreshold != 7 {
+		t.Fatalf("BreakerThreshold = %d, want 7", rcfg.BreakerThreshold)
+	}
+	if rcfg.MaxStaleness != 128 {
+		t.Fatalf("router MaxStaleness = %d, want 128", rcfg.MaxStaleness)
+	}
+	// The knobs must not clobber what the caller already set.
+	if len(rcfg.ClientPeers) != 2 || rcfg.Self != -1 {
+		t.Fatalf("router() touched unrelated fields: %+v", rcfg)
+	}
+	ccfg := rf.cluster(authenticache.ClusterConfig{NodeIndex: 2})
+	if ccfg.MaxStaleness != 128 || ccfg.NodeIndex != 2 {
+		t.Fatalf("cluster() wrong: staleness %d node %d", ccfg.MaxStaleness, ccfg.NodeIndex)
+	}
+}
+
+// Unset flags stay zero, which every consumer treats as "library
+// default" — so a bare `authd -role router` keeps today's behaviour.
+func TestResilienceFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("authd", flag.ContinueOnError)
+	rf := registerResilience(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := rf.router(authenticache.RouterConfig{})
+	if rcfg.HedgeDelay != 0 || rcfg.BreakerThreshold != 0 || rcfg.MaxStaleness != 0 {
+		t.Fatalf("defaults must defer to the library: %+v", rcfg)
+	}
+}
+
+// Negative values are the documented disable switches and must survive
+// parsing (flag treats "-max-staleness -1" as a value, not a flag).
+func TestResilienceFlagDisables(t *testing.T) {
+	fs := flag.NewFlagSet("authd", flag.ContinueOnError)
+	rf := registerResilience(fs)
+	err := fs.Parse([]string{"-hedge-delay=-1ns", "-breaker-threshold=-1", "-max-staleness=-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := rf.router(authenticache.RouterConfig{})
+	if rcfg.HedgeDelay >= 0 || rcfg.BreakerThreshold >= 0 || rcfg.MaxStaleness >= 0 {
+		t.Fatalf("disable values lost in parsing: %+v", rcfg)
+	}
+}

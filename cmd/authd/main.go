@@ -61,7 +61,23 @@
 //     serves verification locally and challenge issuance by
 //     delegation, and promotes itself on primary loss.
 //   - router: a stateless ingress tier. Requires -client-peers; each
-//     transaction is forwarded to its client's consistent-hash owner.
+//     transaction is forwarded to its client's consistent-hash owner
+//     through the resilience control plane — background probes feed
+//     per-peer circuit breakers, reads hedge to the ring successor
+//     when the owner is open or slow, and key updates fail fast on an
+//     open owner circuit (DESIGN.md §11).
+//
+// Three knobs tune the control plane (0 always means the library
+// default, a negative value disables the mechanism):
+//
+//   - -hedge-delay: how long a forwarded read may go unanswered
+//     before a hedge launches at the ring successor (router).
+//   - -breaker-threshold: consecutive forward failures that open a
+//     peer's circuit breaker (router).
+//   - -max-staleness: how many records a follower may trail the
+//     commit frontier and still serve reads — sets both the router's
+//     hedge-target skip and the follower's own read guard, so give
+//     every role the same value.
 //
 // A local 3-node cluster with a router in front:
 //
@@ -71,7 +87,8 @@
 //	      -client-peers :7430,:7431,:7432 -addr :7431 -wal wal1
 //	authd -role follower -node 2 -peers :7500,:7501,:7502 \
 //	      -client-peers :7430,:7431,:7432 -addr :7432 -wal wal2
-//	authd -role router -client-peers :7430,:7431,:7432 -addr :7440
+//	authd -role router -client-peers :7430,:7431,:7432 -addr :7440 \
+//	      -hedge-delay 20ms -breaker-threshold 5 -max-staleness 512
 package main
 
 import (
@@ -109,6 +126,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated replication addresses, one per node (primary/follower)")
 	clientPeers := flag.String("client-peers", "", "comma-separated client-facing addresses, one per node (router, and follower key-update forwarding)")
 	replicate := flag.Int("replicate", 1, "follower acknowledgements required before a mutation is durable (primary)")
+	resil := registerResilience(flag.CommandLine)
 	flag.Parse()
 
 	proto, err := authenticache.ParseProto(*wireProto)
@@ -129,11 +147,11 @@ func main() {
 	case "standalone":
 		// Fall through to the single-node paths below.
 	case "router":
-		runRouter(ctx, splitAddrs(*clientPeers), *addr, *maxInflight, proto)
+		runRouter(ctx, splitAddrs(*clientPeers), *addr, *maxInflight, proto, resil)
 		return
 	case "primary", "follower":
 		runClusterNode(ctx, cfg, *role, *nodeIdx, splitAddrs(*peers), splitAddrs(*clientPeers),
-			*walDir, *addr, *devices, *seed, *cacheBytes, *replicate, *maxInflight, proto)
+			*walDir, *addr, *devices, *seed, *cacheBytes, *replicate, *maxInflight, proto, resil)
 		return
 	default:
 		log.Fatalf("authd: unknown -role %q (standalone, primary, follower, router)", *role)
@@ -309,16 +327,19 @@ func splitAddrs(s string) []string {
 }
 
 // runRouter serves a stateless forwarding tier: every transaction is
-// relayed to its client's consistent-hash owner node.
-func runRouter(ctx context.Context, clientPeers []string, addr string, maxInflight int, proto authenticache.Proto) {
+// relayed to its client's consistent-hash owner node, with the
+// resilience knobs (hedging, breakers, staleness skip) from the
+// command line and the background prober feeding the detector.
+func runRouter(ctx context.Context, clientPeers []string, addr string, maxInflight int, proto authenticache.Proto, resil *resilienceFlags) {
 	if len(clientPeers) == 0 {
 		log.Fatal("authd: -role router requires -client-peers")
 	}
-	router := authenticache.NewRouter(authenticache.RouterConfig{
+	router := authenticache.NewRouter(resil.router(authenticache.RouterConfig{
 		ClientPeers: clientPeers,
 		Self:        -1,
-	})
+	}))
 	defer router.Close()
+	router.Start(ctx)
 	ws, err := authenticache.NewWireServerBackend(router, authenticache.WireConfig{MaxInFlight: maxInflight, Proto: proto})
 	if err != nil {
 		log.Fatalf("authd: %v", err)
@@ -337,7 +358,7 @@ func runRouter(ctx context.Context, clientPeers []string, addr string, maxInflig
 // the initial primary (it enrolls the fleet once enough followers are
 // connected to acknowledge durably), every other index starts as a
 // follower syncing from it.
-func runClusterNode(ctx context.Context, cfg authenticache.ServerConfig, role string, nodeIdx int, peers, clientPeers []string, walDir, addr string, devices int, seed uint64, cacheBytes, replicate, maxInflight int, proto authenticache.Proto) {
+func runClusterNode(ctx context.Context, cfg authenticache.ServerConfig, role string, nodeIdx int, peers, clientPeers []string, walDir, addr string, devices int, seed uint64, cacheBytes, replicate, maxInflight int, proto authenticache.Proto, resil *resilienceFlags) {
 	if walDir == "" {
 		log.Fatalf("authd: -role %s requires -wal", role)
 	}
@@ -355,7 +376,7 @@ func runClusterNode(ctx context.Context, cfg authenticache.ServerConfig, role st
 	if role == "follower" && nodeIdx == 0 {
 		log.Fatal("authd: -role follower requires -node >= 1 (node 0 starts as the primary)")
 	}
-	node, err := authenticache.OpenClusterNode(authenticache.ClusterConfig{
+	node, err := authenticache.OpenClusterNode(resil.cluster(authenticache.ClusterConfig{
 		NodeIndex:   nodeIdx,
 		Peers:       peers,
 		ClientPeers: clientPeers,
@@ -364,7 +385,7 @@ func runClusterNode(ctx context.Context, cfg authenticache.ServerConfig, role st
 		Seed:        seed ^ 0xd5e7,
 		ReplicaAcks: replicate,
 		Logf:        log.Printf,
-	})
+	}))
 	if err != nil {
 		log.Fatalf("authd: open cluster node: %v", err)
 	}

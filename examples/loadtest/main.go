@@ -50,6 +50,9 @@ func main() {
 	protoName := flag.String("proto", "v1", "wire framing: v1 (lock-step JSON) or v2 (multiplexed binary)")
 	depth := flag.Int("depth", 1, "pipeline depth per connection (v2 only: lanes sharing one connection)")
 	nodeCount := flag.Int("nodes", 1, "cluster size: 1 serves directly, N>1 replicates behind a consistent-hash router")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "router hedge delay before trying the ring successor (clustered only; 0 = library default, negative disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that open a peer's breaker (clustered only; 0 = library default, negative disables)")
+	maxStaleness := flag.Int64("max-staleness", 0, "follower lag bound for serving reads (clustered only; 0 = library default, negative disables)")
 	flag.Parse()
 	proto, err := authenticache.ParseProto(*protoName)
 	if err != nil {
@@ -73,7 +76,11 @@ func main() {
 	var ingress string
 	var topology string
 	if *nodeCount > 1 {
-		cluster, err := startCluster(ctx, *nodeCount, cfg, proto)
+		cluster, err := startCluster(ctx, *nodeCount, cfg, proto, resilience{
+			hedgeDelay:       *hedgeDelay,
+			breakerThreshold: *breakerThreshold,
+			maxStaleness:     *maxStaleness,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -198,7 +205,16 @@ type loadCluster struct {
 	servers    []*authenticache.WireServer
 }
 
-func startCluster(ctx context.Context, n int, cfg authenticache.ServerConfig, proto authenticache.Proto) (*loadCluster, error) {
+// resilience carries the router/cluster control-plane knobs from the
+// command line (zero = library default, negative = disabled), the
+// same trio authd exposes.
+type resilience struct {
+	hedgeDelay       time.Duration
+	breakerThreshold int
+	maxStaleness     int64
+}
+
+func startCluster(ctx context.Context, n int, cfg authenticache.ServerConfig, proto authenticache.Proto, resil resilience) (*loadCluster, error) {
 	dir, err := os.MkdirTemp("", "loadtest-cluster")
 	if err != nil {
 		return nil, err
@@ -229,6 +245,7 @@ func startCluster(ctx context.Context, n int, cfg authenticache.ServerConfig, pr
 			Seed:         uint64(1 + i),
 			ReplicaAcks:  1,
 			ReplListener: replLns[i],
+			MaxStaleness: resil.maxStaleness,
 		})
 		if err != nil {
 			c.close()
@@ -252,7 +269,14 @@ func startCluster(ctx context.Context, n int, cfg authenticache.ServerConfig, pr
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	c.router = authenticache.NewRouter(authenticache.RouterConfig{ClientPeers: clientAddrs, Self: -1})
+	c.router = authenticache.NewRouter(authenticache.RouterConfig{
+		ClientPeers:      clientAddrs,
+		Self:             -1,
+		HedgeDelay:       resil.hedgeDelay,
+		BreakerThreshold: resil.breakerThreshold,
+		MaxStaleness:     resil.maxStaleness,
+	})
+	c.router.Start(ctx)
 	rl, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		c.close()

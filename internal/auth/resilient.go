@@ -41,8 +41,8 @@ type RetryPolicy struct {
 	Seed uint64
 }
 
-// withDefaults fills zero fields with the documented defaults.
-func (p RetryPolicy) withDefaults() RetryPolicy {
+// WithDefaults fills zero fields with the documented defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
 	if p.MaxAttempts == 0 {
 		p.MaxAttempts = 10
 	}
@@ -64,9 +64,13 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// delay computes the backoff before attempt n (n >= 1 is the first
+// Delay computes the backoff before attempt n (n >= 1 is the first
 // retry): capped exponential growth with jitter drawn from r.
-func (p RetryPolicy) delay(n int, r *rng.Rand) time.Duration {
+// Exported so other retry loops — the cluster follower's redial, for
+// one — reuse the policy shape instead of growing their own backoff
+// arithmetic. Call WithDefaults (or fill every field) first; Delay
+// does not apply defaults itself.
+func (p RetryPolicy) Delay(n int, r *rng.Rand) time.Duration {
 	d := float64(p.BaseDelay)
 	for i := 1; i < n; i++ {
 		d *= p.Multiplier
@@ -153,7 +157,7 @@ func DialResilientProto(ctx context.Context, addr string, policy RetryPolicy, pr
 // NewResilientClient builds a client around an explicit dial function
 // without connecting; tests inject fault-wrapped dialers here.
 func NewResilientClient(addr string, policy RetryPolicy, dial func(ctx context.Context, addr string) (*WireClient, error)) *ResilientClient {
-	policy = policy.withDefaults()
+	policy = policy.WithDefaults()
 	return &ResilientClient{
 		addr:   addr,
 		policy: policy,
@@ -219,7 +223,7 @@ func (rc *ResilientClient) drop(gen uint64) {
 func (rc *ResilientClient) backoff(ctx context.Context, attempt int) error {
 	rc.mu.Lock()
 	rc.stats.Retries++
-	d := rc.policy.delay(attempt-1, rc.rand)
+	d := rc.policy.Delay(attempt-1, rc.rand)
 	rc.mu.Unlock()
 	return sleepCtx(ctx, d)
 }

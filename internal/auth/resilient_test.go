@@ -68,12 +68,12 @@ func TestRetryableNeverRetriesBurnedChallenge(t *testing.T) {
 }
 
 func TestBackoffDeterministicAndBounded(t *testing.T) {
-	p := RetryPolicy{}.withDefaults()
+	p := RetryPolicy{}.WithDefaults()
 	seq := func() []time.Duration {
 		r := rng.New(p.Seed)
 		var out []time.Duration
 		for n := 1; n <= 9; n++ {
-			out = append(out, p.delay(n, r))
+			out = append(out, p.Delay(n, r))
 		}
 		return out
 	}

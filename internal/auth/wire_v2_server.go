@@ -95,6 +95,19 @@ func (c *v2conn) readLoop(ctx context.Context) {
 			if !c.deliver(b) {
 				return
 			}
+		case wire.OpProbe:
+			// Health probe: answered inline from the read loop,
+			// deliberately bypassing MaxInFlight shedding — a probe
+			// measures liveness, and a loaded-but-alive node must still
+			// answer it so the failure detector does not confuse load
+			// with death.
+			stream := b.Stream
+			wire.PutBuf(b)
+			out := wire.GetBuf()
+			out.B = wire.AppendHealth(out.B[:0], stream, c.ws.healthReport())
+			if !c.fw.send(out) {
+				return
+			}
 		default:
 			// A server-only or unknown opcode from a client is framing
 			// confusion: answer typed, then hang up.

@@ -34,11 +34,18 @@ type nodeBackend struct {
 const proposeAttempts = 4
 
 // BeginAuth issues a challenge: directly when primary, by delegation
-// when follower.
+// when follower. A follower beyond the staleness bound refuses before
+// sampling — this is the authoritative stale-read guard: a hedged
+// read a router sends here on optimistic (or absent) health data is
+// turned away with a retryable unavailable rather than served off a
+// replica too far behind the commit frontier.
 func (b *nodeBackend) BeginAuth(ctx context.Context, id auth.ClientID) (*crp.Challenge, error) {
 	n := b.n
 	if n.isPrimary() {
 		return n.srv.IssueChallenge(ctx, id)
+	}
+	if err := n.checkStaleness(id); err != nil {
+		return nil, err
 	}
 	var lastErr error
 	for attempt := 0; attempt < proposeAttempts; attempt++ {
@@ -130,6 +137,45 @@ func (b *nodeBackend) FinishRemapTx(ctx context.Context, id auth.ClientID, succe
 		ClientID: id,
 		Err:      errInvalidNoRemap,
 	}
+}
+
+// Health implements auth.HealthReporter: the embedded wire server
+// answers client-port probes from it, which is what the routers'
+// failure detectors and staleness skips feed on.
+func (b *nodeBackend) Health() auth.PeerHealth {
+	return b.n.health()
+}
+
+// health snapshots this node's replication health. A primary's commit
+// and applied frontiers coincide (its WAL is the log of record); a
+// follower advertises the primary's last heartbeated commit frontier
+// as appliedSeq+lag so probes see the same staleness the guard
+// enforces.
+func (n *Node) health() auth.PeerHealth {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == RolePrimary {
+		seq := n.wal.CommittedSeq()
+		return auth.PeerHealth{Primary: true, Term: n.term, CommitSeq: seq, AppliedSeq: seq}
+	}
+	return auth.PeerHealth{Term: n.term, CommitSeq: n.appliedSeq + n.lag, AppliedSeq: n.appliedSeq}
+}
+
+// checkStaleness refuses follower reads once the replica trails the
+// primary's advertised commit frontier by more than MaxStaleness
+// records. Unavailable (not a verdict) on purpose: the client's retry
+// lands on a fresher node.
+func (n *Node) checkStaleness(id auth.ClientID) error {
+	if n.cfg.MaxStaleness < 0 {
+		return nil
+	}
+	n.mu.Lock()
+	lag := n.lag
+	n.mu.Unlock()
+	if lag > uint64(n.cfg.MaxStaleness) {
+		return unavailErrf(string(id), "replica %d records behind the primary (staleness bound %d)", lag, n.cfg.MaxStaleness)
+	}
+	return nil
 }
 
 // shutdown abandons forwarded remap halves left open at node close.

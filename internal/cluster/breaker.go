@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Per-peer circuit breaker: the router's fast-fail gate. A peer that
+// keeps failing stops receiving attempts at all — every forward to it
+// would otherwise burn a full attempt deadline, so once the breaker
+// opens the router answers (or hedges) immediately instead of queueing
+// requests behind a dead socket. After a jittered cooldown the breaker
+// goes half-open: attempts flow again, and the first outcome decides —
+// a success closes the breaker, a failure re-arms the cooldown.
+//
+// The jitter matters at fleet scale: routers that all saw a peer die
+// at the same instant must not re-probe it in lockstep, so each
+// breaker draws its cooldown from its own seeded stream, exactly the
+// full-jitter shape the client retry policy uses.
+
+// breakerState is a breaker's observable position.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state for status surfaces.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is one peer's circuit state. All methods take the clock as
+// an argument so tests drive transitions without sleeping.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu    sync.Mutex
+	rand  *rng.Rand
+	state breakerState // breakerClosed or breakerOpen; half-open is derived
+	fails int
+	trips uint64
+	until time.Time // open: earliest half-open trial
+}
+
+func newBreaker(threshold int, cooldown time.Duration, seed uint64) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, rand: rng.New(seed)}
+}
+
+// Allow reports whether an attempt may be sent now: always when
+// closed, never while the cooldown runs, again once it has passed
+// (the half-open trial window).
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerOpen || !now.Before(b.until)
+}
+
+// Success closes the breaker and clears the failure run.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// Failure records one failed attempt. A run of threshold failures
+// opens the breaker; a failure during the half-open window re-arms
+// the cooldown immediately (one trial was evidence enough).
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerOpen {
+		if !now.Before(b.until) {
+			b.armLocked(now)
+		}
+		return
+	}
+	if b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.trips++
+		b.armLocked(now)
+	}
+}
+
+// armLocked schedules the next half-open window with full jitter over
+// [0.5, 1]·cooldown. Callers hold b.mu.
+func (b *breaker) armLocked(now time.Time) {
+	b.until = now.Add(time.Duration(float64(b.cooldown) * (1 - 0.5*b.rand.Float64())))
+}
+
+// State reports the observable state: open breakers whose cooldown
+// has passed read as half-open.
+func (b *breaker) State(now time.Time) breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		if now.Before(b.until) {
+			return breakerOpen
+		}
+		return breakerHalfOpen
+	}
+	return breakerClosed
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

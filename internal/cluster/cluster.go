@@ -111,9 +111,19 @@ type Config struct {
 	// LeaseTimeout is how long a follower tolerates silence before it
 	// declares the primary dead (default 10 heartbeat intervals).
 	LeaseTimeout time.Duration
-	// RedialInterval paces follower reconnection attempts
-	// (default 50ms).
+	// RedialInterval is the base delay between follower reconnection
+	// attempts (default 50ms). Consecutive failed sessions back off
+	// exponentially with jitter from this base.
 	RedialInterval time.Duration
+	// RedialMax caps the grown redial backoff (default 20×
+	// RedialInterval).
+	RedialMax time.Duration
+	// MaxStaleness is how many records a follower's replica may trail
+	// the primary's advertised commit frontier while still serving
+	// challenge issuance; beyond it the follower answers a retryable
+	// unavailable so hedged reads land on a fresher node. 0 uses the
+	// default (512); negative disables the guard.
+	MaxStaleness int64
 
 	// ReplListener, when non-nil, is used (once) as the replication
 	// listener instead of binding Peers[NodeIndex] — tests bind :0
@@ -169,7 +179,7 @@ type Node struct {
 	// taken first (role/term transitions), then per-structure locks,
 	// with the WAL's subscriber registry innermost (Subscribe runs
 	// under Node.mu during follower attach).
-	//lint:lockorder Node.mu < Router.mu < nodeBackend.mu < primaryLink.mu < primaryLink.sendMu < followerConn.sendMu < WAL.subMu
+	//lint:lockorder Node.mu < Router.mu < breaker.mu < healthTracker.mu < nodeBackend.mu < primaryLink.mu < primaryLink.sendMu < followerConn.sendMu < WAL.subMu
 	mu          sync.Mutex
 	started     bool
 	closed      bool
@@ -233,6 +243,12 @@ func Open(cfg Config) (*Node, error) {
 	}
 	if cfg.RedialInterval <= 0 {
 		cfg.RedialInterval = 50 * time.Millisecond
+	}
+	if cfg.RedialMax <= 0 {
+		cfg.RedialMax = 20 * cfg.RedialInterval
+	}
+	if cfg.MaxStaleness == 0 {
+		cfg.MaxStaleness = 512
 	}
 	if cfg.Dial == nil {
 		var d net.Dialer

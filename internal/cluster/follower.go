@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/auth"
+	"repro/internal/rng"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -25,21 +26,42 @@ import (
 // the link drops, then redials, advancing its primary guess whenever a
 // full lease passes without contact, and promoting itself when the
 // guess lands on its own index.
+//
+// Redial pacing is capped exponential backoff with seeded jitter,
+// reusing the client retry policy's delay shape: a session that
+// actually synced resets the run, so a briefly flapping link recovers
+// at RedialInterval while a hard-down primary is probed ever more
+// gently instead of being hammered at a fixed interval by every
+// follower at once (the per-node seed decorrelates them).
 func (n *Node) runFollower(ctx context.Context) {
 	defer n.wg.Done()
+	policy := auth.RetryPolicy{
+		BaseDelay:  n.cfg.RedialInterval,
+		MaxDelay:   n.cfg.RedialMax,
+		Multiplier: 2,
+		Jitter:     0.5,
+		Seed:       1,
+	}.WithDefaults()
+	jitter := rng.New(0x5eedf011 ^ uint64(n.cfg.NodeIndex))
+	failed := 0
 	for ctx.Err() == nil {
 		target := n.followTarget()
 		if target == n.cfg.NodeIndex {
 			if err := n.promote(ctx); err != nil {
 				n.log("promotion failed: %v", err)
-				n.sleep(ctx, n.cfg.RedialInterval)
+				failed++
+				n.sleep(ctx, policy.Delay(failed, jitter))
 				continue
 			}
 			return
 		}
-		n.followOnce(ctx, target)
+		if n.followOnce(ctx, target) {
+			failed = 0
+		} else {
+			failed++
+		}
 		if ctx.Err() == nil {
-			n.sleep(ctx, n.cfg.RedialInterval)
+			n.sleep(ctx, policy.Delay(failed, jitter))
 		}
 	}
 }
@@ -105,8 +127,10 @@ func (n *Node) AppliedSeq() uint64 {
 }
 
 // followOnce runs one replication session against target: hello,
-// snapshot adoption, then the record feed until the link breaks.
-func (n *Node) followOnce(ctx context.Context, target int) {
+// snapshot adoption, then the record feed until the link breaks. It
+// reports whether the session got as far as a live feed (snapshot
+// adopted, link up) — the redial loop's signal to reset its backoff.
+func (n *Node) followOnce(ctx context.Context, target int) (synced bool) {
 	dctx, cancel := context.WithTimeout(ctx, n.cfg.AckTimeout)
 	conn, err := n.dial(dctx, "tcp", n.cfg.Peers[target])
 	cancel()
@@ -184,6 +208,7 @@ func (n *Node) followOnce(ctx context.Context, target int) {
 	if err := lnk.sendAck(snap.SnapSeq); err != nil {
 		return
 	}
+	synced = true
 
 	for {
 		if ctx.Err() != nil {

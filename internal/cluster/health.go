@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+)
+
+// healthTracker is the router's per-peer failure-detector memory: an
+// EWMA of probe round trips, the consecutive-failure run, and the
+// peer's last health report. The prober writes it; target selection
+// reads it (a hedge skips a follower whose reported staleness exceeds
+// the bound) and Peers exposes it for monitoring.
+type healthTracker struct {
+	mu    sync.Mutex
+	peers []peerHealth
+}
+
+type peerHealth struct {
+	known    bool
+	rttEWMA  float64 // nanoseconds
+	fails    int     // consecutive probe failures since the last success
+	lastSeen time.Time
+	report   auth.PeerHealth
+}
+
+// EWMA weights for the probe RTT: slow-moving enough to ride out one
+// scheduling hiccup, fast enough to track a genuine latency shift
+// within a few probes.
+const (
+	ewmaOld = 0.8
+	ewmaNew = 0.2
+)
+
+func newHealthTracker(n int) *healthTracker {
+	return &healthTracker{peers: make([]peerHealth, n)}
+}
+
+// observe records a successful probe of node.
+func (t *healthTracker) observe(node int, rtt time.Duration, h auth.PeerHealth, now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := &t.peers[node]
+	if p.known {
+		p.rttEWMA = ewmaOld*p.rttEWMA + ewmaNew*float64(rtt)
+	} else {
+		p.rttEWMA = float64(rtt)
+	}
+	p.known = true
+	p.fails = 0
+	p.lastSeen = now
+	p.report = h
+}
+
+// observeFailure records a failed probe of node.
+func (t *healthTracker) observeFailure(node int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node].fails++
+}
+
+// staleness reports how far behind the commit frontier node last
+// reported itself, and whether anything is known at all. A primary is
+// never stale. Unknown peers report (0, false): target selection is
+// optimistic about them — the server-side guard is the authoritative
+// check, this is only an attempt saved.
+func (t *healthTracker) staleness(node int) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[node]
+	if !p.known {
+		return 0, false
+	}
+	if p.report.Primary {
+		return 0, true
+	}
+	return p.report.Staleness(), true
+}
+
+// status snapshots one peer for PeerStatus.
+func (t *healthTracker) status(node int) PeerStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[node]
+	return PeerStatus{
+		Node:             node,
+		Known:            p.known,
+		RTT:              time.Duration(p.rttEWMA),
+		ConsecutiveFails: p.fails,
+		LastSeen:         p.lastSeen,
+		Primary:          p.report.Primary,
+		Term:             p.report.Term,
+		CommitSeq:        p.report.CommitSeq,
+		AppliedSeq:       p.report.AppliedSeq,
+	}
+}
+
+// PeerStatus is the failure detector's view of one peer, for
+// monitoring and tests.
+type PeerStatus struct {
+	// Node is the peer's index in ClientPeers.
+	Node int
+	// Known reports whether any probe has ever succeeded.
+	Known bool
+	// RTT is the probe round trip, exponentially weighted.
+	RTT time.Duration
+	// ConsecutiveFails counts probe failures since the last success.
+	ConsecutiveFails int
+	// LastSeen is when the last successful probe completed.
+	LastSeen time.Time
+	// Primary, Term, CommitSeq, AppliedSeq echo the peer's last
+	// health report.
+	Primary    bool
+	Term       uint64
+	CommitSeq  uint64
+	AppliedSeq uint64
+	// Breaker is the peer's circuit state: "closed", "open", or
+	// "half-open".
+	Breaker string
+}

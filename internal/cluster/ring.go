@@ -63,6 +63,40 @@ func (r *Ring) Owner(id string) int {
 	return r.points[i].node
 }
 
+// Owners returns up to k distinct node indexes in ring order starting
+// at the point owning id: the owner first, then the successors a
+// hedged read fails over to. Successor order is a property of the id,
+// so hedges for one client always land on the same fallback node and
+// its caches/locks stay warm there. k is clamped to the node count.
+func (r *Ring) Owners(id string, k int) []int {
+	if k > r.nodes {
+		k = r.nodes
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([]int, 0, k)
+	if len(r.points) == 0 {
+		return append(out, 0)
+	}
+	h := hash64(id)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for step := 0; step < len(r.points) && len(out) < k; step++ {
+		node := r.points[(start+step)%len(r.points)].node
+		dup := false
+		for _, n := range out {
+			if n == node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
 // hash64 is FNV-64a with a splitmix64 finalizer. Raw FNV over short,
 // similar strings ("node-0/vnode-1", ...) leaves the low bits too
 // correlated for even ring placement; the finalizer scatters them.

@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"context"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Stall is the nastier sibling of Partition: instead of erroring fast,
+// a blocked stall black-holes traffic. Reads and writes on tracked
+// connections park until the gate heals (or the connection is closed),
+// and new dials hang the same way — the signature of a peer whose
+// process is wedged or whose packets are being dropped silently, as
+// opposed to one whose socket refuses. This is the failure mode that
+// distinguishes deadline-budgeted code from code that merely handles
+// errors: nothing ever returns, so only a deadline can save the
+// caller.
+type Stall struct {
+	mu      sync.Mutex
+	blocked bool
+	// release is open per Block epoch and closed by Heal, waking every
+	// parked waiter.
+	release chan struct{}
+	conns   map[*stallConn]struct{}
+}
+
+// NewStall returns a healed (passing) stall gate.
+func NewStall() *Stall {
+	return &Stall{conns: make(map[*stallConn]struct{})}
+}
+
+// Block engages the black hole: future operations on tracked
+// connections park before touching the socket, and Dial parks before
+// connecting. (A read already blocked in the kernel keeps waiting on
+// its own — its peer's writes park, so no data arrives either way.)
+func (s *Stall) Block() {
+	s.mu.Lock()
+	if !s.blocked {
+		s.blocked = true
+		s.release = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// Heal lifts the black hole: parked operations resume against the
+// live sockets underneath (no data was lost — the wire was slow, not
+// cut).
+func (s *Stall) Heal() {
+	s.mu.Lock()
+	if s.blocked {
+		s.blocked = false
+		close(s.release)
+		s.release = nil
+	}
+	s.mu.Unlock()
+}
+
+// Blocked reports the gate's current state.
+func (s *Stall) Blocked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blocked
+}
+
+// gate returns the channel an operation must wait on before touching
+// the socket, or nil when traffic flows.
+func (s *Stall) gate() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.blocked {
+		return nil
+	}
+	return s.release
+}
+
+// Dial establishes a connection through the gate. While blocked it
+// parks until Heal or ctx expiry — exactly what an unreachable,
+// non-refusing host does to a dialer.
+func (s *Stall) Dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	if ch := s.gate(); ch != nil {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.Wrap(conn), nil
+}
+
+// Wrap tracks an established connection so a later Block parks its
+// traffic.
+func (s *Stall) Wrap(conn net.Conn) net.Conn {
+	c := &stallConn{Conn: conn, s: s, closed: make(chan struct{})}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return c
+}
+
+// forget drops a closed connection from the tracking set.
+func (s *Stall) forget(c *stallConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// stallConn is one connection subject to a Stall. While the gate is
+// engaged its reads and writes park; Close still works (and unparks
+// this connection's waiters), because a stalled peer does not stop
+// the local side from giving up. I/O deadlines are honoured even
+// while parked — the kernel would time a socket out whether or not
+// packets flow, so deadline-driven callers keep their bound through a
+// black hole.
+type stallConn struct {
+	net.Conn
+	s      *Stall
+	closed chan struct{}
+
+	mu       sync.Mutex
+	isClosed bool
+	rdl, wdl time.Time
+}
+
+// wait parks until the gate heals, the connection closes, or dl (zero
+// means none) passes, reporting whether the operation may proceed.
+func (c *stallConn) wait(dl time.Time) error {
+	ch := c.s.gate()
+	if ch == nil {
+		return nil
+	}
+	var expire <-chan time.Time
+	if !dl.IsZero() {
+		t := time.NewTimer(time.Until(dl))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	case <-expire:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// deadline reads the tracked read or write deadline.
+func (c *stallConn) deadline(read bool) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if read {
+		return c.rdl
+	}
+	return c.wdl
+}
+
+func (c *stallConn) Read(b []byte) (int, error) {
+	if err := c.wait(c.deadline(true)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *stallConn) Write(b []byte) (int, error) {
+	if err := c.wait(c.deadline(false)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *stallConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *stallConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *stallConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *stallConn) Close() error {
+	c.mu.Lock()
+	if !c.isClosed {
+		c.isClosed = true
+		close(c.closed)
+	}
+	c.mu.Unlock()
+	c.s.forget(c)
+	return c.Conn.Close()
+}
+
+// Gate is the Block/Heal surface Partition and Stall share; Flap
+// toggles either kind on a schedule.
+type Gate interface {
+	Block()
+	Heal()
+	Blocked() bool
+}
+
+// FlapPlan schedules a flapping fault: the gate blocks for roughly
+// Down, heals for roughly Up, and repeats Cycles times (0 means flap
+// until ctx dies). Jitter is the randomized fraction of each period
+// ([1-Jitter, 1]·period, full-jitter style), drawn from the seeded
+// stream so a chaos run replays identically.
+type FlapPlan struct {
+	Down   time.Duration
+	Up     time.Duration
+	Cycles int
+	Jitter float64
+	Seed   uint64
+}
+
+// Flap drives gate through plan until the cycles or ctx run out. It
+// blocks the calling goroutine; run it alongside traffic. The gate is
+// always healed on the way out, whatever state the schedule died in.
+func Flap(ctx context.Context, gate Gate, plan FlapPlan) {
+	r := rng.New(plan.Seed ^ 0xf1a9)
+	defer gate.Heal()
+	period := func(d time.Duration) time.Duration {
+		if plan.Jitter <= 0 {
+			return d
+		}
+		return time.Duration(float64(d) * (1 - plan.Jitter*r.Float64()))
+	}
+	for cycle := 0; plan.Cycles == 0 || cycle < plan.Cycles; cycle++ {
+		gate.Block()
+		if !sleepFlap(ctx, period(plan.Down)) {
+			return
+		}
+		gate.Heal()
+		if !sleepFlap(ctx, period(plan.Up)) {
+			return
+		}
+	}
+}
+
+// sleepFlap waits d, reporting false when ctx died first.
+func sleepFlap(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func stallPipe(t *testing.T, s *Stall) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	wrapped := s.Wrap(a)
+	t.Cleanup(func() { wrapped.Close(); b.Close() })
+	return wrapped, b
+}
+
+func TestStallParksUntilHeal(t *testing.T) {
+	s := NewStall()
+	a, b := stallPipe(t, s)
+	s.Block()
+	if !s.Blocked() {
+		t.Fatal("Blocked() = false after Block")
+	}
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := a.Write([]byte("x"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write completed through an engaged stall (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Heal releases the parked write; the peer read completes it.
+	readDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 1)
+		b.Read(buf)
+		close(readDone)
+	}()
+	s.Heal()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still parked after Heal")
+	}
+	<-readDone
+	wg.Wait()
+}
+
+func TestStallCloseUnparks(t *testing.T) {
+	s := NewStall()
+	a, _ := stallPipe(t, s)
+	s.Block()
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := a.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read on a closed stalled conn returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unpark the stalled read")
+	}
+	s.Heal()
+	wg.Wait()
+}
+
+func TestStallDeadlineWhileParked(t *testing.T) {
+	s := NewStall()
+	a, _ := stallPipe(t, s)
+	s.Block()
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := a.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("parked read with a deadline returned %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline ignored while parked")
+	}
+	s.Heal()
+}
+
+func TestStallDialParks(t *testing.T) {
+	s := NewStall()
+	s.Block()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := s.Dial(ctx, "tcp", "127.0.0.1:1"); err == nil {
+		t.Fatal("dial through an engaged stall should only fail by deadline")
+	} else if ctx.Err() == nil {
+		t.Fatalf("dial failed before the deadline: %v", err)
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	s := NewStall()
+	start := time.Now()
+	Flap(context.Background(), s, FlapPlan{
+		Down:   10 * time.Millisecond,
+		Up:     10 * time.Millisecond,
+		Cycles: 3,
+		Jitter: 0.5,
+		Seed:   42,
+	})
+	if s.Blocked() {
+		t.Fatal("gate left blocked after Flap returned")
+	}
+	elapsed := time.Since(start)
+	// 3 cycles of jittered [10ms+10ms] land in [30ms, 60ms] plus slop.
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("flap finished implausibly fast: %v", elapsed)
+	}
+}
+
+func TestFlapStopsOnContext(t *testing.T) {
+	p := NewPartition()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	Flap(ctx, p, FlapPlan{Down: time.Hour, Up: time.Hour, Seed: 1})
+	if p.Blocked() {
+		t.Fatal("gate left blocked after ctx-cancelled Flap")
+	}
+}

@@ -81,6 +81,14 @@ const (
 	// OpRepGrant returns the primary-assigned challenge id for an
 	// accepted proposal (primary → follower).
 	OpRepGrant Opcode = 16
+	// OpProbe asks a node for a liveness/health report (empty
+	// payload). Unlike the rep_* opcodes it is spoken on the
+	// client-facing port: routers probe the same address they forward
+	// to, so the probe measures exactly the path client traffic takes.
+	OpProbe Opcode = 17
+	// OpHealth answers a probe with the node's replication health:
+	// role, term, advertised commit sequence, applied sequence.
+	OpHealth Opcode = 18
 )
 
 // String names the opcode as the v1 protocol spelled it.
@@ -118,6 +126,10 @@ func (op Opcode) String() string {
 		return "rep_propose"
 	case OpRepGrant:
 		return "rep_grant"
+	case OpProbe:
+		return "probe"
+	case OpHealth:
+		return "health"
 	}
 	return fmt.Sprintf("wire.Opcode(%d)", uint8(op))
 }

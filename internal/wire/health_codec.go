@@ -1,0 +1,62 @@
+package wire
+
+import "encoding/binary"
+
+// Health probe payload encodings. A probe/health exchange is the
+// failure detector's heartbeat: a router (or any client-port peer)
+// sends an empty OpProbe frame on a fresh stream and the node answers
+// with an OpHealth report on the same stream. Both opcodes ride the
+// client-facing port — deliberately NOT the replication listener — so
+// the measured round trip covers the exact network path and process
+// that will serve forwarded transactions.
+
+// HealthRolePrimary and HealthRoleFollower are the Role values an
+// OpHealth frame carries.
+const (
+	HealthRoleFollower uint8 = 0
+	HealthRolePrimary  uint8 = 1
+)
+
+// Health is one node's replication health as answered to a probe.
+type Health struct {
+	// Role is HealthRolePrimary or HealthRoleFollower.
+	Role uint8
+	// Term is the node's current primary term.
+	Term uint64
+	// CommitSeq is the highest committed sequence the node knows of:
+	// its own on a primary, the primary's last advertised commit on a
+	// follower. CommitSeq - AppliedSeq is the staleness bound input.
+	CommitSeq uint64
+	// AppliedSeq is the last sequence applied to the local replica.
+	AppliedSeq uint64
+}
+
+// AppendProbe appends an empty OpProbe frame on the given stream.
+func AppendProbe(dst []byte, stream uint32) []byte {
+	dst, off := beginFrame(dst, stream, OpProbe)
+	return endFrame(dst, off)
+}
+
+// AppendHealth appends an OpHealth frame answering a probe on its
+// stream.
+func AppendHealth(dst []byte, stream uint32, h Health) []byte {
+	dst, off := beginFrame(dst, stream, OpHealth)
+	dst = append(dst, h.Role)
+	dst = binary.BigEndian.AppendUint64(dst, h.Term)
+	dst = binary.BigEndian.AppendUint64(dst, h.CommitSeq)
+	dst = binary.BigEndian.AppendUint64(dst, h.AppliedSeq)
+	return endFrame(dst, off)
+}
+
+// DecodeHealth parses an OpHealth payload.
+func DecodeHealth(p []byte) (Health, error) {
+	if len(p) != 25 {
+		return Health{}, errTruncated
+	}
+	return Health{
+		Role:       p[0],
+		Term:       binary.BigEndian.Uint64(p[1:9]),
+		CommitSeq:  binary.BigEndian.Uint64(p[9:17]),
+		AppliedSeq: binary.BigEndian.Uint64(p[17:25]),
+	}, nil
+}
